@@ -1,0 +1,72 @@
+// E5 — the §4 implementation-size argument.
+//
+// Paper: "protocol designers tend to believe that hash functions are very
+// cheap in hardware, thus should be used in light-weight protocols. For
+// the most recent generation of hash functions, this is no longer true.
+// The smallest SHA-1 implementation [12] uses 5527 gates, while an ECC
+// core uses about 12k gates [10]."
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "hash/sha1.h"
+#include "hash/sha256.h"
+#include "hw/gates.h"
+#include "hw/technology.h"
+
+namespace {
+
+using namespace medsec;
+
+void print_table() {
+  bench::banner("E5: gate-count inventory",
+                "Section 4 (SHA-1 = 5527 GE vs ECC ~ 12 kGE)");
+
+  std::printf("%-26s %12s %10s   %s\n", "primitive", "GE", "vs ECC",
+              "source");
+  const double ecc = hw::inventory("ECC-163 core").gate_equivalents;
+  for (const auto& e : hw::standard_inventory())
+    std::printf("%-26s %12.0f %9.2fx   %s\n", e.name.c_str(),
+                e.gate_equivalents, e.gate_equivalents / ecc,
+                e.source.c_str());
+
+  std::printf("\nstructural model cross-check:\n");
+  std::printf("  ecc_coprocessor_ge(163, d=4) = %.0f GE (paper: ~12 kGE)\n",
+              hw::ecc_coprocessor_ge(163, 4));
+  std::printf("  SHA-1 / ECC ratio            = %.2f -> a hash is nearly\n"
+              "  half an ECC core: hashes are NOT cheap in this class.\n",
+              hw::inventory("SHA-1").gate_equivalents / ecc);
+
+  std::printf("\narea in silicon (UMC 0.13um, %.2f um2/GE):\n",
+              hw::Technology::umc130().um2_per_ge);
+  for (const char* n : {"SHA-1", "ECC-163 core", "AES-128", "PRESENT-80"})
+    std::printf("  %-14s %8.3f mm2\n", n,
+                hw::inventory(n).gate_equivalents *
+                    hw::Technology::umc130().um2_per_ge * 1e-6);
+}
+
+void BM_Sha1Block(benchmark::State& state) {
+  std::vector<std::uint8_t> msg(64, 0xAB);
+  for (auto _ : state) {
+    auto d = hash::Sha1::digest(msg);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_Sha1Block);
+
+void BM_Sha256Block(benchmark::State& state) {
+  std::vector<std::uint8_t> msg(64, 0xAB);
+  for (auto _ : state) {
+    auto d = hash::Sha256::digest(msg);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_Sha256Block);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Microbenchmarks of the arithmetic substrates — the performance baseline
+// for everything above them (no paper table; supporting data for
+// EXPERIMENTS.md's runtime notes).
+#include <benchmark/benchmark.h>
+
+#include "bigint/modring.h"
+#include "ecc/curve.h"
+#include "ecc/ladder.h"
+#include "gf2m/gf2_163.h"
+#include "rng/xoshiro.h"
+
+namespace {
+
+using namespace medsec;
+using gf2m::Gf163;
+
+Gf163 rand_fe(rng::Xoshiro256& rng) {
+  bigint::U192 v;
+  for (std::size_t i = 0; i < 3; ++i) v.set_limb(i, rng.next_u64());
+  return Gf163::from_bits(v);
+}
+
+void BM_Gf163Mul(benchmark::State& state) {
+  rng::Xoshiro256 rng(1);
+  const Gf163 a = rand_fe(rng), b = rand_fe(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(Gf163::mul(a, b));
+}
+BENCHMARK(BM_Gf163Mul);
+
+void BM_Gf163Sqr(benchmark::State& state) {
+  rng::Xoshiro256 rng(2);
+  const Gf163 a = rand_fe(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(Gf163::sqr(a));
+}
+BENCHMARK(BM_Gf163Sqr);
+
+void BM_Gf163Inv(benchmark::State& state) {
+  rng::Xoshiro256 rng(3);
+  const Gf163 a = rand_fe(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(Gf163::inv(a));
+}
+BENCHMARK(BM_Gf163Inv);
+
+void BM_Gf163Sqrt(benchmark::State& state) {
+  rng::Xoshiro256 rng(4);
+  const Gf163 a = rand_fe(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(Gf163::sqrt(a));
+}
+BENCHMARK(BM_Gf163Sqrt);
+
+void BM_LadderIteration(benchmark::State& state) {
+  const ecc::Curve& c = ecc::Curve::k163();
+  ecc::LadderState s =
+      ecc::ladder_initial_state(c.b(), c.base_point().x);
+  std::uint64_t bit = 0;
+  for (auto _ : state) {
+    ecc::ladder_iteration(c.b(), c.base_point().x, s, bit ^= 1);
+    benchmark::DoNotOptimize(s.x1);
+  }
+}
+BENCHMARK(BM_LadderIteration);
+
+void BM_AffinePointAdd(benchmark::State& state) {
+  const ecc::Curve& c = ecc::Curve::k163();
+  const ecc::Point g = c.base_point();
+  ecc::Point p = c.dbl(g);
+  for (auto _ : state) {
+    p = c.add(p, g);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_AffinePointAdd);
+
+void BM_ScalarRingMul(benchmark::State& state) {
+  const ecc::Curve& c = ecc::Curve::k163();
+  rng::Xoshiro256 rng(5);
+  const auto a = rng.uniform_nonzero(c.order());
+  const auto b = rng.uniform_nonzero(c.order());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(c.scalar_ring().mul(a, b));
+}
+BENCHMARK(BM_ScalarRingMul);
+
+void BM_ScalarRingInv(benchmark::State& state) {
+  const ecc::Curve& c = ecc::Curve::k163();
+  rng::Xoshiro256 rng(6);
+  const auto a = rng.uniform_nonzero(c.order());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(c.scalar_ring().inv(a));
+}
+BENCHMARK(BM_ScalarRingInv);
+
+}  // namespace
+
+BENCHMARK_MAIN();

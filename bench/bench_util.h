@@ -1,0 +1,33 @@
+// bench_util.h — shared helpers for the experiment benches.
+//
+// Every bench binary regenerates one table/figure/number of the paper
+// (see DESIGN.md's experiment index): it prints the reproduction table to
+// stdout first (paper value vs model value), then runs its
+// google-benchmark timers. Benches are deterministic (fixed seeds).
+#pragma once
+
+#include <cstdio>
+
+#include "ecc/curve.h"
+#include "ecc/ladder.h"
+#include "rng/xoshiro.h"
+
+namespace medsec::bench {
+
+inline void banner(const char* experiment, const char* paper_artifact) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n  reproduces: %s\n", experiment, paper_artifact);
+  std::printf("================================================================\n");
+}
+
+inline std::vector<int> padded_bits(const ecc::Curve& c,
+                                    const ecc::Scalar& k) {
+  const ecc::Scalar padded = ecc::constant_length_scalar(c, k);
+  std::vector<int> bits;
+  bits.reserve(padded.bit_length());
+  for (std::size_t i = padded.bit_length(); i-- > 0;)
+    bits.push_back(padded.bit(i) ? 1 : 0);
+  return bits;
+}
+
+}  // namespace medsec::bench

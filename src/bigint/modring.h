@@ -1,0 +1,112 @@
+// modring.h — arithmetic modulo a fixed odd modulus.
+//
+// Used for scalar arithmetic modulo the group order l of the elliptic-curve
+// subgroup (a 163-bit prime for K-163). Residues are kept fully reduced in
+// [0, m). Inversion uses the binary extended GCD; exponentiation is
+// left-to-right square-and-multiply.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+
+#include "bigint/biguint.h"
+
+namespace medsec::bigint {
+
+/// Ring of integers modulo m, where m fits in Bits bits.
+template <std::size_t Bits>
+class ModRing {
+ public:
+  using Value = BigUInt<Bits>;
+
+  explicit ModRing(Value modulus) : m_(modulus) {
+    if (m_.is_zero()) throw std::invalid_argument("ModRing: zero modulus");
+    if (!m_.bit(0)) throw std::invalid_argument("ModRing: modulus must be odd");
+  }
+
+  const Value& modulus() const { return m_; }
+
+  /// Reduce an arbitrary Bits-wide value into [0, m).
+  Value reduce(const Value& a) const { return a.mod(m_); }
+
+  /// Reduce a double-width value (e.g. a product) into [0, m).
+  Value reduce_wide(const BigUInt<2 * Bits>& a) const {
+    return a.mod(m_.template resize<2 * Bits>()).template resize<Bits>();
+  }
+
+  Value add(const Value& a, const Value& b) const {
+    Value r = a;
+    const std::uint64_t carry = r.add_in_place(b);
+    // With both inputs < m < 2^Bits the sum fits unless the top limb carried
+    // (possible only when Bits is a multiple of 64 and m is close to 2^Bits).
+    if (carry != 0 || r >= m_) r.sub_in_place(m_);
+    return r;
+  }
+
+  Value sub(const Value& a, const Value& b) const {
+    Value r = a;
+    if (r.sub_in_place(b) != 0) r.add_in_place(m_);
+    return r;
+  }
+
+  Value neg(const Value& a) const {
+    if (a.is_zero()) return a;
+    Value r = m_;
+    r.sub_in_place(a);
+    return r;
+  }
+
+  Value mul(const Value& a, const Value& b) const {
+    return reduce_wide(widening_mul(a, b));
+  }
+
+  Value sqr(const Value& a) const { return mul(a, a); }
+
+  Value pow(const Value& base, const Value& exp) const {
+    Value result{1};
+    const std::size_t n = exp.bit_length();
+    for (std::size_t i = n; i-- > 0;) {
+      result = sqr(result);
+      if (exp.bit(i)) result = mul(result, base);
+    }
+    return result;
+  }
+
+  /// Modular inverse via binary extended GCD. Returns nullopt when
+  /// gcd(a, m) != 1 (never happens for prime m and a != 0).
+  std::optional<Value> inv(const Value& a0) const {
+    const Value a = reduce(a0);
+    if (a.is_zero()) return std::nullopt;
+    // Invariants: u*x == a (mod m), v*y == a (mod m) for hidden x, y with
+    // gcd preserved; classic binary algorithm (HAC 14.61 variant for odd m).
+    Value u = a, v = m_;
+    Value x1{1}, x2{0};
+    while (!u.is_zero() && !(u == Value{1}) && !(v == Value{1})) {
+      while (!u.is_zero() && !u.bit(0)) {
+        u = u.shr(1);
+        if (x1.bit(0)) x1.add_in_place(m_);
+        x1 = x1.shr(1);
+      }
+      while (!v.bit(0)) {
+        v = v.shr(1);
+        if (x2.bit(0)) x2.add_in_place(m_);
+        x2 = x2.shr(1);
+      }
+      if (u >= v) {
+        u.sub_in_place(v);
+        x1 = sub(x1, x2);
+      } else {
+        v.sub_in_place(u);
+        x2 = sub(x2, x1);
+      }
+    }
+    if (u == Value{1}) return reduce(x1);
+    if (v == Value{1}) return reduce(x2);
+    return std::nullopt;  // gcd != 1
+  }
+
+ private:
+  Value m_;
+};
+
+}  // namespace medsec::bigint

@@ -1,0 +1,39 @@
+// aes128.h — AES-128 (FIPS 197).
+//
+// Table-based S-box implementation; round keys are expanded once at
+// construction. This is the host-side reference cipher for the protocol
+// layer — the *hardware cost* of an AES core on the modeled device comes
+// from hw/gates.h, not from profiling this code.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "ciphers/block_cipher.h"
+
+namespace medsec::ciphers {
+
+class Aes128 final : public BlockCipher {
+ public:
+  static constexpr std::size_t kBlockBytes = 16;
+  static constexpr std::size_t kKeyBytes = 16;
+  static constexpr int kRounds = 10;
+
+  explicit Aes128(std::span<const std::uint8_t> key);
+
+  std::size_t block_bytes() const override { return kBlockBytes; }
+  std::size_t key_bytes() const override { return kKeyBytes; }
+  std::string name() const override { return "AES-128"; }
+
+  void encrypt_block(std::span<const std::uint8_t> in,
+                     std::span<std::uint8_t> out) const override;
+  void decrypt_block(std::span<const std::uint8_t> in,
+                     std::span<std::uint8_t> out) const override;
+
+ private:
+  // Round keys as 4x4 byte matrices, 11 of them.
+  std::array<std::array<std::uint8_t, 16>, kRounds + 1> round_key_{};
+};
+
+}  // namespace medsec::ciphers

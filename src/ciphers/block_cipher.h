@@ -1,0 +1,32 @@
+// block_cipher.h — common interface for the secret-key primitives.
+//
+// The paper's §4 weighs "protocols based on secret key algorithms, like
+// AES" against public-key protocols. We provide AES-128 plus the
+// lightweight ciphers that dominate the medical/RFID design space
+// (PRESENT-80, SIMON 64/96, SPECK 64/96) behind one interface so the
+// protocol layer and the energy benches can swap them freely.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace medsec::ciphers {
+
+class BlockCipher {
+ public:
+  virtual ~BlockCipher() = default;
+
+  virtual std::size_t block_bytes() const = 0;
+  virtual std::size_t key_bytes() const = 0;
+  virtual std::string name() const = 0;
+
+  /// in and out are block_bytes() long; may alias.
+  virtual void encrypt_block(std::span<const std::uint8_t> in,
+                             std::span<std::uint8_t> out) const = 0;
+  virtual void decrypt_block(std::span<const std::uint8_t> in,
+                             std::span<std::uint8_t> out) const = 0;
+};
+
+}  // namespace medsec::ciphers

@@ -1,0 +1,56 @@
+// modes.h — block-cipher modes of operation used by the protocol layer:
+// CTR encryption, CMAC (OMAC1, RFC 4493 generalized to 64-bit blocks) and
+// authenticated encrypt-then-MAC composition.
+//
+// The paper's §4 requires both encryption and data authentication on the
+// pacemaker link ("a modification on the ciphertext may also lead to a
+// corrupted therapy"); these modes are the machinery that provides them on
+// the secret-key side.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ciphers/block_cipher.h"
+
+namespace medsec::ciphers {
+
+/// CTR-mode keystream encryption/decryption (symmetric). The nonce must be
+/// block_bytes()-4 long; a 32-bit big-endian counter occupies the tail.
+std::vector<std::uint8_t> ctr_crypt(const BlockCipher& cipher,
+                                    std::span<const std::uint8_t> nonce,
+                                    std::span<const std::uint8_t> data);
+
+/// CMAC (OMAC1). Works for 8- and 16-byte block ciphers (Rb = 0x1B / 0x87).
+std::vector<std::uint8_t> cmac(const BlockCipher& cipher,
+                               std::span<const std::uint8_t> data);
+
+/// Fixed-length-message CBC-MAC (secure only when all messages authenticated
+/// under one key share a single length — the classic footgun; kept for the
+/// protocol-energy comparison and as a teaching baseline, prefer cmac()).
+std::vector<std::uint8_t> cbc_mac(const BlockCipher& cipher,
+                                  std::span<const std::uint8_t> data);
+
+struct AeadResult {
+  std::vector<std::uint8_t> ciphertext;
+  std::vector<std::uint8_t> tag;
+};
+
+/// Encrypt-then-MAC with a single cipher instance per direction: CTR for
+/// confidentiality, CMAC over nonce || ciphertext for integrity.
+AeadResult encrypt_then_mac(const BlockCipher& enc_cipher,
+                            const BlockCipher& mac_cipher,
+                            std::span<const std::uint8_t> nonce,
+                            std::span<const std::uint8_t> plaintext);
+
+/// Returns the plaintext, or an empty optional-like flag via bool: on tag
+/// mismatch the plaintext is not released.
+bool decrypt_then_verify(const BlockCipher& enc_cipher,
+                         const BlockCipher& mac_cipher,
+                         std::span<const std::uint8_t> nonce,
+                         std::span<const std::uint8_t> ciphertext,
+                         std::span<const std::uint8_t> tag,
+                         std::vector<std::uint8_t>& plaintext_out);
+
+}  // namespace medsec::ciphers

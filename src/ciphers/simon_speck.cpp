@@ -1,0 +1,119 @@
+#include "ciphers/simon_speck.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace medsec::ciphers {
+
+namespace {
+
+// Constant sequence z2 from the SIMON specification (62-bit period).
+constexpr char kZ2[] =
+    "10101111011100000011010010011000101000010001111110010110110011";
+
+std::uint32_t load_be32(std::span<const std::uint8_t> in) {
+  return (std::uint32_t{in[0]} << 24) | (std::uint32_t{in[1]} << 16) |
+         (std::uint32_t{in[2]} << 8) | std::uint32_t{in[3]};
+}
+
+void store_be32(std::uint32_t v, std::span<std::uint8_t> out) {
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+Simon6496::Simon6496(std::span<const std::uint8_t> key) {
+  if (key.size() != kKeyBytes)
+    throw std::invalid_argument("Simon6496: key must be 12 bytes");
+  // Key passed big-endian as k[2] || k[1] || k[0].
+  std::array<std::uint32_t, 3> k{load_be32(key.subspan(8, 4)),
+                                 load_be32(key.subspan(4, 4)),
+                                 load_be32(key.first(4))};
+  round_key_[0] = k[0];
+  round_key_[1] = k[1];
+  round_key_[2] = k[2];
+  constexpr std::uint32_t c = 0xFFFFFFFCu;
+  for (int i = 3; i < kRounds; ++i) {
+    std::uint32_t tmp = std::rotr(round_key_[static_cast<std::size_t>(i - 1)], 3);
+    tmp ^= std::rotr(tmp, 1);
+    const std::uint32_t zbit =
+        kZ2[(i - 3) % 62] == '1' ? 1u : 0u;
+    round_key_[static_cast<std::size_t>(i)] =
+        c ^ zbit ^ round_key_[static_cast<std::size_t>(i - 3)] ^ tmp;
+  }
+}
+
+void Simon6496::encrypt_block(std::span<const std::uint8_t> in,
+                              std::span<std::uint8_t> out) const {
+  std::uint32_t x = load_be32(in.first(4));
+  std::uint32_t y = load_be32(in.subspan(4, 4));
+  for (int i = 0; i < kRounds; ++i) {
+    const std::uint32_t tmp = x;
+    x = y ^ (std::rotl(x, 1) & std::rotl(x, 8)) ^ std::rotl(x, 2) ^
+        round_key_[static_cast<std::size_t>(i)];
+    y = tmp;
+  }
+  store_be32(x, out.first(4));
+  store_be32(y, out.subspan(4, 4));
+}
+
+void Simon6496::decrypt_block(std::span<const std::uint8_t> in,
+                              std::span<std::uint8_t> out) const {
+  std::uint32_t x = load_be32(in.first(4));
+  std::uint32_t y = load_be32(in.subspan(4, 4));
+  for (int i = kRounds - 1; i >= 0; --i) {
+    const std::uint32_t tmp = y;
+    y = x ^ (std::rotl(y, 1) & std::rotl(y, 8)) ^ std::rotl(y, 2) ^
+        round_key_[static_cast<std::size_t>(i)];
+    x = tmp;
+  }
+  store_be32(x, out.first(4));
+  store_be32(y, out.subspan(4, 4));
+}
+
+Speck6496::Speck6496(std::span<const std::uint8_t> key) {
+  if (key.size() != kKeyBytes)
+    throw std::invalid_argument("Speck6496: key must be 12 bytes");
+  std::uint32_t rk = load_be32(key.subspan(8, 4));  // k[0]
+  std::array<std::uint32_t, kRounds + 1> l{};
+  l[0] = load_be32(key.subspan(4, 4));  // k[1]
+  l[1] = load_be32(key.first(4));       // k[2]
+  for (int i = 0; i < kRounds; ++i) {
+    round_key_[static_cast<std::size_t>(i)] = rk;
+    if (i < kRounds - 1) {
+      l[static_cast<std::size_t>(i + 2)] =
+          (rk + std::rotr(l[static_cast<std::size_t>(i)], 8)) ^
+          static_cast<std::uint32_t>(i);
+      rk = std::rotl(rk, 3) ^ l[static_cast<std::size_t>(i + 2)];
+    }
+  }
+}
+
+void Speck6496::encrypt_block(std::span<const std::uint8_t> in,
+                              std::span<std::uint8_t> out) const {
+  std::uint32_t x = load_be32(in.first(4));
+  std::uint32_t y = load_be32(in.subspan(4, 4));
+  for (int i = 0; i < kRounds; ++i) {
+    x = (std::rotr(x, 8) + y) ^ round_key_[static_cast<std::size_t>(i)];
+    y = std::rotl(y, 3) ^ x;
+  }
+  store_be32(x, out.first(4));
+  store_be32(y, out.subspan(4, 4));
+}
+
+void Speck6496::decrypt_block(std::span<const std::uint8_t> in,
+                              std::span<std::uint8_t> out) const {
+  std::uint32_t x = load_be32(in.first(4));
+  std::uint32_t y = load_be32(in.subspan(4, 4));
+  for (int i = kRounds - 1; i >= 0; --i) {
+    y = std::rotr(y ^ x, 3);
+    x = std::rotl((x ^ round_key_[static_cast<std::size_t>(i)]) - y, 8);
+  }
+  store_be32(x, out.first(4));
+  store_be32(y, out.subspan(4, 4));
+}
+
+}  // namespace medsec::ciphers

@@ -1,0 +1,64 @@
+// simon_speck.h — SIMON 64/96 and SPECK 64/96 (Beaulieu et al., NSA 2013).
+//
+// The two lightweight-cipher families that frame the post-2013 design space
+// the paper's §4 discusses: SIMON optimized for hardware area, SPECK for
+// software. 64-bit block, 96-bit key variants (the natural fit for the
+// 80-bit-security design point of the paper's K-163 ECC core).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ciphers/block_cipher.h"
+
+namespace medsec::ciphers {
+
+/// SIMON 64/96: 42 rounds, constant sequence z2.
+class Simon6496 final : public BlockCipher {
+ public:
+  static constexpr std::size_t kBlockBytes = 8;
+  static constexpr std::size_t kKeyBytes = 12;
+  static constexpr int kRounds = 42;
+
+  /// key is three 32-bit words k[2] k[1] k[0], passed little-endian per
+  /// word with k[0] last (the reference implementation convention).
+  explicit Simon6496(std::span<const std::uint8_t> key);
+
+  std::size_t block_bytes() const override { return kBlockBytes; }
+  std::size_t key_bytes() const override { return kKeyBytes; }
+  std::string name() const override { return "SIMON-64/96"; }
+
+  void encrypt_block(std::span<const std::uint8_t> in,
+                     std::span<std::uint8_t> out) const override;
+  void decrypt_block(std::span<const std::uint8_t> in,
+                     std::span<std::uint8_t> out) const override;
+
+ private:
+  std::array<std::uint32_t, kRounds> round_key_{};
+};
+
+/// SPECK 64/96: 26 rounds.
+class Speck6496 final : public BlockCipher {
+ public:
+  static constexpr std::size_t kBlockBytes = 8;
+  static constexpr std::size_t kKeyBytes = 12;
+  static constexpr int kRounds = 26;
+
+  explicit Speck6496(std::span<const std::uint8_t> key);
+
+  std::size_t block_bytes() const override { return kBlockBytes; }
+  std::size_t key_bytes() const override { return kKeyBytes; }
+  std::string name() const override { return "SPECK-64/96"; }
+
+  void encrypt_block(std::span<const std::uint8_t> in,
+                     std::span<std::uint8_t> out) const override;
+  void decrypt_block(std::span<const std::uint8_t> in,
+                     std::span<std::uint8_t> out) const override;
+
+ private:
+  std::array<std::uint32_t, kRounds> round_key_{};
+};
+
+}  // namespace medsec::ciphers

@@ -1,0 +1,105 @@
+#include "core/secure_processor.h"
+
+#include <stdexcept>
+
+#include "ecc/ladder.h"
+#include "ecc/scalar_mult.h"
+
+namespace medsec::core {
+
+namespace {
+
+using ecc::Fe;
+using ecc::Point;
+using ecc::Scalar;
+
+std::array<std::uint8_t, 8> seed_bytes(std::uint64_t seed) {
+  std::array<std::uint8_t, 8> b{};
+  for (int i = 0; i < 8; ++i)
+    b[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(seed >> (8 * i));
+  return b;
+}
+
+hw::CoprocessorConfig to_hw_config(const CountermeasureConfig& c) {
+  hw::CoprocessorConfig hc;
+  hc.digit_size = c.digit_size;
+  hc.secure = c.circuit;
+  hc.record_cycles = true;
+  return hc;
+}
+
+Fe nonzero_fe(rng::RandomSource& rng) {
+  for (;;) {
+    bigint::U192 v;
+    for (std::size_t i = 0; i < 3; ++i) v.set_limb(i, rng.next_u64());
+    const Fe fe = Fe::from_bits(v);
+    if (!fe.is_zero()) return fe;
+  }
+}
+
+}  // namespace
+
+CountermeasureConfig CountermeasureConfig::unprotected() {
+  CountermeasureConfig c;
+  c.constant_time_ladder = true;  // the schedule stays MPL; see below
+  c.randomize_projective = false;
+  c.zeroize_after_use = false;
+  c.circuit.balanced_mux_encoding = false;
+  c.circuit.uniform_clock_gating = false;
+  c.circuit.isolate_datapath_inputs = false;
+  return c;
+}
+
+SecureEccProcessor::SecureEccProcessor(const ecc::Curve& curve,
+                                       const CountermeasureConfig& config,
+                                       std::uint64_t seed)
+    : curve_(&curve), config_(config), coproc_(to_hw_config(config)),
+      drbg_(seed_bytes(seed)) {}
+
+PointMultOutcome SecureEccProcessor::point_mult(const Scalar& k,
+                                                const Point& p) {
+  // Trust boundary (§5's insecure zone, but validation is mandatory):
+  // reject off-curve, small-subgroup and infinity inputs before the key
+  // ever meets the data.
+  if (!curve_->validate_subgroup_point(p))
+    throw std::invalid_argument(
+        "SecureEccProcessor::point_mult: invalid input point");
+
+  // Constant-length recoding (algorithm-level timing countermeasure).
+  const Scalar padded = ecc::constant_length_scalar(*curve_, k);
+  std::vector<int> bits;
+  bits.reserve(padded.bit_length());
+  for (std::size_t i = padded.bit_length(); i-- > 0;)
+    bits.push_back(padded.bit(i) ? 1 : 0);
+
+  hw::PointMultOptions opt;
+  if (config_.randomize_projective)
+    opt.z_randomizers = {nonzero_fe(drbg_), nonzero_fe(drbg_)};
+
+  auto r = coproc_.point_mult(bits, p.x, opt);
+
+  PointMultOutcome out;
+  out.cycles = r.exec.cycles;
+  out.energy_j = r.energy_j;
+  out.avg_power_w = r.avg_power_w;
+  out.seconds = r.seconds;
+
+  // Insecure-zone software: y-recovery from the projective outputs. The
+  // recovery validates the result against the curve equation (the fault
+  // canary) and throws std::logic_error on mismatch.
+  out.result = r.result_is_infinity
+                   ? Point::at_infinity()
+                   : ecc::recover_from_ladder(*curve_, p, r.x1, r.z1, r.x2,
+                                              r.z2);
+
+  last_records_ = std::move(r.exec.records);
+
+  if (config_.zeroize_after_use) {
+    // Result stays in X1 (it is the output); everything else is cleared.
+    coproc_.execute(hw::microcode::zeroize(/*keep_result=*/true));
+  }
+  return out;
+}
+
+}  // namespace medsec::core

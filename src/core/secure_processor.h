@@ -1,0 +1,89 @@
+// secure_processor.h — the paper's artifact as one object: a low-energy,
+// physically protected elliptic-curve processor for medical devices.
+//
+// This is the public face of the library. It composes
+//   * the secure zone: the cycle-accurate co-processor (hw::Coprocessor)
+//     with its circuit-level countermeasures (§6),
+//   * the device RNG: an HMAC-DRBG seeding the §7 projective-coordinate
+//     randomization,
+//   * the insecure zone: controller software doing the key-independent
+//     steps (point validation, y-recovery, zeroization sequencing — §5's
+//     secure/insecure partition),
+// behind a validated point-multiplication API with energy/side-channel
+// telemetry. The countermeasure set is explicit configuration, because
+// the paper's whole argument is that each one is a design *decision* with
+// an area/power/security price.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ecc/curve.h"
+#include "hw/coprocessor.h"
+#include "rng/hmac_drbg.h"
+
+namespace medsec::core {
+
+/// Every countermeasure the paper discusses, one switch each, grouped by
+/// the abstraction level that owns it (the "security pyramid" of §3).
+struct CountermeasureConfig {
+  // Algorithm level (§4).
+  bool constant_time_ladder = true;   ///< MPL with padded scalar (vs D&A)
+  bool randomize_projective = true;   ///< §7 DPA countermeasure
+  // Architecture level (§5).
+  std::size_t digit_size = 4;         ///< the 163x4 MALU choice
+  bool zeroize_after_use = true;      ///< no key-derived residue in regs
+  // Circuit level (§6).
+  hw::SecureConfig circuit;           ///< mux encoding / gating / isolation
+
+  /// The paper's shipped configuration (everything on).
+  static CountermeasureConfig protected_default() { return {}; }
+  /// Everything off: the DPA/SPA-vulnerable strawman the benches attack.
+  static CountermeasureConfig unprotected();
+};
+
+/// One point multiplication's outcome + telemetry.
+struct PointMultOutcome {
+  ecc::Point result;
+  std::size_t cycles = 0;
+  double energy_j = 0.0;
+  double avg_power_w = 0.0;
+  double seconds = 0.0;
+};
+
+class SecureEccProcessor {
+ public:
+  /// `seed` initializes the device DRBG (models the provisioning-time
+  /// entropy; production would reseed from the TRNG).
+  SecureEccProcessor(const ecc::Curve& curve,
+                     const CountermeasureConfig& config,
+                     std::uint64_t seed = 0x5EC0'FFEE);
+
+  const ecc::Curve& curve() const { return *curve_; }
+  const CountermeasureConfig& config() const { return config_; }
+  double area_ge() const { return coproc_.area_ge(); }
+
+  /// Validated k·P. Throws std::invalid_argument if P is not a valid
+  /// prime-order subgroup point (invalid-curve / small-subgroup gate) and
+  /// std::logic_error if the fault canary fires (off-curve result).
+  PointMultOutcome point_mult(const ecc::Scalar& k, const ecc::Point& p);
+
+  /// Telemetry from the last operation (empty if record_cycles is off or
+  /// nothing ran yet) — the hook the side-channel benches instrument.
+  const std::vector<hw::CycleRecord>& last_records() const {
+    return last_records_;
+  }
+
+  /// Direct read of the co-processor register file (white-box evaluation
+  /// and the ISA audit; a fielded chip has no such port).
+  const hw::Coprocessor& coprocessor() const { return coproc_; }
+
+ private:
+  const ecc::Curve* curve_;
+  CountermeasureConfig config_;
+  hw::Coprocessor coproc_;
+  rng::HmacDrbg drbg_;
+  std::vector<hw::CycleRecord> last_records_;
+};
+
+}  // namespace medsec::core

@@ -1,0 +1,111 @@
+#include "ecc/koblitz.h"
+
+#include <stdexcept>
+
+namespace medsec::ecc {
+
+namespace {
+
+/// Minimal signed integer on top of the unsigned Scalar: the tau-adic
+/// expansion walks (a + b*tau) with a, b of either sign but magnitude
+/// bounded by the original scalar, so U192 magnitudes suffice.
+struct Signed {
+  bool neg = false;
+  Scalar mag;
+
+  bool is_zero() const { return mag.is_zero(); }
+  bool is_even() const { return !mag.bit(0); }
+
+  /// Low two bits as a signed residue helper: value mod 4 in [0, 4).
+  unsigned mod4() const {
+    const unsigned m = static_cast<unsigned>(mag.limb(0) & 3u);
+    if (!neg || m == 0) return m;
+    return 4u - m;  // (-mag) mod 4
+  }
+  unsigned mod2() const { return static_cast<unsigned>(mag.limb(0) & 1u); }
+
+  Signed half() const {  // exact division by 2 (precondition: even)
+    return Signed{neg, mag >> 1};
+  }
+  Signed negated() const { return Signed{!neg && !mag.is_zero(), mag}; }
+
+  static Signed add(const Signed& x, const Signed& y) {
+    if (x.neg == y.neg) {
+      Scalar m = x.mag;
+      m.add_in_place(y.mag);
+      return Signed{x.neg && !m.is_zero(), m};
+    }
+    // Opposite signs: subtract smaller magnitude from larger.
+    if (x.mag >= y.mag) {
+      Scalar m = x.mag;
+      m.sub_in_place(y.mag);
+      return Signed{x.neg && !m.is_zero(), m};
+    }
+    Scalar m = y.mag;
+    m.sub_in_place(x.mag);
+    return Signed{y.neg, m};
+  }
+
+  static Signed from_int(int v) {
+    return Signed{v < 0, Scalar{static_cast<std::uint64_t>(v < 0 ? -v : v)}};
+  }
+};
+
+}  // namespace
+
+std::vector<int> tau_naf_digits(const Scalar& k, int mu) {
+  if (mu != 1 && mu != -1)
+    throw std::invalid_argument("tau_naf_digits: mu must be +-1");
+
+  // Walk a + b*tau, emitting the NAF digit and dividing by tau:
+  //   u = 0                      if a even
+  //   u = (a - 2b) mods 4        if a odd   (forces next digit zero)
+  //   a <- a - u;  (a, b) <- (b + mu*(a/2), -(a/2))
+  std::vector<int> out;
+  Signed a{false, k};
+  Signed b;  // 0
+  while (!a.is_zero() || !b.is_zero()) {
+    int u = 0;
+    if (!a.is_even()) {
+      // r = (a - 2b) mod 4, signed NAF digit: +1 if r == 1, -1 if r == 3.
+      const unsigned r =
+          (a.mod4() + 4u - ((2u * b.mod2()) & 3u)) & 3u;
+      u = r == 1 ? 1 : -1;
+      a = Signed::add(a, Signed::from_int(-u));
+    }
+    out.push_back(u);
+    const Signed half = a.half();
+    const Signed new_b = half.negated();
+    a = Signed::add(b, mu == 1 ? half : half.negated());
+    b = new_b;
+  }
+  return out;
+}
+
+Point tau_naf_mult(const Curve& curve, const Scalar& k, const Point& p,
+                   MultStats* stats) {
+  if (p.infinity) return p;
+  const int mu = curve.frobenius_trace_mu();
+  const std::vector<int> digits = tau_naf_digits(k.mod(curve.order()), mu);
+
+  // Horner over tau, most significant digit first:
+  //   Q <- tau(Q); Q <- Q +- P when the digit is nonzero.
+  Point q = Point::at_infinity();
+  const Point neg_p = curve.negate(p);
+  for (std::size_t i = digits.size(); i-- > 0;) {
+    q = curve.frobenius(q);
+    if (stats) ++stats->op_slots;  // Frobenius: 2 squarings, near-free
+    const int d = digits[i];
+    if (d != 0) {
+      q = curve.add(q, d > 0 ? p : neg_p);
+      if (stats) {
+        ++stats->point_adds;
+        ++stats->op_slots;
+      }
+    }
+    if (stats) stats->op_pattern.push_back(d != 0 ? 1 : 0);
+  }
+  return q;
+}
+
+}  // namespace medsec::ecc

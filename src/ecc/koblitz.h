@@ -1,0 +1,49 @@
+// koblitz.h — tau-adic scalar multiplication on Koblitz curves.
+//
+// The paper picks K-163 ("Our ECC chip uses a Koblitz curve") partly for
+// the carry-free field and partly because Koblitz curves admit the
+// cheapest known scalar multiplication: the Frobenius endomorphism
+// tau(x, y) = (x^2, y^2) costs two squarings, and tau satisfies
+//
+//     tau^2 - mu*tau + 2 = 0,      mu = (-1)^(1-a)  (+1 on K-163)
+//
+// so any scalar can be rewritten in base tau and the point multiplication
+// needs NO point doublings at all — only Frobenius maps and additions.
+//
+// This module implements the tau-adic NAF (Solinas' TNAF): digits in
+// {0, +-1}, no two adjacent nonzero. We expand the *integer* scalar
+// directly (no lattice partial reduction), which yields ~2m digits
+// instead of ~m; the add count is what matters for the comparison and it
+// is already ~2m/3 vs double-and-add's m/2 adds PLUS m doublings.
+// Length-m expansions via partial reduction modulo (tau^m - 1)/(tau - 1)
+// are the natural next optimization (Solinas 2000) and are documented as
+// future work in DESIGN.md.
+//
+// The trade-off the paper's chip makes: TNAF beats the ladder on speed
+// but its add positions are key-dependent (SPA!) and it needs the y
+// coordinate — so the constant-schedule x-only ladder wins on the
+// device, and TNAF serves the energy-rich reader side. The benches
+// quantify exactly that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/curve.h"
+#include "ecc/scalar_mult.h"
+
+namespace medsec::ecc {
+
+/// tau-adic NAF digits of k (little-endian, each 0 or +-1, non-adjacent).
+/// mu must be the curve's Frobenius trace sign (Curve::frobenius_trace_mu).
+/// Throws std::invalid_argument for |mu| != 1.
+std::vector<int> tau_naf_digits(const Scalar& k, int mu);
+
+/// k*P via TNAF: Frobenius maps + additions, zero doublings.
+/// Precondition: the curve is Koblitz (a in {0,1}, b = 1); K-163 and the
+/// test curves qualify. The result is cross-checked against the ladder in
+/// tests for random scalars.
+Point tau_naf_mult(const Curve& curve, const Scalar& k, const Point& p,
+                   MultStats* stats = nullptr);
+
+}  // namespace medsec::ecc

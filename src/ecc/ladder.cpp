@@ -1,0 +1,146 @@
+#include "ecc/ladder.h"
+
+#include <stdexcept>
+
+namespace medsec::ecc {
+
+void ladder_add(const Fe& xd, const Fe& x1, const Fe& z1, const Fe& x2,
+                const Fe& z2, Fe& x3, Fe& z3) {
+  const Fe t = Fe::mul(x1, z2);
+  const Fe u = Fe::mul(x2, z1);
+  z3 = Fe::sqr(t + u);
+  x3 = Fe::mul(xd, z3) + Fe::mul(t, u);
+}
+
+void ladder_double(const Fe& b, const Fe& x, const Fe& z, Fe& x3, Fe& z3) {
+  const Fe x2 = Fe::sqr(x);
+  const Fe z2 = Fe::sqr(z);
+  z3 = Fe::mul(x2, z2);
+  x3 = Fe::sqr(x2) + Fe::mul(b, Fe::sqr(z2));
+}
+
+namespace {
+
+Fe nonzero_randomizer(rng::RandomSource& rng) {
+  for (;;) {
+    bigint::U192 v;
+    v.set_limb(0, rng.next_u64());
+    v.set_limb(1, rng.next_u64());
+    v.set_limb(2, rng.next_u64());
+    const Fe fe = Fe::from_bits(v);
+    if (!fe.is_zero()) return fe;
+  }
+}
+
+}  // namespace
+
+Point recover_from_ladder(const Curve& curve, const Point& p, const Fe& x1,
+                          const Fe& z1, const Fe& x2, const Fe& z2) {
+  if (z1.is_zero()) return Point::at_infinity();
+  if (z2.is_zero()) return curve.negate(p);  // kP = -P
+
+  const Fe x = p.x, y = p.y;
+  const Fe xa = Fe::mul(x1, Fe::inv(z1));  // affine x(kP)
+
+  const Fe t2 = x1 + Fe::mul(x, z1);          // X1 + x Z1
+  const Fe t4 = x2 + Fe::mul(x, z2);          // X2 + x Z2
+  const Fe z1z2 = Fe::mul(z1, z2);
+  const Fe num = Fe::mul(t2, t4) + Fe::mul(Fe::sqr(x) + y, z1z2);
+  const Fe den_inv = Fe::inv(Fe::mul(x, z1z2));
+  const Fe ya = Fe::mul(Fe::mul(x + xa, num), den_inv) + y;
+
+  const Point out = Point::affine(xa, ya);
+  // Fault-detection canary (cheap version of the paper's point-validation
+  // practice): the recovered point must satisfy the curve equation.
+  if (!curve.is_on_curve(out))
+    throw std::logic_error("montgomery_ladder: recovered point off-curve");
+  return out;
+}
+
+Scalar constant_length_scalar(const Curve& curve, const Scalar& k0) {
+  Scalar k = k0.mod(curve.order()) + curve.order();
+  if (k.bit_length() == curve.order().bit_length()) k = k + curve.order();
+  return k;
+}
+
+LadderState ladder_initial_state(const Fe& b, const Fe& x) {
+  // lo = P = (x : 1), hi = 2P = (x^4 + b : x^2).
+  return LadderState{x, Fe::one(), Fe::sqr(Fe::sqr(x)) + b, Fe::sqr(x)};
+}
+
+void ladder_iteration(const Fe& b, const Fe& x_base, LadderState& s,
+                      std::uint64_t bit) {
+  // Constant-time role swap: after the swap, (x1, z1) is the accumulator
+  // to double and (x2, z2) receives the differential add.
+  Fe::cswap(bit, s.x1, s.x2);
+  Fe::cswap(bit, s.z1, s.z2);
+
+  Fe xa, za, xd, zd;
+  ladder_add(x_base, s.x1, s.z1, s.x2, s.z2, xa, za);
+  ladder_double(b, s.x1, s.z1, xd, zd);
+  s.x1 = xd;
+  s.z1 = zd;
+  s.x2 = xa;
+  s.z2 = za;
+
+  Fe::cswap(bit, s.x1, s.x2);
+  Fe::cswap(bit, s.z1, s.z2);
+}
+
+Point montgomery_ladder(const Curve& curve, const Scalar& k0, const Point& p,
+                        const LadderOptions& options) {
+  if (p.infinity) return Point::at_infinity();
+  if (p.x.is_zero())
+    throw std::invalid_argument("montgomery_ladder: x(P) = 0 (order-2 point)");
+
+  // Constant-length recoding: k + r (or k + 2r) acts identically on P but
+  // has a fixed, key-independent bit length, so the iteration count is a
+  // curve constant — the paper's timing-attack claim (§7).
+  const Scalar k = constant_length_scalar(curve, k0);
+
+  const Fe x = p.x;
+  const Fe b = curve.b();
+
+  LadderState s = ladder_initial_state(b, x);
+
+  if (options.randomize_z || options.known_randomizers) {
+    Fe l1, l2;
+    if (options.known_randomizers) {
+      l1 = options.known_randomizers->first;
+      l2 = options.known_randomizers->second;
+      if (l1.is_zero() || l2.is_zero())
+        throw std::invalid_argument("montgomery_ladder: zero randomizer");
+    } else {
+      if (options.rng == nullptr)
+        throw std::invalid_argument(
+            "montgomery_ladder: randomize_z requires an RNG");
+      l1 = nonzero_randomizer(*options.rng);
+      l2 = nonzero_randomizer(*options.rng);
+    }
+    s.x1 = Fe::mul(s.x1, l1);
+    s.z1 = Fe::mul(s.z1, l1);
+    s.x2 = Fe::mul(s.x2, l2);
+    s.z2 = Fe::mul(s.z2, l2);
+  }
+
+  const std::size_t t = k.bit_length();  // == order.bit_length() + 1, always
+  for (std::size_t i = t - 1; i-- > 0;) {
+    const std::uint64_t bit = k.bit(i) ? 1 : 0;
+    ladder_iteration(b, x, s, bit);
+
+    if (options.observer) {
+      options.observer(LadderObservation{
+          .bit_index = i,
+          .key_bit = static_cast<int>(bit),
+          .x1 = s.x1,
+          .z1 = s.z1,
+          .x2 = s.x2,
+          .z2 = s.z2,
+      });
+    }
+  }
+
+  return recover_from_ladder(curve, p, s.x1, s.z1, s.x2, s.z2);
+}
+
+}  // namespace medsec::ecc

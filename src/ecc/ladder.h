@@ -1,0 +1,103 @@
+// ladder.h — Montgomery powering ladder for binary curves (López–Dahab
+// x-only formulas), the paper's Algorithm 1.
+//
+// The paper (§4) chooses MPL because it (a) runs in a fixed number of
+// iterations regardless of the key, defeating timing analysis and SPA,
+// (b) needs only the x coordinate — six 163-bit registers for the whole
+// point multiplication — and (c) composes with randomized projective
+// coordinates ("R ← (xr, r)") to defeat DPA.
+//
+// This file is the *algorithmic* model; the cycle-accurate version the
+// side-channel experiments drive lives in hw/coprocessor.h and executes the
+// same formulas from microcode, cross-checked against this one.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "ecc/curve.h"
+#include "rng/random_source.h"
+
+namespace medsec::ecc {
+
+/// Snapshot of the ladder state after one iteration, delivered to an
+/// observer. This is what the (modeled) adversary's probe sees of the
+/// internal data flow; the trace simulator leaks Hamming distances of
+/// these register updates.
+struct LadderObservation {
+  std::size_t bit_index;  ///< which key bit was just processed
+  int key_bit;            ///< its value
+  Fe x1, z1;              ///< "low" accumulator (k_high · P)
+  Fe x2, z2;              ///< "high" accumulator ((k_high + 1) · P)
+};
+
+using LadderObserver = std::function<void(const LadderObservation&)>;
+
+struct LadderOptions {
+  /// Randomized projective coordinates (the paper's DPA countermeasure).
+  bool randomize_z = false;
+  /// Entropy for the randomization; required when randomize_z is set.
+  rng::RandomSource* rng = nullptr;
+  /// Per-iteration observer (side-channel instrumentation hook).
+  LadderObserver observer;
+  /// White-box evaluation: if set, the Z-randomizers are taken from this
+  /// fixed list instead of the RNG ("the countermeasure is enabled, but the
+  /// randomness is known" scenario of §7). Two nonzero field elements.
+  std::optional<std::pair<Fe, Fe>> known_randomizers;
+};
+
+/// x-only differential addition: returns (X3, Z3) with
+/// Z3 = (X1 Z2 + X2 Z1)^2, X3 = x_diff * Z3 + (X1 Z2)(X2 Z1).
+void ladder_add(const Fe& xd, const Fe& x1, const Fe& z1, const Fe& x2,
+                const Fe& z2, Fe& x3, Fe& z3);
+
+/// x-only doubling: X3 = X^4 + b Z^4, Z3 = X^2 Z^2.
+void ladder_double(const Fe& b, const Fe& x, const Fe& z, Fe& x3, Fe& z3);
+
+/// The ladder's working state: (x1 : z1) = k_high·P, (x2 : z2) = (k_high+1)·P.
+struct LadderState {
+  Fe x1, z1, x2, z2;
+};
+
+/// Unrandomized initial state for base-point x (projective 1-coordinates).
+LadderState ladder_initial_state(const Fe& b, const Fe& x);
+
+/// One ladder iteration for key bit `bit` (cswap / add+double / cswap).
+/// This exact function is shared by the victim (montgomery_ladder) and by
+/// the modeled DPA adversary's hypothesis engine, so predictions and
+/// reality can never drift apart by implementation detail.
+void ladder_iteration(const Fe& b, const Fe& x_base, LadderState& s,
+                      std::uint64_t bit);
+
+/// Montgomery-ladder scalar multiplication with y-recovery.
+/// Handles k >= order by reduction; returns infinity for k == 0 (mod n).
+/// Precondition: p is an affine point on the curve with x != 0 (points of
+/// order 2 are rejected by validate_subgroup_point upstream).
+Point montgomery_ladder(const Curve& curve, const Scalar& k, const Point& p,
+                        const LadderOptions& options = {});
+
+/// y-recovery after an x-only ladder (López–Dahab): from the affine input
+/// point P and the two projective accumulators (X1 : Z1) = kP and
+/// (X2 : Z2) = (k+1)P, reconstruct affine kP. This is the key-independent
+/// "insecure zone" step the controller runs on the co-processor's outputs
+/// (§5's secure/insecure partition). Throws std::logic_error if the
+/// recovered point is off-curve (fault-detection canary).
+Point recover_from_ladder(const Curve& curve, const Point& p, const Fe& x1,
+                          const Fe& z1, const Fe& x2, const Fe& z2);
+
+/// Pad a scalar to a fixed bit length of order.bit_length() + 1 by adding
+/// the group order once or twice: k and the result act identically on any
+/// point of that order, but the bit length (and hence the ladder's
+/// iteration count) becomes a key-independent curve constant.
+Scalar constant_length_scalar(const Curve& curve, const Scalar& k);
+
+/// Field-operation budget of one ladder iteration (used by the
+/// architecture-level model to build the microcode schedule):
+/// 6 multiplications, 5 squarings, 3 additions.
+struct LadderIterationCost {
+  static constexpr int kMultiplications = 6;
+  static constexpr int kSquarings = 5;
+  static constexpr int kAdditions = 3;
+};
+
+}  // namespace medsec::ecc

@@ -1,0 +1,129 @@
+#include "ecc/scalar_mult.h"
+
+#include "ecc/koblitz.h"
+
+#include <stdexcept>
+
+namespace medsec::ecc {
+
+namespace {
+
+Point double_and_add(const Curve& curve, const Scalar& k, const Point& p,
+                     MultStats* stats) {
+  Point acc = Point::at_infinity();
+  for (std::size_t i = k.bit_length(); i-- > 0;) {
+    acc = curve.dbl(acc);
+    if (stats) {
+      ++stats->point_doubles;
+      ++stats->op_slots;
+    }
+    const bool bit = k.bit(i);
+    if (bit) {
+      acc = curve.add(acc, p);
+      if (stats) {
+        ++stats->point_adds;
+        ++stats->op_slots;
+      }
+    }
+    if (stats) stats->op_pattern.push_back(bit ? 1 : 0);
+  }
+  return acc;
+}
+
+Point wnaf_mult(const Curve& curve, const Scalar& k, const Point& p,
+                unsigned width, MultStats* stats) {
+  const std::vector<int> digits = wnaf_digits(k, width);
+  // Precompute odd multiples P, 3P, ..., (2^(w-1)-1)P.
+  std::vector<Point> odd(std::size_t{1} << (width - 2));
+  odd[0] = p;
+  const Point p2 = curve.dbl(p);
+  for (std::size_t i = 1; i < odd.size(); ++i)
+    odd[i] = curve.add(odd[i - 1], p2);
+
+  Point acc = Point::at_infinity();
+  for (std::size_t i = digits.size(); i-- > 0;) {
+    acc = curve.dbl(acc);
+    if (stats) {
+      ++stats->point_doubles;
+      ++stats->op_slots;
+    }
+    const int d = digits[i];
+    if (d != 0) {
+      const Point& m = odd[static_cast<std::size_t>((d > 0 ? d : -d) / 2)];
+      acc = curve.add(acc, d > 0 ? m : curve.negate(m));
+      if (stats) {
+        ++stats->point_adds;
+        ++stats->op_slots;
+      }
+    }
+    if (stats) stats->op_pattern.push_back(d != 0 ? 1 : 0);
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::vector<int> wnaf_digits(const Scalar& k0, unsigned width) {
+  if (width < 2 || width > 8)
+    throw std::invalid_argument("wnaf_digits: width must be in [2, 8]");
+  std::vector<int> out;
+  Scalar k = k0;
+  const std::uint64_t modulus = 1ull << width;       // 2^w
+  const std::int64_t half = 1ll << (width - 1);      // 2^(w-1)
+  while (!k.is_zero()) {
+    int digit = 0;
+    if (k.bit(0)) {
+      // k mods 2^w: the signed residue in (-2^(w-1), 2^(w-1)].
+      const std::int64_t r =
+          static_cast<std::int64_t>(k.limb(0) & (modulus - 1));
+      digit = static_cast<int>(r >= half ? r - static_cast<std::int64_t>(modulus) : r);
+      if (digit > 0) {
+        k.sub_in_place(Scalar{static_cast<std::uint64_t>(digit)});
+      } else {
+        k.add_in_place(Scalar{static_cast<std::uint64_t>(-digit)});
+      }
+    }
+    out.push_back(digit);
+    k = k >> 1;
+  }
+  return out;
+}
+
+Point scalar_mult(const Curve& curve, const Scalar& k, const Point& p,
+                  const MultOptions& options) {
+  switch (options.algorithm) {
+    case MultAlgorithm::kDoubleAndAdd:
+      return double_and_add(curve, k.mod(curve.order()), p, options.stats);
+
+    case MultAlgorithm::kWnaf:
+      return wnaf_mult(curve, k.mod(curve.order()), p, /*width=*/4,
+                       options.stats);
+
+    case MultAlgorithm::kTauNaf:
+      return tau_naf_mult(curve, k, p, options.stats);
+
+    case MultAlgorithm::kMontgomeryLadder:
+    case MultAlgorithm::kLadderRpc: {
+      const bool rpc = options.algorithm == MultAlgorithm::kLadderRpc;
+      if (rpc && options.rng == nullptr)
+        throw std::invalid_argument("scalar_mult: kLadderRpc requires an RNG");
+      LadderOptions lo;
+      lo.randomize_z = rpc;
+      lo.rng = options.rng;
+      lo.observer = options.observer;
+      if (options.stats != nullptr) {
+        // The ladder pads the scalar to a fixed order.bit_length()+1 bits
+        // (see ladder.cpp), so the iteration count is a curve constant:
+        // the schedule depends on nothing the adversary doesn't know.
+        const std::size_t iters = curve.order().bit_length();
+        options.stats->ladder_iterations = iters;
+        options.stats->op_slots = iters;
+        options.stats->op_pattern.assign(iters, 2);  // uniform schedule
+      }
+      return montgomery_ladder(curve, k, p, lo);
+    }
+  }
+  throw std::logic_error("scalar_mult: unknown algorithm");
+}
+
+}  // namespace medsec::ecc

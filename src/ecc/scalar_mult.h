@@ -1,0 +1,60 @@
+// scalar_mult.h — scalar multiplication with selectable algorithm and
+// instrumentation.
+//
+// The paper's design story needs a *leaky baseline* next to the protected
+// ladder: the classic double-and-add executes a point addition only for
+// key bits that are 1, so both its running time (timing attack, §7) and its
+// operation sequence (SPA) are key-dependent. kMontgomeryLadder fixes the
+// operation schedule; kLadderRpc adds the DPA countermeasure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/curve.h"
+#include "ecc/ladder.h"
+
+namespace medsec::ecc {
+
+enum class MultAlgorithm {
+  kDoubleAndAdd,      ///< unprotected baseline (timing + SPA leaky)
+  kWnaf,              ///< width-4 NAF: faster than D&A, still SPA-leaky
+  kTauNaf,            ///< Frobenius-based (Koblitz only): no doublings
+  kMontgomeryLadder,  ///< constant operation schedule
+  kLadderRpc,         ///< ladder + randomized projective coordinates
+};
+
+/// Per-execution instrumentation filled in by scalar_mult.
+struct MultStats {
+  std::size_t point_doubles = 0;
+  std::size_t point_adds = 0;
+  std::size_t ladder_iterations = 0;
+  /// Abstract "operation slots": the architecture-level proxy for runtime.
+  /// For double-and-add each double/add is one slot; for the ladder each
+  /// iteration is one fixed-size slot.
+  std::size_t op_slots = 0;
+  /// Sequence of operations as executed (1 = add performed after double),
+  /// the SPA-visible schedule for double-and-add.
+  std::vector<std::uint8_t> op_pattern;
+};
+
+struct MultOptions {
+  MultAlgorithm algorithm = MultAlgorithm::kMontgomeryLadder;
+  rng::RandomSource* rng = nullptr;  ///< required for kLadderRpc
+  LadderObserver observer;           ///< ladder side-channel hook
+  MultStats* stats = nullptr;        ///< optional instrumentation sink
+};
+
+/// Compute k·P with the selected algorithm. Validates nothing: callers at
+/// trust boundaries must run Curve::validate_subgroup_point first.
+Point scalar_mult(const Curve& curve, const Scalar& k, const Point& p,
+                  const MultOptions& options = {});
+
+/// Width-w non-adjacent form of k: digits are zero or odd in
+/// (-2^(w-1), 2^(w-1)), no two consecutive digits nonzero. Returned
+/// little-endian (digit 0 = least significant). Exposed for tests and the
+/// SPA discussion: the *positions* of nonzero digits are key-dependent,
+/// which is exactly why the ladder wins on the device.
+std::vector<int> wnaf_digits(const Scalar& k, unsigned width);
+
+}  // namespace medsec::ecc

@@ -1,0 +1,185 @@
+#include "gf2m/gf2_poly.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace medsec::gf2m {
+
+void Gf2Poly::trim() {
+  while (!word_.empty() && word_.back() == 0) word_.pop_back();
+}
+
+Gf2Poly Gf2Poly::from_exponents(const std::vector<unsigned>& exps) {
+  Gf2Poly p;
+  for (unsigned e : exps) p.set_bit(e);
+  return p;
+}
+
+Gf2Poly Gf2Poly::from_hex(const std::string& hex) {
+  Gf2Poly p;
+  std::size_t nibble = 0;
+  for (std::size_t i = hex.size(); i-- > 0;) {
+    const char c = hex[i];
+    unsigned v = 0;
+    if (c >= '0' && c <= '9') v = static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f') v = static_cast<unsigned>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') v = static_cast<unsigned>(c - 'A' + 10);
+    else throw std::invalid_argument("Gf2Poly::from_hex: bad digit");
+    for (unsigned b = 0; b < 4; ++b) {
+      if ((v >> b) & 1u) p.set_bit(nibble * 4 + b);
+    }
+    ++nibble;
+  }
+  return p;
+}
+
+std::string Gf2Poly::to_hex() const {
+  if (word_.empty()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string s;
+  bool seen = false;
+  for (std::size_t i = word_.size(); i-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      const unsigned d = static_cast<unsigned>((word_[i] >> shift) & 0xF);
+      if (d != 0) seen = true;
+      if (seen) s.push_back(kDigits[d]);
+    }
+  }
+  return seen ? s : "0";
+}
+
+int Gf2Poly::degree() const {
+  if (word_.empty()) return -1;
+  const std::uint64_t top = word_.back();
+  int b = 63;
+  while (((top >> b) & 1u) == 0) --b;
+  return static_cast<int>((word_.size() - 1) * 64) + b;
+}
+
+bool Gf2Poly::bit(std::size_t i) const {
+  const std::size_t w = i / 64;
+  return w < word_.size() && ((word_[w] >> (i % 64)) & 1u) != 0;
+}
+
+void Gf2Poly::set_bit(std::size_t i) {
+  const std::size_t w = i / 64;
+  if (w >= word_.size()) word_.resize(w + 1, 0);
+  word_[w] |= std::uint64_t{1} << (i % 64);
+}
+
+Gf2Poly operator+(const Gf2Poly& a, const Gf2Poly& b) {
+  Gf2Poly out;
+  out.word_.resize(std::max(a.word_.size(), b.word_.size()), 0);
+  for (std::size_t i = 0; i < out.word_.size(); ++i)
+    out.word_[i] = a.word(i) ^ b.word(i);
+  out.trim();
+  return out;
+}
+
+Gf2Poly Gf2Poly::shifted_left(std::size_t n) const {
+  if (word_.empty()) return {};
+  Gf2Poly out;
+  const std::size_t ws = n / 64, bs = n % 64;
+  out.word_.assign(word_.size() + ws + 1, 0);
+  for (std::size_t i = 0; i < word_.size(); ++i) {
+    out.word_[i + ws] ^= word_[i] << bs;
+    if (bs != 0) out.word_[i + ws + 1] ^= word_[i] >> (64 - bs);
+  }
+  out.trim();
+  return out;
+}
+
+Gf2Poly operator*(const Gf2Poly& a, const Gf2Poly& b) {
+  if (a.is_zero() || b.is_zero()) return {};
+  Gf2Poly out;
+  out.word_.assign(a.word_.size() + b.word_.size(), 0);
+  for (std::size_t i = 0; i < a.word_.size(); ++i) {
+    for (int bitpos = 0; bitpos < 64; ++bitpos) {
+      if ((a.word_[i] >> bitpos) & 1u) {
+        // XOR in b << (64*i + bitpos), word by word.
+        for (std::size_t j = 0; j < b.word_.size(); ++j) {
+          out.word_[i + j] ^= b.word_[j] << bitpos;
+          if (bitpos != 0)
+            out.word_[i + j + 1] ^= b.word_[j] >> (64 - bitpos);
+        }
+      }
+    }
+  }
+  out.trim();
+  return out;
+}
+
+Gf2Poly Gf2Poly::mod(Gf2Poly a, const Gf2Poly& m) {
+  if (m.is_zero()) throw std::invalid_argument("Gf2Poly::mod: zero modulus");
+  const int dm = m.degree();
+  int da = a.degree();
+  while (da >= dm) {
+    a = a + m.shifted_left(static_cast<std::size_t>(da - dm));
+    da = a.degree();
+  }
+  return a;
+}
+
+Gf2Poly Gf2Poly::mulmod(const Gf2Poly& a, const Gf2Poly& b, const Gf2Poly& m) {
+  return mod(a * b, m);
+}
+
+Gf2Poly Gf2Poly::gcd(Gf2Poly a, Gf2Poly b) {
+  while (!b.is_zero()) {
+    Gf2Poly r = mod(a, b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+Gf2Poly Gf2Poly::invmod(const Gf2Poly& a0, const Gf2Poly& m) {
+  // Extended Euclid over GF(2)[x].
+  Gf2Poly a = mod(a0, m);
+  if (a.is_zero()) throw std::invalid_argument("Gf2Poly::invmod: zero");
+  Gf2Poly u = a, v = m;
+  Gf2Poly g1(1), g2;  // g1*a == u (mod m), g2*a == v (mod m)
+  while (u.degree() > 0) {
+    int j = u.degree() - v.degree();
+    if (j < 0) {
+      std::swap(u, v);
+      std::swap(g1, g2);
+      j = -j;
+    }
+    u = u + v.shifted_left(static_cast<std::size_t>(j));
+    g1 = g1 + g2.shifted_left(static_cast<std::size_t>(j));
+  }
+  if (u.is_zero())
+    throw std::invalid_argument("Gf2Poly::invmod: not invertible");
+  return mod(g1, m);
+}
+
+bool Gf2Poly::is_irreducible(const Gf2Poly& f) {
+  // f (degree m) is irreducible iff x^(2^m) == x (mod f) and
+  // gcd(x^(2^(m/p)) - x, f) == 1 for every prime p | m.
+  const int m = f.degree();
+  if (m <= 0) return false;
+  const Gf2Poly x = Gf2Poly::from_exponents({1});
+  auto frobenius = [&f](Gf2Poly t, int times) {
+    for (int i = 0; i < times; ++i) t = mulmod(t, t, f);
+    return t;
+  };
+  // Collect prime divisors of m.
+  std::vector<int> primes;
+  int n = m;
+  for (int p = 2; p * p <= n; ++p) {
+    if (n % p == 0) {
+      primes.push_back(p);
+      while (n % p == 0) n /= p;
+    }
+  }
+  if (n > 1) primes.push_back(n);
+  for (int p : primes) {
+    Gf2Poly t = frobenius(x, m / p);
+    const Gf2Poly g = gcd(t + x, f);
+    if (g.degree() != 0) return false;
+  }
+  return frobenius(x, m) == mod(x, f);
+}
+
+}  // namespace medsec::gf2m

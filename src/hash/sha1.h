@@ -1,0 +1,47 @@
+// sha1.h — SHA-1 (FIPS 180-4).
+//
+// The paper cites O'Neill's 5 527-GE SHA-1 as the benchmark "small hash" to
+// argue hashes are not free in lightweight protocols (§4). We implement the
+// function itself so protocol-layer constructions (and the gate-count model
+// in hw/) refer to real, tested code. SHA-1 is used here for protocol
+// transcript binding in a 2013-era design reproduction — not as a modern
+// collision-resistant hash.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace medsec::hash {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest digest(std::span<const std::uint8_t> data) {
+    Sha1 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace medsec::hash

@@ -1,0 +1,39 @@
+// sha256.h — SHA-256 (FIPS 180-4). Backs the HMAC-DRBG in rng/ and HKDF key
+// derivation in the protocol layer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace medsec::hash {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  Digest finish();
+
+  static Digest digest(std::span<const std::uint8_t> data) {
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace medsec::hash

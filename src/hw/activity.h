@@ -1,0 +1,42 @@
+// activity.h — how raw switching events convert to gate-equivalent toggles.
+//
+// The power model is two-level: bit-exact structural simulation produces
+// *events* (register-bit flips, combinational node flips), and these
+// weights convert events to NAND2-equivalent toggle counts. The weights
+// bundle fanout, wire load and clock tree — the things a gate-level model
+// cannot see — and are the second half of the calibration (the first being
+// Technology::energy_per_ge_toggle_j). They are chosen once so the d = 4
+// co-processor reproduces the paper's 50.4 µW / 5.1 µJ operating point and
+// are never tuned per-experiment.
+#pragma once
+
+#include <cstddef>
+
+namespace medsec::hw {
+
+struct ActivityWeights {
+  /// GE-toggles per register bit flip (FF internals + Q fanout + wiring).
+  static constexpr double kRegisterBit = 8.0;
+  /// GE-toggles per combinational node event (gate + local wire).
+  static constexpr double kLogicNode = 3.0;
+  /// Clock tree: a fixed sequencer part plus a part proportional to the
+  /// design's area (every FF clock pin and its buffers fire each cycle).
+  /// Paid every cycle regardless of data — the "constant floor" of the
+  /// power trace.
+  static constexpr double kClockBase = 400.0;
+  static constexpr double kClockPerGeArea = 0.145;
+
+  static constexpr double clock_tree_per_cycle(double area_ge) {
+    return kClockBase + kClockPerGeArea * area_ge;
+  }
+
+  /// Glitch growth with combinational depth: each extra partial-product
+  /// row of the digit-serial multiplier deepens the XOR tree and lets
+  /// spurious transitions multiply (§6 "avoid glitches"). First-order
+  /// linear-in-d model.
+  static constexpr double glitch_factor(std::size_t digit_size) {
+    return 1.0 + 0.15 * (static_cast<double>(digit_size) - 1.0);
+  }
+};
+
+}  // namespace medsec::hw

@@ -1,0 +1,394 @@
+#include "hw/coprocessor.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "hw/activity.h"
+
+namespace medsec::hw {
+
+namespace {
+
+using gf2m::Gf163;
+
+int popcount(const Gf163& v) {
+  return std::popcount(v.limb(0)) + std::popcount(v.limb(1)) +
+         std::popcount(v.limb(2));
+}
+
+int hamming_distance(const Gf163& a, const Gf163& b) { return popcount(a + b); }
+
+/// Fanout of the ladder routing select network: the paper counts 164
+/// multiplexers driven by these control signals (§6).
+constexpr int kMuxFanout = 164;
+
+/// Decode/issue network toggles per instruction issue (opcode + register
+/// addresses changing in the sequencer) — small, data-independent.
+constexpr int kIssueToggles = 24;
+
+}  // namespace
+
+const char* reg_name(Reg r) {
+  switch (r) {
+    case Reg::kX1: return "X1";
+    case Reg::kZ1: return "Z1";
+    case Reg::kX2: return "X2";
+    case Reg::kZ2: return "Z2";
+    case Reg::kT: return "T";
+    case Reg::kXP: return "XP";
+  }
+  return "?";
+}
+
+Coprocessor::Coprocessor(const CoprocessorConfig& config)
+    : config_(config),
+      malu_(config.digit_size),
+      area_ge_(ecc_coprocessor_ge(Gf163::kBits, config.digit_size)) {}
+
+std::size_t Coprocessor::latency(Op op) const {
+  switch (op) {
+    case Op::kMul:
+    case Op::kSqr:
+      // issue + 2 operand loads + pipeline fill/drain + writeback.
+      return malu_.cycles_per_mult() + 6;
+    case Op::kAdd:
+      return 3;  // issue + XOR array + writeback
+    case Op::kMov:
+    case Op::kLdi:
+      return 2;  // issue + writeback
+    case Op::kSelSet:
+      return 1;
+  }
+  return 1;
+}
+
+const Gf163& Coprocessor::reg(Reg r) const {
+  return regs_[static_cast<std::size_t>(r)];
+}
+
+void Coprocessor::set_reg(Reg r, const Gf163& v) {
+  regs_[static_cast<std::size_t>(r)] = v;
+}
+
+void Coprocessor::emit_cycles(std::size_t n, const CycleRecord& proto,
+                              ExecResult& out) {
+  // Convert one prototype record into n identical accounting cycles is
+  // wrong for energy (events happen once) — so the caller always passes
+  // n == 1 for event-carrying cycles and uses this helper only for
+  // filler cycles. Kept as a seam for clarity.
+  for (std::size_t i = 0; i < n; ++i) {
+    out.cycles += 1;
+    CycleRecord rec = proto;
+    rec.key_bit = current_key_bit_;
+    rec.iteration = current_iteration_;
+    if (config_.secure.uniform_clock_gating) rec.clocked_reg_mask = 0x3F;
+    const double ge =
+        ActivityWeights::kRegisterBit * rec.reg_write_toggles +
+        ActivityWeights::kLogicNode * (rec.logic_toggles + rec.bus_toggles +
+                                       rec.mux_control_toggles) +
+        ActivityWeights::clock_tree_per_cycle(area_ge_) *
+            (std::popcount(rec.clocked_reg_mask) / 6.0);
+    out.ge_toggles += ge;
+    if (config_.record_cycles) out.records.push_back(rec);
+  }
+}
+
+void Coprocessor::run_instruction(const Instruction& ins, ExecResult& out) {
+  const bool isolated = config_.secure.isolate_datapath_inputs;
+
+  auto fetch_cycle = [&](const Gf163& operand, Gf163& bus) {
+    CycleRecord rec;
+    rec.op = ins.op;
+    rec.bus_toggles =
+        static_cast<std::uint16_t>(hamming_distance(bus, operand));
+    // Without input isolation the new bus value ripples into every unit
+    // hanging off the bus, not just the active one: data-correlated
+    // spurious switching (§6 "isolate the inputs to the data-paths").
+    if (!isolated)
+      rec.logic_toggles = static_cast<std::uint16_t>(2 * rec.bus_toggles);
+    bus = operand;
+    emit_cycles(1, rec, out);
+  };
+
+  auto writeback_cycle = [&](Reg rd, const Gf163& value,
+                             std::uint16_t extra_logic = 0) {
+    CycleRecord rec;
+    rec.op = ins.op;
+    Gf163& dst = regs_[static_cast<std::size_t>(rd)];
+    rec.reg_write_toggles =
+        static_cast<std::uint16_t>(hamming_distance(dst, value));
+    rec.logic_toggles = extra_logic;
+    if (!isolated)
+      rec.logic_toggles = static_cast<std::uint16_t>(
+          rec.logic_toggles + 2 * rec.reg_write_toggles);
+    if (!config_.secure.uniform_clock_gating)
+      rec.clocked_reg_mask =
+          static_cast<std::uint8_t>(1u << static_cast<unsigned>(rd));
+    dst = value;
+    emit_cycles(1, rec, out);
+  };
+
+  auto issue_cycle = [&] {
+    CycleRecord rec;
+    rec.op = ins.op;
+    rec.mux_control_toggles = kIssueToggles;
+    emit_cycles(1, rec, out);
+  };
+
+  switch (ins.op) {
+    case Op::kMul:
+    case Op::kSqr: {
+      const Gf163 a = reg(ins.ra);
+      const Gf163 b = ins.op == Op::kSqr ? a : reg(ins.rb);
+      issue_cycle();
+      fetch_cycle(a, bus_a_);
+      fetch_cycle(b, bus_b_);
+      const MaluResult mr = malu_.multiply(a, b);
+      for (const MaluCycle& mc : mr.activity) {
+        CycleRecord rec;
+        rec.op = ins.op;
+        rec.reg_write_toggles = static_cast<std::uint16_t>(mc.acc_toggles);
+        rec.logic_toggles = static_cast<std::uint16_t>(mc.logic_toggles);
+        if (!config_.secure.uniform_clock_gating) rec.clocked_reg_mask = 0;
+        emit_cycles(1, rec, out);
+      }
+      // Pipeline fill/drain: two light cycles.
+      emit_cycles(2, CycleRecord{.op = ins.op}, out);
+      writeback_cycle(ins.rd, mr.product);
+      break;
+    }
+    case Op::kAdd: {
+      const Gf163 a = reg(ins.ra);
+      const Gf163 b = reg(ins.rb);
+      issue_cycle();
+      fetch_cycle(a, bus_a_);
+      const Gf163 r = a + b;
+      writeback_cycle(ins.rd, r,
+                      static_cast<std::uint16_t>(popcount(r)));
+      break;
+    }
+    case Op::kMov: {
+      issue_cycle();
+      writeback_cycle(ins.rd, reg(ins.ra));
+      break;
+    }
+    case Op::kLdi: {
+      issue_cycle();
+      writeback_cycle(ins.rd, ins.imm);
+      break;
+    }
+    case Op::kSelSet: {
+      CycleRecord rec;
+      rec.op = ins.op;
+      if (config_.secure.balanced_mux_encoding) {
+        // Dual-rail (s, s_bar) encoding: every update toggles exactly one
+        // of the two rails across the whole 164-mux fanout — constant
+        // Hamming difference (Figure 3).
+        rec.mux_control_toggles = kMuxFanout;
+      } else {
+        // Single-rail: the net only toggles when the select changes —
+        // i.e. when consecutive key bits differ. SPA-visible.
+        rec.mux_control_toggles =
+            ins.select != select_ ? static_cast<std::uint16_t>(kMuxFanout)
+                                  : std::uint16_t{0};
+      }
+      select_ = ins.select;
+      emit_cycles(1, rec, out);
+      break;
+    }
+  }
+}
+
+ExecResult Coprocessor::execute(const std::vector<Instruction>& program) {
+  ExecResult out;
+  for (const Instruction& ins : program) run_instruction(ins, out);
+  return out;
+}
+
+namespace microcode {
+
+namespace {
+Instruction mul(Reg rd, Reg ra, Reg rb) {
+  return Instruction{Op::kMul, rd, ra, rb, {}, 0};
+}
+Instruction sqr(Reg rd, Reg ra) {
+  return Instruction{Op::kSqr, rd, ra, ra, {}, 0};
+}
+Instruction add(Reg rd, Reg ra, Reg rb) {
+  return Instruction{Op::kAdd, rd, ra, rb, {}, 0};
+}
+Instruction mov(Reg rd, Reg ra) {
+  return Instruction{Op::kMov, rd, ra, ra, {}, 0};
+}
+Instruction ldi(Reg rd, const Gf163& v) {
+  return Instruction{Op::kLdi, rd, rd, rd, v, 0};
+}
+Instruction selset(int s) {
+  return Instruction{Op::kSelSet, Reg::kT, Reg::kT, Reg::kT, {}, s};
+}
+}  // namespace
+
+std::vector<Instruction> ladder_step(int bit) {
+  // Routing: A = the pair that is doubled, B = the pair that receives the
+  // differential addition. For bit == 1 the roles of the physical register
+  // pairs are exchanged — by the mux network, not by moving data.
+  const Reg xa = bit ? Reg::kX2 : Reg::kX1;
+  const Reg za = bit ? Reg::kZ2 : Reg::kZ1;
+  const Reg xb = bit ? Reg::kX1 : Reg::kX2;
+  const Reg zb = bit ? Reg::kZ1 : Reg::kZ2;
+  const Reg t = Reg::kT, xp = Reg::kXP;
+  return {
+      selset(bit),
+      // differential addition into B (LD x-only formulas):
+      mul(t, xa, zb),    // T  = XA·ZB
+      mul(xb, xb, za),   // XB = XB·ZA
+      add(zb, t, xb),    // ZB = XA·ZB + XB·ZA
+      sqr(zb, zb),       // ZB' = (XA·ZB + XB·ZA)^2
+      mul(xb, xb, t),    // XB = (XA·ZB)(XB·ZA)
+      mul(t, xp, zb),    // T  = x · ZB'
+      add(xb, xb, t),    // XB' = x·ZB' + (XA·ZB)(XB·ZA)
+      // doubling of A in place (b = 1 on K-163: X' = X^4 + Z^4):
+      sqr(xa, xa),       // XA^2
+      sqr(za, za),       // ZA^2
+      mul(t, xa, za),    // T  = XA^2·ZA^2 = ZA'
+      sqr(xa, xa),       // XA^4
+      sqr(za, za),       // ZA^4
+      add(xa, xa, za),   // XA' = XA^4 + ZA^4
+      mov(za, t),        // ZA' <- T
+  };
+}
+
+std::vector<Instruction> ladder_init(
+    const std::optional<std::pair<Gf163, Gf163>>& randomizers) {
+  std::vector<Instruction> p;
+  // X2 = x^4 + 1, Z2 = x^2 (b = 1).
+  p.push_back(sqr(Reg::kZ2, Reg::kXP));
+  p.push_back(sqr(Reg::kX2, Reg::kZ2));
+  p.push_back(ldi(Reg::kT, Gf163::one()));
+  p.push_back(add(Reg::kX2, Reg::kX2, Reg::kT));
+  if (randomizers) {
+    // §7: "the chip randomizes the internal points representation by using
+    // a random Z coordinate in each execution."
+    p.push_back(ldi(Reg::kT, randomizers->first));
+    p.push_back(mul(Reg::kX1, Reg::kXP, Reg::kT));  // X1 = x·l1
+    p.push_back(mov(Reg::kZ1, Reg::kT));            // Z1 = l1
+    p.push_back(ldi(Reg::kT, randomizers->second));
+    p.push_back(mul(Reg::kX2, Reg::kX2, Reg::kT));
+    p.push_back(mul(Reg::kZ2, Reg::kZ2, Reg::kT));
+  } else {
+    p.push_back(mov(Reg::kX1, Reg::kXP));  // X1 = x, Z1 = 1
+    p.push_back(ldi(Reg::kZ1, Gf163::one()));
+  }
+  return p;
+}
+
+std::vector<Instruction> affine_conversion() {
+  // Itoh–Tsujii inversion of Z1 (addition chain 1,2,4,5,10,20,40,80,81,162:
+  // 9 MUL + 162 SQR), then X1 <- X1 · Z1^{-1}.
+  // beta_1 lives in X2; the accumulator in Z2; T saves the pre-squaring
+  // value for self-referential chain steps.
+  std::vector<Instruction> p;
+  const Reg b1 = Reg::kX2, acc = Reg::kZ2, t = Reg::kT;
+  p.push_back(mov(b1, Reg::kZ1));
+  p.push_back(mov(acc, Reg::kZ1));
+  auto self_step = [&](unsigned n) {
+    p.push_back(mov(t, acc));
+    for (unsigned i = 0; i < n; ++i) p.push_back(sqr(acc, acc));
+    p.push_back(mul(acc, acc, t));
+  };
+  auto b1_step = [&](unsigned n) {
+    for (unsigned i = 0; i < n; ++i) p.push_back(sqr(acc, acc));
+    p.push_back(mul(acc, acc, b1));
+  };
+  self_step(1);   // beta_2
+  self_step(2);   // beta_4
+  b1_step(1);     // beta_5
+  self_step(5);   // beta_10
+  self_step(10);  // beta_20
+  self_step(20);  // beta_40
+  self_step(40);  // beta_80
+  b1_step(1);     // beta_81
+  self_step(81);  // beta_162
+  p.push_back(sqr(acc, acc));             // Z1^{-1} = beta_162^2
+  p.push_back(mul(Reg::kX1, Reg::kX1, acc));
+  return p;
+}
+
+std::vector<Instruction> zeroize(bool keep_result) {
+  std::vector<Instruction> p;
+  for (const Reg r : {Reg::kX1, Reg::kZ1, Reg::kX2, Reg::kZ2, Reg::kT,
+                      Reg::kXP}) {
+    if (keep_result && r == Reg::kX1) continue;
+    p.push_back(ldi(r, Gf163::zero()));
+  }
+  return p;
+}
+
+}  // namespace microcode
+
+PointMultResult Coprocessor::point_mult(const std::vector<int>& key_bits,
+                                        const gf2m::Gf163& x,
+                                        const PointMultOptions& options) {
+  if (key_bits.size() < 2 || key_bits.front() != 1)
+    throw std::invalid_argument(
+        "Coprocessor::point_mult: key_bits must be a padded scalar with a "
+        "leading 1 (see ecc::constant_length_scalar)");
+  if (x.is_zero())
+    throw std::invalid_argument("Coprocessor::point_mult: x(P) = 0");
+  if (options.z_randomizers &&
+      (options.z_randomizers->first.is_zero() ||
+       options.z_randomizers->second.is_zero()))
+    throw std::invalid_argument("Coprocessor::point_mult: zero randomizer");
+
+  PointMultResult r;
+  regs_ = {};
+  bus_a_ = Gf163{};
+  bus_b_ = Gf163{};
+  select_ = 0;
+  current_key_bit_ = -1;
+  current_iteration_ = 0xffff;
+
+  set_reg(Reg::kXP, x);
+  ExecResult total;
+
+  // Load + init phase.
+  for (const auto& ins : microcode::ladder_init(options.z_randomizers))
+    run_instruction(ins, total);
+
+  // Ladder: key_bits.size()-1 iterations, MSB-1 downwards.
+  for (std::size_t i = 1; i < key_bits.size(); ++i) {
+    current_key_bit_ = static_cast<std::int8_t>(key_bits[i]);
+    current_iteration_ = static_cast<std::uint16_t>(i - 1);
+    for (const auto& ins : microcode::ladder_step(key_bits[i]))
+      run_instruction(ins, total);
+  }
+  current_key_bit_ = -1;
+  current_iteration_ = 0xffff;
+
+  // Projective outputs, read by the controller before conversion (the
+  // key-independent y-recovery runs in the insecure zone, §5).
+  r.x1 = reg(Reg::kX1);
+  r.z1 = reg(Reg::kZ1);
+  r.x2 = reg(Reg::kX2);
+  r.z2 = reg(Reg::kZ2);
+
+  if (r.z1.is_zero()) {
+    r.result_is_infinity = true;
+  } else {
+    for (const auto& ins : microcode::affine_conversion())
+      run_instruction(ins, total);
+    r.x_affine = reg(Reg::kX1);
+  }
+
+  r.exec = std::move(total);
+  // Dynamic energy from the weighted toggle total, static from leakage
+  // over the whole run.
+  r.energy_j = r.exec.ge_toggles * config_.tech.energy_per_ge_toggle_j +
+               config_.tech.leakage_w_per_ge * area_ge_ *
+                   static_cast<double>(r.exec.cycles) / config_.tech.clock_hz;
+  r.seconds = static_cast<double>(r.exec.cycles) / config_.tech.clock_hz;
+  r.avg_power_w = r.seconds > 0 ? r.energy_j / r.seconds : 0.0;
+  return r;
+}
+
+}  // namespace medsec::hw

@@ -1,0 +1,206 @@
+// coprocessor.h — cycle-accurate model of the paper's programmable ECC
+// co-processor (the "secure zone" of §5).
+//
+// Microarchitecture, following §4–§6 and Lee et al. [10]:
+//   * six 163-bit working registers (X1, Z1, X2, Z2, T, XP) — the paper's
+//     "six 163-bit registers for the whole point multiplication";
+//   * one digit-serial F_2^163 MALU (digit size d, default 4) that executes
+//     both MUL and SQR (area-frugal: no dedicated squarer);
+//   * a 163-bit XOR array for ADD (one-cycle datapath);
+//   * a micro-coded sequencer with a constant cycle count per instruction
+//     (the architecture-level timing countermeasure: "all instructions
+//     should execute with a constant number of cycles").
+//
+// The ladder's conditional swap is implemented as *operand routing*, not as
+// physical register swaps: the key bit drives the select lines of the
+// register-file read/write multiplexers (the 164-fanout control signals of
+// §6 / Figure 3). What leaks, and which circuit-level countermeasure
+// suppresses it, is recorded per cycle in CycleRecord and interpreted by
+// the side-channel layer (sidechannel/leakage.h).
+//
+// Every point multiplication is cross-checked in tests against the
+// algorithmic ladder in ecc/ladder.h.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gf2m/gf2_163.h"
+#include "hw/digit_serial.h"
+#include "hw/technology.h"
+
+namespace medsec::hw {
+
+/// Architectural registers. XP holds the (public) base-point x coordinate;
+/// X1/Z1/X2/Z2 are the ladder accumulators; T is the scratch register.
+enum class Reg : std::uint8_t { kX1 = 0, kZ1, kX2, kZ2, kT, kXP };
+constexpr std::size_t kNumRegs = 6;
+
+const char* reg_name(Reg r);
+
+/// Micro-instruction opcodes. Latencies (model cycles) are constants of
+/// the architecture, independent of operand values *and* of the key:
+///   MUL/SQR : ceil(163/d) + 4   (issue, two operand fetches, writeback)
+///   ADD     : 3                 (issue, XOR array, writeback)
+///   MOV     : 2
+///   LDI     : 2                 (load immediate 0/1/x into a register)
+///   SELSET  : 1                 (update the ladder routing select lines)
+enum class Op : std::uint8_t { kMul, kSqr, kAdd, kMov, kLdi, kSelSet };
+
+struct Instruction {
+  Op op;
+  Reg rd;           ///< destination (ignored for kSelSet)
+  Reg ra;           ///< first source
+  Reg rb;           ///< second source (kMul/kAdd)
+  gf2m::Gf163 imm;  ///< kLdi payload
+  int select;       ///< kSelSet: new value of the routing select (0/1)
+};
+
+/// What one clock cycle did, in raw switching events. The side-channel
+/// layer converts these to power samples; the energy model to joules.
+struct CycleRecord {
+  /// Register-file write port: Hamming distance of the written register.
+  std::uint16_t reg_write_toggles = 0;
+  /// Combinational events in the active unit (MALU / XOR array).
+  std::uint16_t logic_toggles = 0;
+  /// Operand-bus lines that changed vs. the previous cycle.
+  std::uint16_t bus_toggles = 0;
+  /// Multiplexer select-line network toggles (the §6 / Fig. 3 signals).
+  std::uint16_t mux_control_toggles = 0;
+  /// Which clock-tree branches fired this cycle (bit i = register i).
+  /// With uniform gating this is all-ones every cycle.
+  std::uint8_t clocked_reg_mask = 0;
+  /// Ground truth for the side-channel experiments (never used by the
+  /// "attacker" code paths as an input — only to score recovered keys).
+  std::int8_t key_bit = -1;       ///< ladder select during this cycle
+  std::uint16_t iteration = 0xffff;  ///< ladder iteration, if any
+  Op op = Op::kSelSet;
+};
+
+/// Circuit/architecture countermeasure switches (§5–§6). Defaults are the
+/// protected configuration of the prototype chip; the ablation benches
+/// switch them off one at a time.
+struct SecureConfig {
+  /// Encode the 164-fanout mux selects as a complementary (dual-rail)
+  /// pair so their total Hamming difference per update is constant
+  /// (Figure 3). Off: the select net toggles only when the key bit
+  /// changes — an SPA target.
+  bool balanced_mux_encoding = true;
+  /// Clock every register branch every cycle. Off: only written registers
+  /// are clocked, and the per-branch load differences show in the trace.
+  bool uniform_clock_gating = true;
+  /// AND-gate isolation of idle datapath inputs. Off: register updates
+  /// ripple spurious, data-correlated toggles into inactive units.
+  bool isolate_datapath_inputs = true;
+};
+
+struct CoprocessorConfig {
+  std::size_t digit_size = 4;   ///< the paper's chosen MALU width
+  SecureConfig secure;
+  Technology tech = Technology::umc130();
+  /// Keep per-cycle records (needed by side-channel experiments; the
+  /// energy summary is available either way).
+  bool record_cycles = true;
+};
+
+/// Result of one micro-program execution.
+struct ExecResult {
+  std::size_t cycles = 0;
+  double ge_toggles = 0.0;          ///< weighted total (see activity.h)
+  std::vector<CycleRecord> records; ///< empty unless record_cycles
+};
+
+/// Result of a full x-only point multiplication.
+struct PointMultResult {
+  gf2m::Gf163 x1, z1, x2, z2;  ///< projective ladder outputs
+  gf2m::Gf163 x_affine;        ///< X1/Z1, computed on-chip (Itoh–Tsujii)
+  bool result_is_infinity = false;
+  ExecResult exec;
+  double energy_j = 0.0;
+  double avg_power_w = 0.0;
+  double seconds = 0.0;
+};
+
+/// Options for one point multiplication.
+struct PointMultOptions {
+  /// Randomized projective coordinates (§7's DPA countermeasure): two
+  /// nonzero field elements from the device RNG. nullopt = countermeasure
+  /// disabled (initial Z values are 1 and x^2, fully predictable).
+  std::optional<std::pair<gf2m::Gf163, gf2m::Gf163>> z_randomizers;
+};
+
+/// The co-processor model.
+class Coprocessor {
+ public:
+  explicit Coprocessor(const CoprocessorConfig& config = {});
+
+  const CoprocessorConfig& config() const { return config_; }
+  const DigitSerialMultiplier& malu() const { return malu_; }
+  double area_ge() const { return area_ge_; }
+
+  /// Latency constants (model cycles).
+  std::size_t latency(Op op) const;
+
+  /// Execute a raw micro-program against the current register file.
+  ExecResult execute(const std::vector<Instruction>& program);
+
+  /// Full x-only Montgomery-ladder point multiplication.
+  ///
+  /// key_bits: the *padded* scalar, MSB first, key_bits.front() == 1
+  /// (see ecc::constant_length_scalar). x: affine x of the base point,
+  /// nonzero. Runs key_bits.size()-1 ladder iterations — a constant for a
+  /// given curve — then converts to affine on-chip.
+  PointMultResult point_mult(const std::vector<int>& key_bits,
+                             const gf2m::Gf163& x,
+                             const PointMultOptions& options = {});
+
+  /// Direct register access (test/bench instrumentation; the modeled ISA
+  /// itself has no key-export path — see core/isa_audit.h).
+  const gf2m::Gf163& reg(Reg r) const;
+  void set_reg(Reg r, const gf2m::Gf163& v);
+
+ private:
+  void run_instruction(const Instruction& ins, ExecResult& out);
+  void emit_cycles(std::size_t n, const CycleRecord& proto, ExecResult& out);
+
+  CoprocessorConfig config_;
+  DigitSerialMultiplier malu_;
+  double area_ge_;
+  std::array<gf2m::Gf163, kNumRegs> regs_{};
+  gf2m::Gf163 bus_a_, bus_b_;  ///< operand-bus state (for bus_toggles)
+  int select_ = 0;             ///< ladder routing select state
+  std::int8_t current_key_bit_ = -1;
+  std::uint16_t current_iteration_ = 0xffff;
+};
+
+/// Microcode builders (exposed for tests and the ISA audit).
+namespace microcode {
+
+/// One ladder iteration for key bit `bit` on curve b = 1 (K-163):
+/// 5 MUL + 5 SQR + 3 ADD + 1 MOV, preceded by a SELSET updating the
+/// routing select lines. Register roles follow the select value.
+std::vector<Instruction> ladder_step(int bit);
+
+/// Ladder initialisation from XP (assumes b = 1):
+///   X1 = x, Z1 = 1, Z2 = x^2, X2 = x^4 + 1
+/// plus, if randomizers are given, the §7 projective randomization
+/// (X1, Z1) *= l1, (X2, Z2) *= l2.
+std::vector<Instruction> ladder_init(
+    const std::optional<std::pair<gf2m::Gf163, gf2m::Gf163>>& randomizers);
+
+/// Itoh–Tsujii inversion of Z1 (9 MUL + 162 SQR), then X1 <- X1 * Z1^-1:
+/// leaves affine x in X1. Clobbers X2, Z2, T.
+std::vector<Instruction> affine_conversion();
+
+/// Clear every working register except the result register X1. Run after
+/// the controller has read its outputs: no key-derived intermediate may
+/// survive in the register file between operations (§5 "sensitive data
+/// should appear only on the internal data-bus").
+std::vector<Instruction> zeroize(bool keep_result = true);
+
+}  // namespace microcode
+
+}  // namespace medsec::hw

@@ -1,0 +1,170 @@
+#include "hw/digit_serial.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "hw/activity.h"
+#include "rng/xoshiro.h"
+
+namespace medsec::hw {
+
+namespace {
+
+using gf2m::Gf163;
+
+constexpr std::size_t kM = Gf163::kBits;  // 163
+
+int popcount(const Gf163& v) {
+  return std::popcount(v.limb(0)) + std::popcount(v.limb(1)) +
+         std::popcount(v.limb(2));
+}
+
+int hamming_distance(const Gf163& a, const Gf163& b) {
+  return popcount(a + b);  // XOR in characteristic 2
+}
+
+/// Multiply by x (shift left one bit) and reduce modulo
+/// f(x) = x^163 + x^7 + x^6 + x^3 + 1 — one slice of the shift network.
+Gf163 mulx(const Gf163& v) {
+  const std::uint64_t carry = (v.limb(2) >> 34) & 1;  // bit 162
+  Gf163 out{(v.limb(0) << 1), (v.limb(1) << 1) | (v.limb(0) >> 63),
+            ((v.limb(2) << 1) | (v.limb(1) >> 63)) &
+                ((std::uint64_t{1} << 35) - 1)};
+  if (carry) out += Gf163{(1u << 7) | (1u << 6) | (1u << 3) | 1u};
+  return out;
+}
+
+/// Extract d bits of b starting at bit position pos (may run off the top).
+std::uint32_t digit_at(const Gf163& b, std::size_t pos, std::size_t d) {
+  std::uint32_t digit = 0;
+  for (std::size_t j = 0; j < d; ++j) {
+    const std::size_t i = pos + j;
+    if (i < kM && b.bit(i)) digit |= (1u << j);
+  }
+  return digit;
+}
+
+}  // namespace
+
+namespace {
+std::size_t validated_digit_size(std::size_t d) {
+  if (d < 1 || d > 32)
+    throw std::invalid_argument(
+        "DigitSerialMultiplier: digit size must be in [1, 32]");
+  return d;
+}
+}  // namespace
+
+DigitSerialMultiplier::DigitSerialMultiplier(std::size_t digit_size)
+    : digit_size_(validated_digit_size(digit_size)),
+      cycles_((kM + digit_size_ - 1) / digit_size_),
+      area_ge_(digit_serial_multiplier_ge(kM, digit_size_)) {}
+
+MaluResult DigitSerialMultiplier::multiply(const Gf163& a,
+                                           const Gf163& b) const {
+  MaluResult r;
+  r.activity.reserve(cycles_);
+
+  // Precompute a, a*x, ..., a*x^(d-1): the d partial-product rows that
+  // exist as wires in the hardware. Their aggregate weight drives the
+  // per-cycle row activity (all rows switch every cycle as the digit
+  // pattern changes, whether or not they are selected into the sum).
+  std::vector<Gf163> row(digit_size_);
+  row[0] = a;
+  int row_weight = popcount(a);
+  for (std::size_t j = 1; j < digit_size_; ++j) {
+    row[j] = mulx(row[j - 1]);
+    row_weight += popcount(row[j]);
+  }
+  const double glitch = ActivityWeights::glitch_factor(digit_size_);
+
+  Gf163 acc;  // accumulator register, cleared at start of the pass
+  const std::size_t d = digit_size_;
+  for (std::size_t c = 0; c < cycles_; ++c) {
+    // MSD first: cycle c consumes bits [pos, pos+d).
+    const std::size_t pos = (cycles_ - 1 - c) * d;
+    const std::uint32_t digit = digit_at(b, pos, d);
+
+    // acc <- acc * x^d mod f  (shift-reduce network)
+    Gf163 shifted = acc;
+    for (std::size_t j = 0; j < d; ++j) shifted = mulx(shifted);
+
+    // partial <- a * digit (selected partial-product rows XORed together)
+    Gf163 partial;
+    for (std::size_t j = 0; j < d; ++j)
+      if (digit & (1u << j)) partial += row[j];
+
+    const Gf163 next = shifted + partial;
+
+    // Activity: the accumulator register flips HD(acc, next) bits; the
+    // combinational cloud (d partial-product rows, the XOR reduction tree,
+    // the shift/reduce fabric) sees roughly one event per set wire, and
+    // glitches multiply with the tree depth (grows with d).
+    MaluCycle cyc;
+    cyc.acc_toggles = static_cast<std::uint32_t>(hamming_distance(acc, next));
+    cyc.logic_toggles = static_cast<std::uint32_t>(
+        glitch * (row_weight + popcount(partial) / 2 +
+                  popcount(shifted) / 2 + 8.0 * static_cast<double>(d)));
+    r.activity.push_back(cyc);
+
+    acc = next;
+  }
+
+  r.product = acc;
+  r.cycles = cycles_;
+  return r;
+}
+
+double DigitSerialMultiplier::avg_mult_energy_j(const Technology& tech) const {
+  // Monte-Carlo over a fixed seed: deterministic, honest about the data
+  // dependence of the activity (unlike a closed-form activity factor).
+  // The multiplication is costed *in its co-processor context*: the clock
+  // tree and leakage of the whole core run while the MALU computes, which
+  // is what the §5 area-energy trade-off is actually about.
+  rng::Xoshiro256 rng(0xD161'7A11);
+  constexpr int kSamples = 32;
+  double energy = 0.0;
+  const double total_ge = ecc_coprocessor_ge(kM, digit_size_);
+  for (int s = 0; s < kSamples; ++s) {
+    Gf163 a, b;
+    {
+      bigint::U192 va, vb;
+      for (std::size_t i = 0; i < 3; ++i) {
+        va.set_limb(i, rng.next_u64());
+        vb.set_limb(i, rng.next_u64());
+      }
+      a = Gf163::from_bits(va);
+      b = Gf163::from_bits(vb);
+    }
+    const MaluResult r = multiply(a, b);
+    for (const auto& c : r.activity) {
+      const double ge_toggles =
+          ActivityWeights::kRegisterBit * c.acc_toggles +
+          ActivityWeights::kLogicNode * c.logic_toggles +
+          ActivityWeights::clock_tree_per_cycle(total_ge);
+      energy += tech.cycle_energy_j(ge_toggles, total_ge);
+    }
+  }
+  return energy / kSamples;
+}
+
+std::vector<DigitSweepPoint> digit_size_sweep(
+    const Technology& tech, const std::vector<std::size_t>& sizes) {
+  std::vector<DigitSweepPoint> out;
+  out.reserve(sizes.size());
+  for (const std::size_t d : sizes) {
+    const DigitSerialMultiplier malu(d);
+    DigitSweepPoint p;
+    p.digit_size = d;
+    p.cycles_per_mult = malu.cycles_per_mult();
+    p.area_ge = ecc_coprocessor_ge(kM, d);
+    p.energy_per_mult_j = malu.avg_mult_energy_j(tech);
+    p.avg_power_w = p.energy_per_mult_j /
+                    (static_cast<double>(p.cycles_per_mult) / tech.clock_hz);
+    p.area_energy_product = p.area_ge * p.energy_per_mult_j;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace medsec::hw

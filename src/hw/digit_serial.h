@@ -1,0 +1,94 @@
+// digit_serial.h — bit-exact model of the digit-serial F_2^163 multiplier
+// (MALU) at the heart of the paper's co-processor.
+//
+// §5: "a digit-serial multiplier for F_2^163 is used. The choice of the
+// digit-size determines the power needed for the computation, as well as
+// the latency and area. By using a digit serial multiplication with a
+// 163×4 modular multiplier we achieve the optimal area-energy product
+// within the given latency constraints."
+//
+// The model processes the multiplier operand most-significant-digit first,
+// d bits per clock cycle, exactly as the hardware would:
+//
+//   acc <- (acc << d) mod f(x)  XOR  a * digit(b, i)   (one cycle)
+//
+// and records, per cycle, the switching activity of the accumulator
+// register (Hamming distance between consecutive states) — the quantity
+// the CMOS power model and the side-channel trace simulator consume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gf2m/gf2_163.h"
+#include "hw/gates.h"
+#include "hw/technology.h"
+
+namespace medsec::hw {
+
+/// Per-cycle activity record of one multiplier pass.
+struct MaluCycle {
+  std::uint32_t acc_toggles;   ///< accumulator register Hamming distance
+  std::uint32_t logic_toggles; ///< estimated combinational toggles
+};
+
+/// Result of one modular multiplication with full instrumentation.
+struct MaluResult {
+  gf2m::Gf163 product;
+  std::size_t cycles = 0;
+  std::vector<MaluCycle> activity;  ///< one entry per cycle
+  double total_toggles() const {
+    double t = 0;
+    for (const auto& c : activity) t += c.acc_toggles + c.logic_toggles;
+    return t;
+  }
+};
+
+/// Most-significant-digit-first digit-serial multiplier over F_2^163.
+class DigitSerialMultiplier {
+ public:
+  /// digit_size in bits per cycle; the paper sweeps this dimension and
+  /// settles on 4. Valid range [1, 32].
+  explicit DigitSerialMultiplier(std::size_t digit_size);
+
+  std::size_t digit_size() const { return digit_size_; }
+
+  /// Latency of one multiplication in clock cycles: ceil(163 / d).
+  std::size_t cycles_per_mult() const { return cycles_; }
+
+  /// Datapath area in gate equivalents.
+  double area_ge() const { return area_ge_; }
+
+  /// Execute a full a*b mod f(x) pass, bit-exact, with activity log.
+  /// The result is cross-checked against gf2m::Gf163::mul in tests.
+  MaluResult multiply(const gf2m::Gf163& a, const gf2m::Gf163& b) const;
+
+  /// Average energy of one multiplication under the given technology,
+  /// using the average switching activity of random operands (analytic,
+  /// no simulation): used by the d-sweep bench.
+  double avg_mult_energy_j(const Technology& tech) const;
+
+ private:
+  std::size_t digit_size_;
+  std::size_t cycles_;
+  double area_ge_;
+};
+
+/// One row of the paper's §5 sweep: the area / latency / power / energy /
+/// area-energy-product trade-off at a given digit size.
+struct DigitSweepPoint {
+  std::size_t digit_size;
+  std::size_t cycles_per_mult;
+  double area_ge;
+  double avg_power_w;           ///< during multiplication
+  double energy_per_mult_j;
+  double area_energy_product;   ///< GE * J (the §5 objective)
+};
+
+/// Evaluate the sweep for the given digit sizes (default: the hardware-
+/// sensible powers of two the paper's design space covers).
+std::vector<DigitSweepPoint> digit_size_sweep(
+    const Technology& tech,
+    const std::vector<std::size_t>& sizes = {1, 2, 4, 8, 16});
+
+}  // namespace medsec::hw

@@ -1,0 +1,72 @@
+// gates.h — gate-equivalent (GE) area inventory for the primitives the
+// protocol layer can place on the device.
+//
+// §4 of the paper makes an implementation-size argument: "protocol designers
+// tend to believe that hash functions are very cheap in hardware ... The
+// smallest SHA-1 implementation uses 5527 gates, while an ECC core uses
+// about 12k gates." This module carries those published numbers (with their
+// sources) plus a first-order structural model for the pieces we actually
+// build (register files, digit-serial multipliers), so the area side of the
+// area–power–security trade-off (§5) is computable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace medsec::hw {
+
+/// Published gate counts for standard primitives (smallest known
+/// RFID-class implementations circa the paper).
+struct GateInventory {
+  std::string name;
+  double gate_equivalents;
+  std::string source;
+};
+
+/// The catalogue §4 argues from, plus the lightweight ciphers the medical /
+/// RFID design space actually uses.
+std::vector<GateInventory> standard_inventory();
+
+/// Look up one entry by name; throws std::out_of_range if unknown.
+const GateInventory& inventory(const std::string& name);
+
+// --- structural model for the pieces we synthesize ourselves ---------------
+
+/// GE cost of standard cells (typical 0.13 µm library, NAND2 == 1 GE).
+struct CellCosts {
+  static constexpr double kNand2 = 1.0;
+  static constexpr double kAnd2 = 1.33;
+  static constexpr double kXor2 = 2.67;
+  static constexpr double kMux2 = 2.33;
+  static constexpr double kDff = 5.67;   ///< scan flip-flop
+};
+
+/// Area of an n-bit register. Load enables are implemented with gated
+/// clocks (§6 discusses the security constraints on doing so), so the cost
+/// is the flip-flops themselves.
+constexpr double register_ge(std::size_t bits) {
+  return static_cast<double>(bits) * CellCosts::kDff;
+}
+
+/// Area of the digit-serial F_2^m multiplier datapath for digit size d:
+/// d rows of m AND gates (partial products) + m XOR accumulate per row +
+/// the reduction network (one XOR per nonzero reduction-polynomial tap per
+/// row) + the m-bit accumulator register.
+double digit_serial_multiplier_ge(std::size_t m, std::size_t digit_size,
+                                  std::size_t reduction_taps = 4);
+
+/// Area of the full ECC co-processor: 6 m-bit registers, the MALU for the
+/// given digit size, control/sequencer overhead. Calibrated to the ~12 kGE
+/// the paper quotes for an ECC core at d = 4 (Lee et al. [10]).
+double ecc_coprocessor_ge(std::size_t m, std::size_t digit_size);
+
+/// Area overhead factors of side-channel-resistant logic styles (§6):
+/// WDDL ≈ 3× single-rail area, SABL ≈ 2× (plus full-custom effort).
+struct LogicStyleOverhead {
+  static constexpr double kCmos = 1.0;
+  static constexpr double kWddl = 3.0;
+  static constexpr double kSabl = 2.0;
+};
+
+}  // namespace medsec::hw

@@ -1,0 +1,47 @@
+// radio.h — energy model of the wireless link.
+//
+// §4: "the communication should be minimized since wireless communication
+// is power-hungry", and the computation-vs-communication trade-off of the
+// paper's refs [4, 5] "depends on the cryptographic algorithm, the digital
+// platform and the wireless distance over which the communication occurs."
+// This is the standard first-order WSN radio model those studies use:
+//
+//   E_tx(b, d) = b * (e_elec + e_amp * d^n)     transmit b bits over d m
+//   E_rx(b)    = b * e_elec                     receive b bits
+//
+// with a path-loss exponent n of 2 (free space) to 4 (body-worn, through
+// tissue — the medical BAN case).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace medsec::hw {
+
+struct RadioModel {
+  double e_elec_j_per_bit = 50e-9;   ///< electronics energy per bit
+  double e_amp_j_per_bit_mn = 100e-12;  ///< amplifier energy per bit per m^n
+  double path_loss_exponent = 2.0;
+  double bit_rate_hz = 250e3;        ///< for latency accounting
+
+  double tx_energy_j(std::size_t bits, double distance_m) const {
+    return static_cast<double>(bits) *
+           (e_elec_j_per_bit +
+            e_amp_j_per_bit_mn * std::pow(distance_m, path_loss_exponent));
+  }
+  double rx_energy_j(std::size_t bits) const {
+    return static_cast<double>(bits) * e_elec_j_per_bit;
+  }
+  double airtime_s(std::size_t bits) const {
+    return static_cast<double>(bits) / bit_rate_hz;
+  }
+
+  /// Typical BAN radio (Zigbee-class front end, free-space-ish).
+  static RadioModel ban() { return RadioModel{}; }
+  /// Through-body / implant link: much steeper path loss.
+  static RadioModel implant() {
+    return RadioModel{50e-9, 0.0013e-9, 4.0, 250e3};
+  }
+};
+
+}  // namespace medsec::hw

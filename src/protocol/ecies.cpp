@@ -1,0 +1,124 @@
+#include "protocol/ecies.h"
+
+#include "ciphers/modes.h"
+#include "ecc/scalar_mult.h"
+#include "hash/hmac.h"
+#include "hash/sha256.h"
+#include "protocol/wire.h"
+
+namespace medsec::protocol {
+
+namespace {
+
+using ecc::Curve;
+using ecc::Point;
+using ecc::Scalar;
+
+struct DerivedKeys {
+  std::vector<std::uint8_t> enc;
+  std::vector<std::uint8_t> mac;
+  std::vector<std::uint8_t> nonce;
+};
+
+/// (k_enc || k_mac || nonce) = HKDF(Z_x || R_x), domain-separated.
+DerivedKeys kdf(const ecc::Fe& shared_x, const ecc::Fe& ephemeral_x,
+                std::size_t key_bytes, std::size_t nonce_bytes) {
+  std::vector<std::uint8_t> ikm = encode_fe(shared_x);
+  const auto rx = encode_fe(ephemeral_x);
+  ikm.insert(ikm.end(), rx.begin(), rx.end());
+  static constexpr std::uint8_t kSalt[] = {'e', 'c', 'i', 'e', 's'};
+  static constexpr std::uint8_t kInfo[] = {'v', '1'};
+  const auto okm = hash::hkdf<hash::Sha256>(kSalt, ikm, kInfo,
+                                            2 * key_bytes + nonce_bytes);
+  DerivedKeys k;
+  k.enc.assign(okm.begin(), okm.begin() + static_cast<long>(key_bytes));
+  k.mac.assign(okm.begin() + static_cast<long>(key_bytes),
+               okm.begin() + static_cast<long>(2 * key_bytes));
+  k.nonce.assign(okm.begin() + static_cast<long>(2 * key_bytes), okm.end());
+  return k;
+}
+
+}  // namespace
+
+std::size_t EciesCiphertext::wire_bits(const Curve& curve) const {
+  return 8 * (encode_point(curve, ephemeral).size() + nonce.size() +
+              body.size() + tag.size());
+}
+
+EciesKeyPair ecies_keygen(const Curve& curve, rng::RandomSource& rng) {
+  EciesKeyPair kp;
+  kp.y = rng.uniform_nonzero(curve.order());
+  kp.Y = curve.scalar_mult_reference(kp.y, curve.base_point());
+  return kp;
+}
+
+EciesCiphertext ecies_encrypt(const Curve& curve, const Point& Y,
+                              std::span<const std::uint8_t> plaintext,
+                              const CipherFactory& make_cipher,
+                              std::size_t key_bytes, rng::RandomSource& rng,
+                              EnergyLedger* ledger) {
+  if (!curve.validate_subgroup_point(Y))
+    throw std::invalid_argument("ecies_encrypt: invalid recipient key");
+
+  // Ephemeral pair + shared secret, both on the protected ladder.
+  ecc::MultOptions opt;
+  opt.algorithm = ecc::MultAlgorithm::kLadderRpc;
+  opt.rng = &rng;
+  Point R, Z;
+  Scalar r;
+  do {
+    r = rng.uniform_nonzero(curve.order());
+    if (ledger) ledger->rng_bits += 163 + 2 * 163;
+    R = ecc::scalar_mult(curve, r, curve.base_point(), opt);
+    if (ledger) ++ledger->ecpm;
+    Z = ecc::scalar_mult(curve, r, Y, opt);
+    if (ledger) ++ledger->ecpm;
+  } while (R.infinity || Z.infinity);
+
+  const auto probe = make_cipher(std::vector<std::uint8_t>(key_bytes, 0));
+  const std::size_t bb = probe->block_bytes();
+  const std::size_t nonce_bytes = bb > 4 ? bb - 4 : 4;
+  const DerivedKeys keys = kdf(Z.x, R.x, key_bytes, nonce_bytes);
+
+  const auto enc = make_cipher(keys.enc);
+  const auto mac = make_cipher(keys.mac);
+  const auto sealed = ciphers::encrypt_then_mac(*enc, *mac, keys.nonce,
+                                                plaintext);
+  if (ledger)
+    ledger->cipher_blocks += (plaintext.size() + bb - 1) / bb + 1 +
+                             (keys.nonce.size() + plaintext.size() + bb - 1) /
+                                 bb + 1;
+
+  EciesCiphertext out;
+  out.ephemeral = R;
+  out.nonce = keys.nonce;
+  out.body = sealed.ciphertext;
+  out.tag = sealed.tag;
+  if (ledger) ledger->tx_bits += out.wire_bits(curve);
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> ecies_decrypt(
+    const Curve& curve, const Scalar& y, const EciesCiphertext& ct,
+    const CipherFactory& make_cipher, std::size_t key_bytes) {
+  // Invalid-curve gate: the ephemeral point is attacker-controlled.
+  if (!curve.validate_subgroup_point(ct.ephemeral)) return std::nullopt;
+  const Point Z = curve.scalar_mult_reference(y, ct.ephemeral);
+  if (Z.infinity) return std::nullopt;
+
+  const auto probe = make_cipher(std::vector<std::uint8_t>(key_bytes, 0));
+  const std::size_t bb = probe->block_bytes();
+  const std::size_t nonce_bytes = bb > 4 ? bb - 4 : 4;
+  const DerivedKeys keys = kdf(Z.x, ct.ephemeral.x, key_bytes, nonce_bytes);
+  if (keys.nonce != ct.nonce) return std::nullopt;  // transcript binding
+
+  const auto enc = make_cipher(keys.enc);
+  const auto mac = make_cipher(keys.mac);
+  std::vector<std::uint8_t> plain;
+  if (!ciphers::decrypt_then_verify(*enc, *mac, ct.nonce, ct.body, ct.tag,
+                                    plain))
+    return std::nullopt;
+  return plain;
+}
+
+}  // namespace medsec::protocol

@@ -1,0 +1,158 @@
+#include "protocol/mutual_auth.h"
+
+#include <array>
+
+#include "ciphers/modes.h"
+#include "hash/hmac.h"
+#include "hash/sha256.h"
+
+namespace medsec::protocol {
+
+namespace {
+
+constexpr std::size_t kNonceBytes = 8;
+
+std::size_t blocks(std::size_t bytes, std::size_t block_bytes) {
+  return (bytes + block_bytes - 1) / block_bytes + 1;  // +1 CMAC finalize
+}
+
+std::vector<std::uint8_t> concat(
+    std::initializer_list<std::span<const std::uint8_t>> parts) {
+  std::vector<std::uint8_t> out;
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+std::span<const std::uint8_t> bytes_of(const char* s) {
+  return {reinterpret_cast<const std::uint8_t*>(s), 3};
+}
+
+}  // namespace
+
+SharedKeys derive_session_keys(std::span<const std::uint8_t> master_secret,
+                               std::size_t key_bytes) {
+  static constexpr std::uint8_t kSalt[] = {'m', 'e', 'd', 's', 'e', 'c'};
+  static constexpr std::uint8_t kInfoEnc[] = {'e', 'n', 'c'};
+  static constexpr std::uint8_t kInfoMac[] = {'m', 'a', 'c'};
+  SharedKeys k;
+  k.enc_key = hash::hkdf<hash::Sha256>(kSalt, master_secret, kInfoEnc,
+                                       key_bytes);
+  k.mac_key = hash::hkdf<hash::Sha256>(kSalt, master_secret, kInfoMac,
+                                       key_bytes);
+  return k;
+}
+
+MutualAuthResult run_mutual_auth(const CipherFactory& make_cipher,
+                                 const SharedKeys& keys,
+                                 std::span<const std::uint8_t> telemetry,
+                                 rng::RandomSource& rng,
+                                 const MutualAuthConfig& config,
+                                 const MutualAuthFaults& faults) {
+  MutualAuthResult out;
+
+  // Tag-side cipher instances (the device's hardware cores).
+  const auto tag_enc = make_cipher(keys.enc_key);
+  const auto tag_mac = make_cipher(keys.mac_key);
+  const std::size_t bb = tag_mac->block_bytes();
+
+  // Server side: honest server shares the keys; an impersonator does not.
+  SharedKeys server_keys = keys;
+  if (faults.wrong_server_key)
+    for (auto& b : server_keys.mac_key) b ^= 0xA5;
+  const auto srv_mac = make_cipher(server_keys.mac_key);
+
+  // --- move 1: T -> S, tag nonce -------------------------------------------
+  std::vector<std::uint8_t> nt(kNonceBytes);
+  rng.fill(nt);
+  out.tag_ledger.rng_bits += 8 * kNonceBytes;
+  out.transcript.tag_to_reader.push_back(Message{"N_t", nt});
+
+  // --- move 2: S -> T, server nonce + server MAC ----------------------------
+  std::vector<std::uint8_t> ns(kNonceBytes);
+  rng.fill(ns);
+  const auto srv_tag_msg = concat({bytes_of("SRV"), nt, ns});
+  const auto srv_mac_val = ciphers::cmac(*srv_mac, srv_tag_msg);
+  out.transcript.reader_to_tag.push_back(
+      Message{"N_s || MAC(SRV)", concat({ns, srv_mac_val})});
+
+  // Tag-side work items, ordered per config.
+  auto verify_server = [&] {
+    const auto expect = ciphers::cmac(*tag_mac, srv_tag_msg);
+    out.tag_ledger.cipher_blocks += blocks(srv_tag_msg.size(), bb);
+    out.tag_accepted_server =
+        hash::constant_time_equal(expect, srv_mac_val);
+  };
+
+  std::vector<std::uint8_t> tag_auth_mac;
+  ciphers::AeadResult sealed;
+  std::vector<std::uint8_t> nonce(bb > 4 ? bb - 4 : 4);
+  auto heavy_work = [&] {
+    // Tag authenticator.
+    const auto tag_msg = concat({bytes_of("TAG"), ns, nt});
+    tag_auth_mac = ciphers::cmac(*tag_mac, tag_msg);
+    out.tag_ledger.cipher_blocks += blocks(tag_msg.size(), bb);
+    // Telemetry: encrypt-then-MAC.
+    rng.fill(nonce);
+    out.tag_ledger.rng_bits += 8 * nonce.size();
+    sealed = ciphers::encrypt_then_mac(*tag_enc, *tag_mac, nonce, telemetry);
+    out.tag_ledger.cipher_blocks +=
+        blocks(telemetry.size(), bb) +                  // CTR keystream
+        blocks(nonce.size() + telemetry.size(), bb);    // CMAC
+  };
+
+  if (config.server_first) {
+    verify_server();
+    if (!out.tag_accepted_server) {
+      // §4: "the protocol session stops immediately on the device when
+      // the server authentication fails" — none of the heavy work ran.
+      out.tag_ledger.aborted_early = true;
+      out.tag_ledger.tx_bits = out.transcript.tag_tx_bits();
+      out.tag_ledger.rx_bits = out.transcript.tag_rx_bits();
+      return out;
+    }
+    heavy_work();
+  } else {
+    // Naive ordering: spend first, check later.
+    heavy_work();
+    verify_server();
+    if (!out.tag_accepted_server) {
+      out.tag_ledger.aborted_early = true;
+      out.tag_ledger.tx_bits = out.transcript.tag_tx_bits();
+      out.tag_ledger.rx_bits = out.transcript.tag_rx_bits();
+      return out;
+    }
+  }
+
+  // --- move 3: T -> S -------------------------------------------------------
+  auto ct = sealed.ciphertext;
+  auto mac = sealed.tag;
+  if (faults.tamper_ciphertext && !ct.empty()) ct[0] ^= 0x80;
+  if (faults.tamper_tag_mac && !tag_auth_mac.empty())
+    tag_auth_mac[0] ^= 0x80;
+  out.transcript.tag_to_reader.push_back(
+      Message{"MAC(TAG) || nonce || ct || MAC(ct)",
+              concat({tag_auth_mac, nonce, ct, mac})});
+
+  // Server verifies the tag, then the telemetry.
+  const auto tag_msg = concat({bytes_of("TAG"), ns, nt});
+  const auto expect_tag = ciphers::cmac(*srv_mac, tag_msg);
+  out.server_accepted_tag =
+      !faults.wrong_server_key &&
+      hash::constant_time_equal(expect_tag, tag_auth_mac);
+  if (out.server_accepted_tag) {
+    const auto srv_enc = make_cipher(server_keys.enc_key);
+    const auto srv_mac2 = make_cipher(server_keys.mac_key);
+    std::vector<std::uint8_t> plain;
+    if (ciphers::decrypt_then_verify(*srv_enc, *srv_mac2, nonce, ct, mac,
+                                     plain)) {
+      out.telemetry_delivered = true;
+      out.delivered_telemetry = std::move(plain);
+    }
+  }
+
+  out.tag_ledger.tx_bits = out.transcript.tag_tx_bits();
+  out.tag_ledger.rx_bits = out.transcript.tag_rx_bits();
+  return out;
+}
+
+}  // namespace medsec::protocol

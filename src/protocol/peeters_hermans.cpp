@@ -1,0 +1,112 @@
+#include "protocol/peeters_hermans.h"
+
+#include "ecc/scalar_mult.h"
+
+namespace medsec::protocol {
+
+namespace {
+using ecc::Curve;
+using ecc::Point;
+using ecc::Scalar;
+
+Point tag_pm(const Curve& c, const Scalar& k, const Point& p,
+             rng::RandomSource& rng, EnergyLedger& ledger) {
+  ecc::MultOptions opt;
+  opt.algorithm = ecc::MultAlgorithm::kLadderRpc;
+  opt.rng = &rng;
+  ++ledger.ecpm;
+  ledger.rng_bits += 2 * 163;
+  return ecc::scalar_mult(c, k, p, opt);
+}
+}  // namespace
+
+PhReader ph_setup_reader(const Curve& curve, rng::RandomSource& rng) {
+  PhReader r;
+  r.y = rng.uniform_nonzero(curve.order());
+  r.Y = curve.scalar_mult_reference(r.y, curve.base_point());
+  return r;
+}
+
+PhTag ph_register_tag(const Curve& curve, PhReader& reader,
+                      rng::RandomSource& rng) {
+  PhTag t;
+  t.x = rng.uniform_nonzero(curve.order());
+  t.Y = reader.Y;
+  t.registered_index = reader.db.size();
+  reader.db.push_back(
+      curve.scalar_mult_reference(t.x, curve.base_point()));
+  return t;
+}
+
+PhTagSession ph_tag_commit(const Curve& curve,
+                           [[maybe_unused]] const PhTag& tag,
+                           rng::RandomSource& rng, EnergyLedger& ledger) {
+  PhTagSession s;
+  s.r = rng.uniform_nonzero(curve.order());
+  ledger.rng_bits += 163;
+  s.commitment = tag_pm(curve, s.r, curve.base_point(), rng, ledger);
+  return s;
+}
+
+Scalar ph_tag_respond(const Curve& curve, const PhTag& tag,
+                      const PhTagSession& session, const Scalar& challenge,
+                      rng::RandomSource& rng, EnergyLedger& ledger) {
+  const auto& ring = curve.scalar_ring();
+  // d = xcoord(r·Y): the second (and last) heavy operation on the tag.
+  const Point ry = tag_pm(curve, session.r, tag.Y, rng, ledger);
+  const Scalar d = fe_to_scalar_mod_order(curve, ry.x);
+  // s = d + x + e·r — one modular multiplication, two additions (§4's
+  // "two point multiplications and one modular multiplication").
+  const Scalar er = ring.mul(challenge, session.r);
+  ++ledger.modmul;
+  const Scalar s = ring.add(ring.add(d, tag.x), er);
+  ledger.modadd += 2;
+  return s;
+}
+
+std::optional<std::size_t> ph_reader_identify(const Curve& curve,
+                                              const PhReader& reader,
+                                              const PhTranscript& t) {
+  if (t.commitment.infinity) return std::nullopt;
+  if (!curve.validate_subgroup_point(t.commitment)) return std::nullopt;
+  // d' = xcoord(y·R_c); X^ = s·P - d'·P - e·R_c.
+  const Point yr = curve.scalar_mult_reference(reader.y, t.commitment);
+  const Scalar d = fe_to_scalar_mod_order(curve, yr.x);
+  const Point sp =
+      curve.scalar_mult_reference(t.response, curve.base_point());
+  const Point dp = curve.scalar_mult_reference(d, curve.base_point());
+  const Point er = curve.scalar_mult_reference(t.challenge, t.commitment);
+  const Point x_hat =
+      curve.add(sp, curve.add(curve.negate(dp), curve.negate(er)));
+  for (std::size_t i = 0; i < reader.db.size(); ++i)
+    if (reader.db[i] == x_hat) return i;
+  return std::nullopt;
+}
+
+PhSessionResult run_ph_session(const Curve& curve, const PhTag& tag,
+                               const PhReader& reader,
+                               rng::RandomSource& rng) {
+  PhSessionResult out;
+
+  const PhTagSession ts = ph_tag_commit(curve, tag, rng, out.tag_ledger);
+  out.transcript.tag_to_reader.push_back(
+      Message{"commitment R", encode_point(curve, ts.commitment)});
+
+  const Scalar e = rng.uniform_nonzero(curve.order());
+  out.transcript.reader_to_tag.push_back(
+      Message{"challenge e", encode_scalar(e)});
+
+  const Scalar s =
+      ph_tag_respond(curve, tag, ts, e, rng, out.tag_ledger);
+  out.transcript.tag_to_reader.push_back(
+      Message{"response s", encode_scalar(s)});
+
+  out.tag_ledger.tx_bits = out.transcript.tag_tx_bits();
+  out.tag_ledger.rx_bits = out.transcript.tag_rx_bits();
+  out.view = PhTranscript{ts.commitment, e, s};
+  out.identity = ph_reader_identify(curve, reader, out.view);
+  out.identified = out.identity.has_value();
+  return out;
+}
+
+}  // namespace medsec::protocol

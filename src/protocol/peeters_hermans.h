@@ -1,0 +1,89 @@
+// peeters_hermans.h — the Peeters–Hermans wide-forward-insider private
+// identification protocol (the paper's Figure 2).
+//
+//   Tag state:    x (secret), Y = y·P (reader's public key)
+//   Reader state: y (secret), DB = { X_i = x_i·P }
+//
+//   T -> R : R_c = r·P                      r in Z*_l
+//   R -> T : e                              e in Z*_l
+//   T -> R : s = d + x + e·r mod l,         d = xcoord(r·Y) as a scalar
+//   R:       d' = xcoord(y·R_c);  X^ = s·P - d'·P - e·R_c;  X^ in DB?
+//
+// Correctness: s·P - d·P - e·r·P = x·P = X. Privacy: without y the
+// blinding term d = xcoord(r·Y) is indistinguishable from random, so s
+// reveals nothing that links the session to X — unlike Schnorr, where
+// s·P - e·X = R_c is publicly checkable.
+//
+// The tag's workload is the paper's §4 accounting: **two point
+// multiplications and one modular multiplication**.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "ecc/curve.h"
+#include "protocol/energy_ledger.h"
+#include "protocol/wire.h"
+#include "rng/random_source.h"
+
+namespace medsec::protocol {
+
+struct PhReader {
+  ecc::Scalar y;               ///< reader secret
+  ecc::Point Y;                ///< reader public key (provisioned to tags)
+  std::vector<ecc::Point> db;  ///< registered tag public keys X_i
+};
+
+struct PhTag {
+  ecc::Scalar x;  ///< tag secret
+  ecc::Point Y;   ///< reader public key copy
+  std::size_t registered_index = 0;  ///< its DB slot (ground truth)
+};
+
+/// Provision a reader (fresh y, empty DB).
+PhReader ph_setup_reader(const ecc::Curve& curve, rng::RandomSource& rng);
+
+/// Register a fresh tag with the reader; appends X to the DB.
+PhTag ph_register_tag(const ecc::Curve& curve, PhReader& reader,
+                      rng::RandomSource& rng);
+
+/// A passively observable session.
+struct PhTranscript {
+  ecc::Point commitment;  ///< R_c
+  ecc::Scalar challenge;  ///< e
+  ecc::Scalar response;   ///< s
+};
+
+struct PhSessionResult {
+  bool identified = false;
+  std::optional<std::size_t> identity;  ///< DB index the reader resolved
+  PhTranscript view;
+  Transcript transcript;
+  EnergyLedger tag_ledger;
+};
+
+/// Tag half of the protocol: produce R_c, then s for a given challenge.
+/// Exposed separately so the privacy game can play adversarial reader.
+struct PhTagSession {
+  ecc::Scalar r;
+  ecc::Point commitment;
+};
+PhTagSession ph_tag_commit(const ecc::Curve& curve, const PhTag& tag,
+                           rng::RandomSource& rng, EnergyLedger& ledger);
+ecc::Scalar ph_tag_respond(const ecc::Curve& curve, const PhTag& tag,
+                           const PhTagSession& session,
+                           const ecc::Scalar& challenge,
+                           rng::RandomSource& rng, EnergyLedger& ledger);
+
+/// Reader half: resolve a transcript against the DB.
+std::optional<std::size_t> ph_reader_identify(const ecc::Curve& curve,
+                                              const PhReader& reader,
+                                              const PhTranscript& t);
+
+/// Full honest session.
+PhSessionResult run_ph_session(const ecc::Curve& curve, const PhTag& tag,
+                               const PhReader& reader,
+                               rng::RandomSource& rng);
+
+}  // namespace medsec::protocol

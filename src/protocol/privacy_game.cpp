@@ -1,0 +1,86 @@
+#include "protocol/privacy_game.h"
+
+#include "protocol/peeters_hermans.h"
+#include "protocol/schnorr.h"
+#include "rng/xoshiro.h"
+
+namespace medsec::protocol {
+
+namespace {
+using ecc::Curve;
+using ecc::Point;
+using ecc::Scalar;
+}  // namespace
+
+const char* game_protocol_name(GameProtocol p) {
+  return p == GameProtocol::kSchnorr ? "Schnorr" : "Peeters-Hermans";
+}
+
+PrivacyGameResult run_privacy_game(const Curve& curve, GameProtocol protocol,
+                                   std::size_t trials, std::uint64_t seed) {
+  rng::Xoshiro256 rng(seed);
+  PrivacyGameResult res;
+  res.trials = trials;
+
+  if (protocol == GameProtocol::kSchnorr) {
+    const SchnorrKeyPair t0 = schnorr_keygen(curve, rng);
+    const SchnorrKeyPair t1 = schnorr_keygen(curve, rng);
+    for (std::size_t i = 0; i < trials; ++i) {
+      const int b = static_cast<int>(rng.next_u64() & 1);
+      const auto session =
+          run_schnorr_session(curve, b ? t1 : t0, rng);
+      // Adversary: run the tracing test against both known public keys.
+      const bool links0 = schnorr_links(curve, t0.X, session.view);
+      const bool links1 = schnorr_links(curve, t1.X, session.view);
+      int guess;
+      if (links0 != links1) {
+        ++res.tracing_test_fired;
+        guess = links1 ? 1 : 0;
+      } else {
+        guess = static_cast<int>(rng.next_u64() & 1);
+      }
+      if (guess == b) ++res.correct_guesses;
+    }
+  } else {
+    PhReader reader = ph_setup_reader(curve, rng);
+    const PhTag t0 = ph_register_tag(curve, reader, rng);
+    const PhTag t1 = ph_register_tag(curve, reader, rng);
+    for (std::size_t i = 0; i < trials; ++i) {
+      const int b = static_cast<int>(rng.next_u64() & 1);
+      const PhTag& tag = b ? t1 : t0;
+
+      // The adversary plays reader (it does NOT know y).
+      EnergyLedger ledger;
+      const PhTagSession ts = ph_tag_commit(curve, tag, rng, ledger);
+      const Scalar e = rng.uniform_nonzero(curve.order());
+      const Scalar s = ph_tag_respond(curve, tag, ts, e, rng, ledger);
+
+      // Same tracing test as against Schnorr: X^? = s·P - e·R_c, compare
+      // with the known public keys. The blinding term d·P makes the
+      // comparison fail for both candidates.
+      const Point sp =
+          curve.scalar_mult_reference(s, curve.base_point());
+      const Point er =
+          curve.scalar_mult_reference(e, ts.commitment);
+      const Point candidate = curve.add(sp, curve.negate(er));
+      const bool links0 = candidate == reader.db[0];
+      const bool links1 = candidate == reader.db[1];
+      int guess;
+      if (links0 != links1) {
+        ++res.tracing_test_fired;
+        guess = links1 ? 1 : 0;
+      } else {
+        guess = static_cast<int>(rng.next_u64() & 1);
+      }
+      if (guess == b) ++res.correct_guesses;
+    }
+  }
+
+  const double acc = trials ? static_cast<double>(res.correct_guesses) /
+                                  static_cast<double>(trials)
+                            : 0.0;
+  res.advantage = acc > 0.5 ? 2.0 * acc - 1.0 : 0.0;
+  return res;
+}
+
+}  // namespace medsec::protocol

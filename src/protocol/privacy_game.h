@@ -1,0 +1,45 @@
+// privacy_game.h — the location-privacy experiment (§2/§4).
+//
+// "Wireless tags ... can also be used to track patients and therefore
+// location privacy is an important concern." The operational definition
+// is an indistinguishability game (after Vaudenay [20] / Peeters–Hermans
+// [14], simplified to the passive wide-insider case):
+//
+//   1. Two tags T_0, T_1 are registered; the adversary knows both public
+//      keys (insider corruption of the back end).
+//   2. The challenger flips a secret bit b and lets the adversary run a
+//      full identification session with T_b (the adversary plays an
+//      honest-but-curious reader: it sees R_c, chooses e, sees s).
+//   3. The adversary guesses b. Advantage = 2·Pr[correct] - 1.
+//
+// Against Schnorr the tracing test s·P - e·X_i == R_c resolves b exactly
+// (advantage -> 1). Against Peeters–Hermans the response is blinded by
+// xcoord(r·Y), the test never fires, and the adversary is reduced to
+// guessing (advantage -> 0). That is the paper's case for PKC-based
+// *private* identification.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ecc/curve.h"
+
+namespace medsec::protocol {
+
+enum class GameProtocol { kSchnorr, kPeetersHermans };
+
+const char* game_protocol_name(GameProtocol p);
+
+struct PrivacyGameResult {
+  std::size_t trials = 0;
+  std::size_t correct_guesses = 0;
+  std::size_t tracing_test_fired = 0;  ///< trials where the test resolved
+  double advantage = 0.0;              ///< 2·acc - 1, clamped at 0
+};
+
+/// Play `trials` rounds of the game against the given protocol.
+PrivacyGameResult run_privacy_game(const ecc::Curve& curve,
+                                   GameProtocol protocol, std::size_t trials,
+                                   std::uint64_t seed = 2013);
+
+}  // namespace medsec::protocol

@@ -1,0 +1,77 @@
+#include "protocol/schnorr.h"
+
+#include "ecc/ladder.h"
+#include "ecc/scalar_mult.h"
+
+namespace medsec::protocol {
+
+namespace {
+using ecc::Curve;
+using ecc::Point;
+using ecc::Scalar;
+
+/// Tag-side point multiplication: the constant-time ladder with RPC, as
+/// the modeled device would run it.
+Point tag_pm(const Curve& c, const Scalar& k, const Point& p,
+             rng::RandomSource& rng, EnergyLedger& ledger) {
+  ecc::MultOptions opt;
+  opt.algorithm = ecc::MultAlgorithm::kLadderRpc;
+  opt.rng = &rng;
+  ++ledger.ecpm;
+  ledger.rng_bits += 2 * 163;  // Z-randomizers
+  return ecc::scalar_mult(c, k, p, opt);
+}
+}  // namespace
+
+SchnorrKeyPair schnorr_keygen(const Curve& curve, rng::RandomSource& rng) {
+  SchnorrKeyPair kp;
+  kp.x = rng.uniform_nonzero(curve.order());
+  kp.X = curve.scalar_mult_reference(kp.x, curve.base_point());
+  return kp;
+}
+
+SchnorrSessionResult run_schnorr_session(const Curve& curve,
+                                         const SchnorrKeyPair& key,
+                                         rng::RandomSource& rng) {
+  SchnorrSessionResult out;
+  const auto& ring = curve.scalar_ring();
+
+  // T: commitment.
+  const Scalar r = rng.uniform_nonzero(curve.order());
+  out.tag_ledger.rng_bits += 163;
+  const Point rc = tag_pm(curve, r, curve.base_point(), rng, out.tag_ledger);
+  out.transcript.tag_to_reader.push_back(
+      Message{"commitment R", encode_point(curve, rc)});
+
+  // R: challenge.
+  const Scalar e = rng.uniform_nonzero(curve.order());
+  out.transcript.reader_to_tag.push_back(
+      Message{"challenge e", encode_scalar(e)});
+
+  // T: response s = r + e*x mod l.
+  const Scalar s = ring.add(r, ring.mul(e, key.x));
+  ++out.tag_ledger.modmul;
+  ++out.tag_ledger.modadd;
+  out.transcript.tag_to_reader.push_back(
+      Message{"response s", encode_scalar(s)});
+
+  out.tag_ledger.tx_bits = out.transcript.tag_tx_bits();
+  out.tag_ledger.rx_bits = out.transcript.tag_rx_bits();
+  out.view = SchnorrTranscript{rc, e, s};
+  out.accepted = schnorr_verify(curve, key.X, out.view);
+  return out;
+}
+
+bool schnorr_verify(const Curve& curve, const Point& X,
+                    const SchnorrTranscript& t) {
+  if (t.commitment.infinity) return false;
+  if (!curve.validate_subgroup_point(t.commitment)) return false;
+  // s*P == R + e*X  (reader side: energy-rich, plain arithmetic).
+  const Point lhs =
+      curve.scalar_mult_reference(t.response, curve.base_point());
+  const Point rhs =
+      curve.add(t.commitment, curve.scalar_mult_reference(t.challenge, X));
+  return lhs == rhs;
+}
+
+}  // namespace medsec::protocol

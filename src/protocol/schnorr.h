@@ -1,0 +1,65 @@
+// schnorr.h — Schnorr identification (the paper's traceability baseline).
+//
+// §4: "not all PKC-based protocols achieve strong privacy. For example,
+// tags using the Schnorr identification protocol can be easily traced."
+// The protocol proves knowledge of x with X = x·P:
+//
+//   T -> R : R_c = r·P              (commitment)
+//   R -> T : e  in Z*_l             (challenge)
+//   T -> R : s  = r + e·x mod l     (response)
+//   R checks s·P == R_c + e·X.
+//
+// The traceability defect: anyone who knows a candidate public key X_i
+// can test s·P - e·X_i == R_c against a passively observed transcript —
+// the privacy game in privacy_game.h exploits exactly this.
+#pragma once
+
+#include "ecc/curve.h"
+#include "protocol/energy_ledger.h"
+#include "protocol/wire.h"
+#include "rng/random_source.h"
+
+namespace medsec::protocol {
+
+struct SchnorrKeyPair {
+  ecc::Scalar x;  ///< secret
+  ecc::Point X;   ///< public: x·P
+};
+
+SchnorrKeyPair schnorr_keygen(const ecc::Curve& curve,
+                              rng::RandomSource& rng);
+
+/// A passively observable session transcript.
+struct SchnorrTranscript {
+  ecc::Point commitment;  ///< R_c
+  ecc::Scalar challenge;  ///< e
+  ecc::Scalar response;   ///< s
+};
+
+struct SchnorrSessionResult {
+  bool accepted = false;
+  SchnorrTranscript view;     ///< what the air interface carried
+  Transcript transcript;      ///< encoded messages (for bit accounting)
+  EnergyLedger tag_ledger;
+};
+
+/// Run one honest session between a tag holding `key` and a verifier that
+/// knows X. The tag's point multiplications go through the constant-time
+/// ladder; its scalar arithmetic through the curve's order ring.
+SchnorrSessionResult run_schnorr_session(const ecc::Curve& curve,
+                                         const SchnorrKeyPair& key,
+                                         rng::RandomSource& rng);
+
+/// Verifier equation (also the adversary's tracing test).
+bool schnorr_verify(const ecc::Curve& curve, const ecc::Point& X,
+                    const SchnorrTranscript& t);
+
+/// The tracing test: does this transcript belong to public key X?
+/// For Schnorr this is *the same equation* as verification — which is
+/// precisely why the protocol is traceable.
+inline bool schnorr_links(const ecc::Curve& curve, const ecc::Point& X,
+                          const SchnorrTranscript& t) {
+  return schnorr_verify(curve, X, t);
+}
+
+}  // namespace medsec::protocol

@@ -1,0 +1,50 @@
+// signature.h — EC-Schnorr signatures for data authentication.
+//
+// §4's requirements list includes data authentication ("a modification on
+// the ciphertext may also lead to a corrupted therapy"). For telemetry
+// that must be verifiable by third parties (the clinic, an auditor), a
+// MAC is not enough — the device needs a signature. EC-Schnorr reuses
+// exactly the machinery the identification protocol already paid for
+// (one point multiplication, one hash, one scalar ring), which is why a
+// 2013-era device would pick it over ECDSA (no inversion on the tag).
+//
+//   sign(m):   r random, R = r*P, e = H(xcoord(R) || m) mod l,
+//              s = r + e*x mod l; signature = (e, s)
+//   verify:    R' = s*P - e*X, accept iff H(xcoord(R') || m) == e
+#pragma once
+
+#include <span>
+
+#include "ecc/curve.h"
+#include "protocol/energy_ledger.h"
+#include "rng/random_source.h"
+
+namespace medsec::protocol {
+
+struct SignatureKeyPair {
+  ecc::Scalar x;  ///< secret
+  ecc::Point X;   ///< public: x*P
+};
+
+struct Signature {
+  ecc::Scalar e;
+  ecc::Scalar s;
+};
+
+SignatureKeyPair signature_keygen(const ecc::Curve& curve,
+                                  rng::RandomSource& rng);
+
+/// Device-side signing (constant-time ladder + RPC for r*P). The ledger,
+/// if given, is charged 1 ECPM + 1 modmul + hash blocks.
+Signature ec_schnorr_sign(const ecc::Curve& curve,
+                          const SignatureKeyPair& key,
+                          std::span<const std::uint8_t> message,
+                          rng::RandomSource& rng,
+                          EnergyLedger* ledger = nullptr);
+
+/// Verifier side (energy-rich, plain arithmetic).
+bool ec_schnorr_verify(const ecc::Curve& curve, const ecc::Point& X,
+                       std::span<const std::uint8_t> message,
+                       const Signature& sig);
+
+}  // namespace medsec::protocol

@@ -1,0 +1,86 @@
+// hmac_drbg.h — HMAC_DRBG (NIST SP 800-90A) instantiated with SHA-256.
+//
+// The deterministic random bit generator playing the role of the on-chip
+// RNG in the modeled device: seeded once from a (modeled) entropy source,
+// then generating the scalars and projective-coordinate randomizers the
+// countermeasures need.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hash/hmac.h"
+#include "hash/sha256.h"
+#include "rng/random_source.h"
+
+namespace medsec::rng {
+
+class HmacDrbg final : public RandomSource {
+ public:
+  /// Instantiate from seed material (entropy || nonce || personalization).
+  explicit HmacDrbg(std::span<const std::uint8_t> seed_material) {
+    k_.fill(0x00);
+    v_.fill(0x01);
+    update(seed_material);
+  }
+
+  /// Mix additional entropy into the state (SP 800-90A reseed).
+  void reseed(std::span<const std::uint8_t> entropy) {
+    update(entropy);
+    reseed_counter_ = 1;
+  }
+
+  void generate(std::span<std::uint8_t> out) {
+    std::size_t off = 0;
+    while (off < out.size()) {
+      v_ = hash::Hmac<hash::Sha256>::mac(k_, v_);
+      const std::size_t take = std::min(v_.size(), out.size() - off);
+      std::copy(v_.begin(), v_.begin() + static_cast<long>(take),
+                out.begin() + static_cast<long>(off));
+      off += take;
+    }
+    update({});
+    ++reseed_counter_;
+  }
+
+  std::uint64_t next_u64() override {
+    std::array<std::uint8_t, 8> buf{};
+    generate(buf);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | buf[static_cast<std::size_t>(i)];
+    return v;
+  }
+
+  void fill(std::span<std::uint8_t> out) override { generate(out); }
+
+  std::uint64_t reseed_counter() const { return reseed_counter_; }
+
+ private:
+  void update(std::span<const std::uint8_t> provided) {
+    // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+    hash::Hmac<hash::Sha256> h1(k_);
+    h1.update(v_);
+    const std::uint8_t b0 = 0x00;
+    h1.update({&b0, 1});
+    h1.update(provided);
+    k_ = h1.finish();
+    v_ = hash::Hmac<hash::Sha256>::mac(k_, v_);
+    if (!provided.empty()) {
+      hash::Hmac<hash::Sha256> h2(k_);
+      h2.update(v_);
+      const std::uint8_t b1 = 0x01;
+      h2.update({&b1, 1});
+      h2.update(provided);
+      k_ = h2.finish();
+      v_ = hash::Hmac<hash::Sha256>::mac(k_, v_);
+    }
+  }
+
+  hash::Sha256::Digest k_{};
+  hash::Sha256::Digest v_{};
+  std::uint64_t reseed_counter_ = 1;
+};
+
+}  // namespace medsec::rng

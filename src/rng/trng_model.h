@@ -1,0 +1,209 @@
+// trng_model.h — model of a physical entropy source plus the on-line health
+// tests a fielded medical device would run on it.
+//
+// The paper lists RNGs and PUFs among the primitives a secure protocol
+// stack needs (§4). A real TRNG on a 0.13 µm chip is a ring-oscillator or
+// metastability source with bias and serial correlation; we model exactly
+// those two defects so the health-test and conditioning code paths are
+// exercised realistically:
+//
+//   P(bit=1) = bias;  P(bit_i == bit_{i-1}) raised by correlation.
+//
+// Health tests follow NIST SP 800-90B §4.4: the Repetition Count Test and
+// the Adaptive Proportion Test, both parameterized by the claimed
+// min-entropy per bit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "rng/xoshiro.h"
+
+namespace medsec::rng {
+
+/// A biased, serially-correlated one-bit-at-a-time entropy source model.
+class TrngModel {
+ public:
+  struct Params {
+    double bias = 0.5;         ///< P(bit = 1) ignoring correlation.
+    double correlation = 0.0;  ///< in [0,1): extra P(repeat previous bit).
+    std::uint64_t seed = 1;
+  };
+
+  explicit TrngModel(const Params& p) : params_(p), prng_(p.seed) {}
+
+  int next_bit() {
+    double p1 = params_.bias;
+    if (have_prev_) {
+      // Mix toward repeating the previous bit.
+      const double repeat = params_.correlation;
+      p1 = repeat * static_cast<double>(prev_) + (1.0 - repeat) * params_.bias;
+    }
+    const int bit = prng_.next_unit() < p1 ? 1 : 0;
+    prev_ = bit;
+    have_prev_ = true;
+    return bit;
+  }
+
+  std::uint8_t next_byte() {
+    std::uint8_t b = 0;
+    for (int i = 0; i < 8; ++i) b = static_cast<std::uint8_t>((b << 1) | next_bit());
+    return b;
+  }
+
+  /// Ideal min-entropy per bit of this source ignoring correlation:
+  /// -log2(max(p, 1-p)).
+  double nominal_min_entropy() const {
+    const double p = std::max(params_.bias, 1.0 - params_.bias);
+    return -std::log2(p);
+  }
+
+ private:
+  Params params_;
+  Xoshiro256 prng_;
+  int prev_ = 0;
+  bool have_prev_ = false;
+};
+
+/// NIST SP 800-90B §4.4.1 Repetition Count Test.
+/// Fails (returns false from feed()) when a value repeats C or more times,
+/// with C = 1 + ceil(20 / H) for a claimed min-entropy of H bits/sample and
+/// a 2^-20 false-positive target.
+class RepetitionCountTest {
+ public:
+  explicit RepetitionCountTest(double claimed_min_entropy_per_bit) {
+    cutoff_ = 1 + static_cast<int>(
+                      std::ceil(20.0 / claimed_min_entropy_per_bit));
+  }
+
+  /// Returns false on health-test failure.
+  bool feed(int bit) {
+    if (have_last_ && bit == last_) {
+      ++run_;
+    } else {
+      run_ = 1;
+      last_ = bit;
+      have_last_ = true;
+    }
+    if (run_ >= cutoff_) {
+      failed_ = true;
+    }
+    return !failed_;
+  }
+
+  bool failed() const { return failed_; }
+  int cutoff() const { return cutoff_; }
+
+ private:
+  int cutoff_;
+  int last_ = 0;
+  int run_ = 0;
+  bool have_last_ = false;
+  bool failed_ = false;
+};
+
+/// NIST SP 800-90B §4.4.2 Adaptive Proportion Test for binary sources:
+/// window W = 1024; the count of the first sample value in the window must
+/// stay below a cutoff derived from the claimed entropy (binomial tail at
+/// 2^-20).
+class AdaptiveProportionTest {
+ public:
+  explicit AdaptiveProportionTest(double claimed_min_entropy_per_bit,
+                                  int window = 1024)
+      : window_(window) {
+    // Cutoff = smallest c with P[Binom(W, p) >= c] <= 2^-20, p = 2^-H.
+    const double p = std::pow(2.0, -claimed_min_entropy_per_bit);
+    cutoff_ = binomial_tail_cutoff(window_, p, std::pow(2.0, -20));
+  }
+
+  bool feed(int bit) {
+    if (pos_ == 0) {
+      reference_ = bit;
+      count_ = 1;
+    } else if (bit == reference_) {
+      ++count_;
+      if (count_ >= cutoff_) failed_ = true;
+    }
+    pos_ = (pos_ + 1) % window_;
+    return !failed_;
+  }
+
+  bool failed() const { return failed_; }
+  int cutoff() const { return cutoff_; }
+
+  /// Exposed for tests: smallest c such that P[X >= c] <= alpha for
+  /// X ~ Binomial(n, p), computed by direct summation in log space.
+  static int binomial_tail_cutoff(int n, double p, double alpha) {
+    // Walk the pmf from k = n down, accumulating the upper tail.
+    std::vector<double> log_pmf(static_cast<std::size_t>(n) + 1);
+    double log_choose = 0.0;  // log C(n, 0)
+    for (int k = 0; k <= n; ++k) {
+      if (k > 0)
+        log_choose += std::log(static_cast<double>(n - k + 1)) -
+                      std::log(static_cast<double>(k));
+      log_pmf[static_cast<std::size_t>(k)] =
+          log_choose + k * std::log(p) + (n - k) * std::log1p(-p);
+    }
+    double tail = 0.0;
+    for (int c = n; c >= 0; --c) {
+      tail += std::exp(log_pmf[static_cast<std::size_t>(c)]);
+      if (tail > alpha) return c + 1;
+    }
+    return 0;
+  }
+
+ private:
+  int window_;
+  int cutoff_;
+  int reference_ = 0;
+  int count_ = 0;
+  int pos_ = 0;
+  bool failed_ = false;
+};
+
+/// Empirical entropy estimates over a bit sample.
+struct EntropyEstimate {
+  double shannon_per_bit;
+  double min_entropy_per_bit;
+  double ones_fraction;
+};
+
+inline EntropyEstimate estimate_entropy(const std::vector<int>& bits) {
+  std::size_t ones = 0;
+  for (int b : bits) ones += static_cast<std::size_t>(b != 0);
+  const double p1 =
+      bits.empty() ? 0.5
+                   : static_cast<double>(ones) / static_cast<double>(bits.size());
+  const double p0 = 1.0 - p1;
+  auto plogp = [](double p) { return p <= 0.0 ? 0.0 : -p * std::log2(p); };
+  return EntropyEstimate{
+      .shannon_per_bit = plogp(p0) + plogp(p1),
+      .min_entropy_per_bit = -std::log2(std::max(p0, p1)),
+      .ones_fraction = p1,
+  };
+}
+
+/// Von Neumann debiaser: consumes bit pairs, emits at most one bit each.
+class VonNeumannDebiaser {
+ public:
+  /// Feed one raw bit; returns the debiased bit when a pair completes with
+  /// differing values.
+  std::optional<int> feed(int bit) {
+    if (!pending_) {
+      pending_ = bit + 1;  // store as 1/2 to distinguish from "none"
+      return std::nullopt;
+    }
+    const int first = *pending_ - 1;
+    pending_.reset();
+    if (first == bit) return std::nullopt;
+    return first;
+  }
+
+ private:
+  std::optional<int> pending_;
+};
+
+}  // namespace medsec::rng

@@ -1,0 +1,130 @@
+#include "sidechannel/dpa.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace medsec::sidechannel {
+
+namespace {
+
+using ecc::Curve;
+using ecc::Fe;
+using ecc::LadderState;
+
+int hamming_weight(const Fe& v) {
+  return std::popcount(v.limb(0)) + std::popcount(v.limb(1)) +
+         std::popcount(v.limb(2));
+}
+
+double predict(const LadderState& s) {
+  return static_cast<double>(hamming_weight(s.x1) + hamming_weight(s.z1) +
+                             hamming_weight(s.x2) + hamming_weight(s.z2));
+}
+
+}  // namespace
+
+DpaResult ladder_dpa_attack(const Curve& curve, const DpaExperiment& exp,
+                            const DpaConfig& config) {
+  const std::size_t n = exp.traces.traces.size();
+  if (n < 4) throw std::invalid_argument("ladder_dpa_attack: too few traces");
+  if (exp.base_points.size() != n)
+    throw std::invalid_argument("ladder_dpa_attack: base point count");
+  const bool white_box = exp.scenario == RpcScenario::kEnabledKnownRandomness;
+  if (white_box && exp.known_randomizers.size() != n)
+    throw std::invalid_argument("ladder_dpa_attack: randomizer count");
+
+  const std::size_t trace_len = exp.traces.length();
+  const std::size_t bits =
+      config.bits_to_attack < trace_len ? config.bits_to_attack : trace_len;
+
+  const Fe b = curve.b();
+
+  // Per-trace attacker-side ladder state after the recovered prefix.
+  // The padded scalar always starts with bit 1 (the ladder consumes bits
+  // from index 1 onward), so the initial state is exactly the
+  // pre-iteration state.
+  std::vector<LadderState> state(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    state[j] = ecc::ladder_initial_state(b, exp.base_points[j].x);
+    if (white_box) {
+      const auto& [l1, l2] = exp.known_randomizers[j];
+      state[j].x1 = Fe::mul(state[j].x1, l1);
+      state[j].z1 = Fe::mul(state[j].z1, l1);
+      state[j].x2 = Fe::mul(state[j].x2, l2);
+      state[j].z2 = Fe::mul(state[j].z2, l2);
+    }
+  }
+
+  DpaResult res;
+  res.recovered_bits.reserve(bits);
+  std::vector<LadderState> cand0(n), cand1(n);
+  std::vector<double> pred0(n), pred1(n), column(n);
+
+  for (std::size_t i = 0; i < bits; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      cand0[j] = state[j];
+      ecc::ladder_iteration(b, exp.base_points[j].x, cand0[j], 0);
+      cand1[j] = state[j];
+      ecc::ladder_iteration(b, exp.base_points[j].x, cand1[j], 1);
+      pred0[j] = predict(cand0[j]);
+      pred1[j] = predict(cand1[j]);
+      column[j] = exp.traces.traces[j][i];
+    }
+
+    double s0 = 0, s1 = 0;
+    if (config.statistic == DpaStatistic::kCpa) {
+      s0 = std::abs(pearson(pred0, column));
+      s1 = std::abs(pearson(pred1, column));
+    } else {
+      // DoM: partition traces by the predicted value of one state bit
+      // (the LSB of X1 under each hypothesis) and compare group means.
+      for (int hyp = 0; hyp < 2; ++hyp) {
+        RunningStats g0, g1;
+        for (std::size_t j = 0; j < n; ++j) {
+          const LadderState& c = hyp ? cand1[j] : cand0[j];
+          (c.x1.bit(0) ? g1 : g0).add(column[j]);
+        }
+        (hyp ? s1 : s0) = dom_z(g0, g1);
+      }
+    }
+
+    const int decision = s1 > s0 ? 1 : 0;
+    res.recovered_bits.push_back(decision);
+    res.stat_correct_hyp.push_back(decision ? s1 : s0);
+    res.stat_rejected_hyp.push_back(decision ? s0 : s1);
+    for (std::size_t j = 0; j < n; ++j)
+      state[j] = decision ? cand1[j] : cand0[j];
+  }
+
+  // Score (the only place ground truth is consulted). true_bits[0] is the
+  // padded leading 1, consumed before iteration 0.
+  for (std::size_t i = 0; i < bits; ++i)
+    if (i + 1 < exp.true_bits.size() &&
+        res.recovered_bits[i] == exp.true_bits[i + 1])
+      ++res.bits_correct;
+  res.accuracy = bits ? static_cast<double>(res.bits_correct) /
+                            static_cast<double>(bits)
+                      : 0.0;
+  res.full_success = res.bits_correct == bits;
+  return res;
+}
+
+std::vector<DpaSweepRow> dpa_trace_count_sweep(
+    const Curve& curve, const ecc::Scalar& k, RpcScenario scenario,
+    const std::vector<std::size_t>& trace_counts, const DpaConfig& config,
+    const AlgorithmicSimConfig& sim) {
+  std::vector<DpaSweepRow> rows;
+  rows.reserve(trace_counts.size());
+  for (const std::size_t count : trace_counts) {
+    AlgorithmicSimConfig s = sim;
+    s.seed = sim.seed + count;  // fresh campaign per count
+    const DpaExperiment exp =
+        generate_dpa_traces(curve, k, count, scenario, s);
+    const DpaResult r = ladder_dpa_attack(curve, exp, config);
+    rows.push_back(DpaSweepRow{count, scenario, r.accuracy, r.full_success});
+  }
+  return rows;
+}
+
+}  // namespace medsec::sidechannel

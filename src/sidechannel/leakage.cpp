@@ -1,0 +1,76 @@
+#include "sidechannel/leakage.h"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+#include "hw/activity.h"
+
+namespace medsec::sidechannel {
+
+const char* logic_style_name(LogicStyle s) {
+  switch (s) {
+    case LogicStyle::kCmos: return "CMOS";
+    case LogicStyle::kWddl: return "WDDL";
+    case LogicStyle::kSabl: return "SABL";
+  }
+  return "?";
+}
+
+double style_power(const LeakageParams& p, double data_toggles,
+                   double baseline_ge, double total_area_ge) {
+  switch (p.style) {
+    case LogicStyle::kCmos:
+      return data_toggles + baseline_ge;
+    case LogicStyle::kWddl:
+      // Every dual-rail gate fires once per cycle: a large constant, plus
+      // the imbalance-scaled residue of the data component. Area (and the
+      // constant) is ~3x the single-rail design.
+      return p.dual_rail_activity * total_area_ge * hw::LogicStyleOverhead::kWddl +
+             p.wddl_imbalance * data_toggles + baseline_ge;
+    case LogicStyle::kSabl:
+      return p.dual_rail_activity * total_area_ge * hw::LogicStyleOverhead::kSabl +
+             p.sabl_imbalance * data_toggles + baseline_ge;
+  }
+  return 0.0;
+}
+
+double cycle_sample(const LeakageParams& p, const hw::CycleRecord& rec,
+                    double area_ge, rng::RandomSource& noise_rng) {
+  using hw::ActivityWeights;
+  const double data =
+      ActivityWeights::kRegisterBit * rec.reg_write_toggles +
+      ActivityWeights::kLogicNode *
+          (rec.logic_toggles + rec.bus_toggles + rec.mux_control_toggles);
+  // Clock tree: each register's branch has a slightly different load
+  // (§6: layout asymmetry). With uniform gating all six branches fire
+  // every cycle and the skews cancel to a constant; with data-dependent
+  // gating the fired subset — and hence the amplitude — identifies which
+  // register was written ("the mere fact that a different set of
+  // registers is gated can be linked ... directly or indirectly to the
+  // key").
+  // Order: X1, Z1, X2, Z2, T, XP. Skews sum to zero so the uniform-gating
+  // total is exactly the nominal tree cost.
+  static constexpr double kBranchSkew[6] = {+0.15, +0.05, -0.10,
+                                            -0.02, +0.04, -0.12};
+  const double branch_unit = ActivityWeights::clock_tree_per_cycle(area_ge) / 6.0;
+  double baseline = 0.0;
+  for (int r = 0; r < 6; ++r)
+    if (rec.clocked_reg_mask & (1u << r))
+      baseline += branch_unit * (1.0 + kBranchSkew[r]);
+  return style_power(p, data, baseline, area_ge) +
+         gaussian(noise_rng, p.noise_sigma);
+}
+
+double gaussian(rng::RandomSource& rng, double sigma) {
+  if (sigma <= 0.0) return 0.0;
+  // Box–Muller on two uniforms in (0, 1].
+  const double u1 =
+      (static_cast<double>(rng.next_u64() >> 11) + 1.0) / 9007199254740993.0;
+  const double u2 =
+      static_cast<double>(rng.next_u64() >> 11) / 9007199254740992.0;
+  return sigma * std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace medsec::sidechannel

@@ -1,0 +1,58 @@
+// leakage.h — how switching activity becomes observable power.
+//
+// §6's core physics: "During the 0→1 transition at the output, a CMOS gate
+// consumes power from the source, which is not the case for 0→0, 1→1 or
+// 1→0 transitions. This asymmetry is what enables the attacker." Dual-rail
+// dynamic styles (SABL, WDDL) force exactly one transition per gate per
+// cycle, making consumption data-independent up to layout imbalance — the
+// residual the paper's white-box evaluation found ("slight unbalances are
+// still present in the layout").
+//
+// The leakage model maps a cycle's (or iteration's) switching events to a
+// power sample:  sample = style(data_dependent) + constant + N(0, sigma).
+#pragma once
+
+#include <cstdint>
+
+#include "hw/coprocessor.h"
+#include "rng/random_source.h"
+
+namespace medsec::sidechannel {
+
+enum class LogicStyle {
+  kCmos,  ///< standard cells: power tracks data toggles 1:1
+  kWddl,  ///< dual-rail precharge, synthesizable (Tiri et al. [19])
+  kSabl,  ///< sense-amplifier based logic, full custom
+};
+
+const char* logic_style_name(LogicStyle s);
+
+struct LeakageParams {
+  LogicStyle style = LogicStyle::kCmos;
+  /// Residual data-dependence of the balanced styles due to layout
+  /// imbalance (fraction of the data-dependent component that still
+  /// reaches the trace). WDDL routes dual rails with ordinary P&R, so it
+  /// is less balanced than hand-crafted SABL.
+  double wddl_imbalance = 0.05;
+  double sabl_imbalance = 0.015;
+  /// Gaussian measurement + environmental noise, in GE-toggle units.
+  double noise_sigma = 350.0;
+  /// Per-gate constant dynamic cost of the dual-rail styles (they burn
+  /// one transition per gate per cycle, data or not).
+  double dual_rail_activity = 1.0;
+};
+
+/// Convert a data-dependent toggle count to the observable (pre-noise)
+/// sample under the given logic style. `baseline_ge` is the cycle's
+/// data-independent floor (clock tree, sequencer).
+double style_power(const LeakageParams& p, double data_toggles,
+                   double baseline_ge, double total_area_ge);
+
+/// Full sample from a co-processor cycle record (adds noise).
+double cycle_sample(const LeakageParams& p, const hw::CycleRecord& rec,
+                    double area_ge, rng::RandomSource& noise_rng);
+
+/// Gaussian sample via Box–Muller from a uniform RandomSource.
+double gaussian(rng::RandomSource& rng, double sigma);
+
+}  // namespace medsec::sidechannel

@@ -1,0 +1,62 @@
+// spa.h — Simple Power Analysis against the co-processor (§6/§7).
+//
+// Two concrete SPA vectors from the paper's circuit-level discussion:
+//
+//   * Mux-control SPA (Figure 3): the ladder's routing select lines fan
+//     out to 164 multiplexers. With naive single-rail encoding the net
+//     only toggles when consecutive key bits differ, so each iteration's
+//     SELSET cycle shows a spike amplitude that encodes k_i xor k_{i-1} —
+//     one averaged trace reads the whole key (up to the known leading 1).
+//     With balanced (dual-rail) encoding the Hamming difference is
+//     constant and the spikes carry no information.
+//
+//   * Clock-gating SPA: with data-dependent clock gating only the written
+//     register's clock branch fires; layout asymmetry makes the branches
+//     distinguishable, and *which* register is written at a fixed schedule
+//     slot is exactly the key bit ("the mere fact that a different set of
+//     registers is gated can be linked ... to the key").
+//
+// Both attacks include the profiling step the paper describes ("a complex
+// profiling phase with an identical device that is under his total
+// control"): schedule positions are learned from a profiling capture on a
+// device with a known key, then applied to the victim trace.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sidechannel/trace_sim.h"
+
+namespace medsec::sidechannel {
+
+/// Cycle indices of the attack's points of interest, learned by profiling.
+struct LadderSchedule {
+  std::vector<std::size_t> selset_cycles;  ///< one per ladder iteration
+  /// Writeback cycle of the first MUL of each iteration (a cycle whose
+  /// clock-gating signature distinguishes the written register).
+  std::vector<std::size_t> gated_write_cycles;
+};
+
+/// Learn the schedule from a profiling capture (key-independent: the
+/// schedule is a constant of the microarchitecture).
+LadderSchedule profile_schedule(const CycleTrace& profiling_trace);
+
+struct SpaResult {
+  std::vector<int> recovered_bits;  ///< aligned with true_bits[1..]
+  std::size_t bits_correct = 0;
+  double accuracy = 0.0;  ///< 1.0 = full key read; ~0.5 = nothing
+};
+
+/// Mux-control SPA: classify the SELSET spike amplitudes into
+/// "toggled"/"did not toggle", integrate the xor-chain from the known
+/// leading 1. `trace` should be an averaged capture of the victim.
+SpaResult mux_control_spa(const CycleTrace& trace,
+                          const LadderSchedule& schedule);
+
+/// Clock-gating SPA: classify the gated writeback amplitudes into
+/// "X1-branch"/"X2-branch". Only informative when the victim runs with
+/// data-dependent clock gating.
+SpaResult clock_gating_spa(const CycleTrace& trace,
+                           const LadderSchedule& schedule);
+
+}  // namespace medsec::sidechannel

@@ -1,0 +1,43 @@
+#include "sidechannel/timing.h"
+
+#include "rng/xoshiro.h"
+#include "sidechannel/trace.h"
+
+namespace medsec::sidechannel {
+
+TimingReport timing_analysis(const ecc::Curve& curve,
+                             ecc::MultAlgorithm algorithm,
+                             std::size_t samples, std::uint64_t seed) {
+  rng::Xoshiro256 rng(seed);
+  rng::Xoshiro256 rpc_rng(seed ^ 0xFEED);
+  TimingReport rep;
+  rep.runtimes.reserve(samples);
+  rep.key_weights.reserve(samples);
+  RunningStats stats;
+
+  for (std::size_t i = 0; i < samples; ++i) {
+    const ecc::Scalar k = rng.uniform_nonzero(curve.order());
+    int weight = 0;
+    for (std::size_t b = 0; b < k.bit_length(); ++b)
+      if (k.bit(b)) ++weight;
+
+    ecc::MultStats ms;
+    ecc::MultOptions opt;
+    opt.algorithm = algorithm;
+    opt.stats = &ms;
+    if (algorithm == ecc::MultAlgorithm::kLadderRpc) opt.rng = &rpc_rng;
+    ecc::scalar_mult(curve, k, curve.base_point(), opt);
+
+    rep.runtimes.push_back(static_cast<double>(ms.op_slots));
+    rep.key_weights.push_back(static_cast<double>(weight));
+    stats.add(static_cast<double>(ms.op_slots));
+  }
+
+  rep.mean = stats.mean();
+  rep.variance = stats.variance();
+  rep.correlation_with_weight = pearson(rep.runtimes, rep.key_weights);
+  rep.constant_time = rep.variance == 0.0;
+  return rep;
+}
+
+}  // namespace medsec::sidechannel

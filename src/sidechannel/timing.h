@@ -1,0 +1,35 @@
+// timing.h — timing-attack analysis (§7, Kocher [7]).
+//
+// "Timing attacks exploit the timing variance with different inputs to
+// provide some information about the key." The harness runs many random
+// keys through an implementation, collects the runtime proxy (operation
+// slots at algorithm level, clock cycles at architecture level) and
+// reports (a) the runtime variance across keys and (b) the Pearson
+// correlation between runtime and key Hamming weight — the statistic a
+// timing adversary builds on. A protected implementation shows zero
+// variance; the double-and-add baseline shows correlation ~1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ecc/curve.h"
+#include "ecc/scalar_mult.h"
+
+namespace medsec::sidechannel {
+
+struct TimingReport {
+  std::vector<double> runtimes;     ///< per-key runtime proxy
+  std::vector<double> key_weights;  ///< per-key scalar Hamming weight
+  double mean = 0.0;
+  double variance = 0.0;
+  double correlation_with_weight = 0.0;  ///< Pearson(runtime, HW(k))
+  bool constant_time = false;            ///< variance == 0 exactly
+};
+
+/// Measure `samples` random keys under the given scalar-mult algorithm.
+TimingReport timing_analysis(const ecc::Curve& curve,
+                             ecc::MultAlgorithm algorithm,
+                             std::size_t samples, std::uint64_t seed = 99);
+
+}  // namespace medsec::sidechannel

@@ -1,0 +1,41 @@
+#include "sidechannel/trace.h"
+
+#include <cmath>
+
+namespace medsec::sidechannel {
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  if (n < 2) return 0.0;
+  double ma = 0, mb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double saa = 0, sbb = 0, sab = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma, db = b[i] - mb;
+    saa += da * da;
+    sbb += db * db;
+    sab += da * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+double welch_t(const RunningStats& a, const RunningStats& b) {
+  if (a.count() < 2 || b.count() < 2) return 0.0;
+  const double va = a.variance() / static_cast<double>(a.count());
+  const double vb = b.variance() / static_cast<double>(b.count());
+  const double denom = std::sqrt(va + vb);
+  if (denom <= 0.0) return 0.0;
+  return (a.mean() - b.mean()) / denom;
+}
+
+double dom_z(const RunningStats& g0, const RunningStats& g1) {
+  return std::abs(welch_t(g0, g1));
+}
+
+}  // namespace medsec::sidechannel

@@ -1,0 +1,58 @@
+// trace.h — power traces and the statistics the attacks are built from.
+//
+// A trace is the modeled oscilloscope output of Figure 4: one power sample
+// per time point (iteration-granular for the algorithmic backend,
+// cycle-granular for the co-processor backend). The statistics here are
+// the ones the paper's "statistical analysis (MATLAB)" box performs:
+// means, variances, Pearson correlation (CPA), difference of means (DPA),
+// and Welch's t (TVLA leakage assessment).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace medsec::sidechannel {
+
+using Trace = std::vector<double>;
+
+/// A set of traces with equal length plus the per-trace public data the
+/// attacker knows (indices into whatever the experiment associates).
+struct TraceSet {
+  std::vector<Trace> traces;
+  std::size_t length() const {
+    return traces.empty() ? 0 : traces.front().size();
+  }
+};
+
+/// Running mean/variance (Welford). Numerically stable for long traces.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Pearson correlation between two equal-length series; 0 if degenerate.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Welch's t statistic between two sample groups; 0 if degenerate.
+double welch_t(const RunningStats& a, const RunningStats& b);
+
+/// Difference-of-means DPA statistic: |mean(group1) - mean(group0)|
+/// normalized by the pooled standard error (a z-score).
+double dom_z(const RunningStats& g0, const RunningStats& g1);
+
+}  // namespace medsec::sidechannel

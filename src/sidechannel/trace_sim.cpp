@@ -1,0 +1,160 @@
+#include "sidechannel/trace_sim.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "hw/activity.h"
+#include "rng/xoshiro.h"
+
+namespace medsec::sidechannel {
+
+namespace {
+
+using ecc::Curve;
+using ecc::Fe;
+using ecc::Point;
+using ecc::Scalar;
+
+int hamming_weight(const Fe& v) {
+  return std::popcount(v.limb(0)) + std::popcount(v.limb(1)) +
+         std::popcount(v.limb(2));
+}
+
+Fe nonzero_fe(rng::RandomSource& rng) {
+  for (;;) {
+    bigint::U192 v;
+    for (std::size_t i = 0; i < 3; ++i) v.set_limb(i, rng.next_u64());
+    const Fe fe = Fe::from_bits(v);
+    if (!fe.is_zero()) return fe;
+  }
+}
+
+/// A random point of the prime-order subgroup with nonzero x (the inputs
+/// the adversary feeds / observes). Uses the projective ladder: orders of
+/// magnitude faster than the affine reference when generating the
+/// paper's 20 000-trace campaigns.
+Point random_subgroup_point(const Curve& c, rng::RandomSource& rng) {
+  for (;;) {
+    const Scalar r = rng.uniform_nonzero(c.order());
+    const Point p = ecc::montgomery_ladder(c, r, c.base_point());
+    if (!p.infinity && !p.x.is_zero()) return p;
+  }
+}
+
+std::vector<int> padded_bits_of(const Curve& c, const Scalar& k) {
+  const Scalar padded = ecc::constant_length_scalar(c, k);
+  std::vector<int> bits;
+  bits.reserve(padded.bit_length());
+  for (std::size_t i = padded.bit_length(); i-- > 0;)
+    bits.push_back(padded.bit(i) ? 1 : 0);
+  return bits;
+}
+
+}  // namespace
+
+const char* rpc_scenario_name(RpcScenario s) {
+  switch (s) {
+    case RpcScenario::kDisabled:
+      return "RPC disabled";
+    case RpcScenario::kEnabledKnownRandomness:
+      return "RPC enabled, randomness known (white-box)";
+    case RpcScenario::kEnabledSecretRandomness:
+      return "RPC enabled, randomness secret";
+  }
+  return "?";
+}
+
+DpaExperiment generate_dpa_traces(const Curve& curve, const Scalar& k,
+                                  std::size_t num_traces,
+                                  RpcScenario scenario,
+                                  const AlgorithmicSimConfig& config) {
+  DpaExperiment out;
+  out.scenario = scenario;
+  out.true_bits = padded_bits_of(curve, k);
+  out.traces.traces.reserve(num_traces);
+  out.base_points.reserve(num_traces);
+
+  rng::Xoshiro256 rng(config.seed);
+  rng::Xoshiro256 noise_rng(config.seed ^ 0x9E3779B97F4A7C15ull);
+
+  for (std::size_t j = 0; j < num_traces; ++j) {
+    const Point p = config.fixed_base_point
+                        ? *config.fixed_base_point
+                        : random_subgroup_point(curve, rng);
+    out.base_points.push_back(p);
+
+    ecc::LadderOptions lo;
+    if (scenario != RpcScenario::kDisabled) {
+      const Fe l1 = nonzero_fe(rng);
+      const Fe l2 = nonzero_fe(rng);
+      lo.known_randomizers = std::make_pair(l1, l2);
+      if (scenario == RpcScenario::kEnabledKnownRandomness)
+        out.known_randomizers.emplace_back(l1, l2);
+    }
+
+    Trace trace;
+    trace.reserve(out.true_bits.size());
+    lo.observer = [&](const ecc::LadderObservation& ob) {
+      // Register-transfer leakage: Hamming weight of the four working
+      // registers after the iteration, in GE-toggle units.
+      const double hw_state = hamming_weight(ob.x1) + hamming_weight(ob.z1) +
+                              hamming_weight(ob.x2) + hamming_weight(ob.z2);
+      const double data = hw::ActivityWeights::kRegisterBit * hw_state;
+      trace.push_back(style_power(config.leakage, data,
+                                  /*baseline_ge=*/2200.0,
+                                  hw::ecc_coprocessor_ge(163, 4)) +
+                      gaussian(noise_rng, config.leakage.noise_sigma));
+    };
+    montgomery_ladder(curve, k, p, lo);
+    out.traces.traces.push_back(std::move(trace));
+  }
+  return out;
+}
+
+CycleTrace capture_cycle_trace(const Curve& curve, const Scalar& k,
+                               const Point& p, const CycleSimConfig& config) {
+  if (p.infinity || p.x.is_zero())
+    throw std::invalid_argument("capture_cycle_trace: bad base point");
+
+  hw::CoprocessorConfig cc = config.coproc;
+  cc.record_cycles = true;
+  hw::Coprocessor cop(cc);
+
+  rng::Xoshiro256 rng(config.seed);
+  rng::Xoshiro256 noise_rng(config.seed ^ 0xA5A5'5A5A'1234'8765ull);
+
+  hw::PointMultOptions opt;
+  if (config.rpc) opt.z_randomizers = {nonzero_fe(rng), nonzero_fe(rng)};
+
+  CycleTrace out;
+  out.true_bits = padded_bits_of(curve, k);
+  std::vector<int> bits = out.true_bits;
+  auto r = cop.point_mult(bits, p.x, opt);
+  out.area_ge = cop.area_ge();
+  out.records = std::move(r.exec.records);
+  out.samples.reserve(out.records.size());
+  for (const auto& rec : out.records)
+    out.samples.push_back(
+        cycle_sample(config.leakage, rec, out.area_ge, noise_rng));
+  return out;
+}
+
+CycleTrace capture_averaged_cycle_trace(const Curve& curve, const Scalar& k,
+                                        const Point& p,
+                                        const CycleSimConfig& config,
+                                        std::size_t num_captures) {
+  if (num_captures == 0)
+    throw std::invalid_argument("capture_averaged_cycle_trace: 0 captures");
+  CycleTrace acc = capture_cycle_trace(curve, k, p, config);
+  for (std::size_t j = 1; j < num_captures; ++j) {
+    CycleSimConfig c2 = config;
+    c2.seed = config.seed + 0x1000 * j;  // fresh noise, fresh randomizers
+    const CycleTrace t = capture_cycle_trace(curve, k, p, c2);
+    for (std::size_t i = 0; i < acc.samples.size(); ++i)
+      acc.samples[i] += t.samples[i];
+  }
+  for (double& s : acc.samples) s /= static_cast<double>(num_captures);
+  return acc;
+}
+
+}  // namespace medsec::sidechannel

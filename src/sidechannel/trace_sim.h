@@ -1,0 +1,102 @@
+// trace_sim.h — the modeled measurement setup of Figure 4.
+//
+// "Chip under study → oscilloscope → power consumption traces": we have
+// two chips under study.
+//
+//   * The *algorithmic* backend leaks one sample per ladder iteration
+//     (Hamming weight of the four working registers, register-transfer
+//     granularity). It is fast enough to generate the paper's 20 000-trace
+//     DPA experiments in seconds and is what the DPA benches use.
+//
+//   * The *cycle-accurate* backend runs the hw::Coprocessor and leaks one
+//     sample per clock cycle, including the mux-control and clock-gating
+//     components of §6. It is what the SPA / circuit-ablation experiments
+//     use, and the tests cross-check that both backends expose the same
+//     algorithm-level leakage.
+//
+// The victim's secret scalar is fixed across a trace set; the base point
+// varies per trace and is known to the adversary (known-input DPA, the
+// standard setting for ECPM attacks).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ecc/curve.h"
+#include "ecc/ladder.h"
+#include "hw/coprocessor.h"
+#include "sidechannel/leakage.h"
+#include "sidechannel/trace.h"
+
+namespace medsec::sidechannel {
+
+/// The three §7 scenarios for the randomized-projective-coordinates
+/// countermeasure.
+enum class RpcScenario {
+  kDisabled,                 ///< "the countermeasure is disabled"
+  kEnabledKnownRandomness,   ///< white-box: "the randomness is known"
+  kEnabledSecretRandomness,  ///< normal operation
+};
+
+const char* rpc_scenario_name(RpcScenario s);
+
+/// Everything one DPA campaign produces: what the oscilloscope captured
+/// plus what the adversary legitimately knows.
+struct DpaExperiment {
+  TraceSet traces;                        ///< one trace per execution
+  std::vector<ecc::Point> base_points;    ///< known inputs P_j
+  /// Per-trace Z-randomizers; filled only in the white-box scenario.
+  std::vector<std::pair<ecc::Fe, ecc::Fe>> known_randomizers;
+  /// Ground truth (padded scalar bits, MSB first, leading 1) — used only
+  /// to *score* attacks, never by the attack itself.
+  std::vector<int> true_bits;
+  RpcScenario scenario = RpcScenario::kDisabled;
+};
+
+struct AlgorithmicSimConfig {
+  LeakageParams leakage;
+  std::uint64_t seed = 1;  ///< drives base points, randomizers and noise
+  /// TVLA-style fixed-input campaigns: use this base point for every
+  /// trace instead of drawing a fresh random point per trace.
+  std::optional<ecc::Point> fixed_base_point;
+};
+
+/// Generate `num_traces` ladder executions of secret k on random base
+/// points of the curve's prime-order subgroup.
+DpaExperiment generate_dpa_traces(const ecc::Curve& curve,
+                                  const ecc::Scalar& k,
+                                  std::size_t num_traces,
+                                  RpcScenario scenario,
+                                  const AlgorithmicSimConfig& config = {});
+
+/// One cycle-accurate trace of a co-processor point multiplication,
+/// together with the ground-truth records (for scoring and profiling).
+struct CycleTrace {
+  Trace samples;                          ///< one per clock cycle
+  std::vector<hw::CycleRecord> records;   ///< aligned with samples
+  std::vector<int> true_bits;
+  double area_ge = 0;
+};
+
+struct CycleSimConfig {
+  hw::CoprocessorConfig coproc;
+  LeakageParams leakage;
+  bool rpc = true;
+  std::uint64_t seed = 1;
+};
+
+/// Run the co-processor once on (k, P) and measure every cycle.
+CycleTrace capture_cycle_trace(const ecc::Curve& curve, const ecc::Scalar& k,
+                               const ecc::Point& p,
+                               const CycleSimConfig& config);
+
+/// Average several captures of the same (k, P): the attacker's standard
+/// noise-reduction step before SPA.
+CycleTrace capture_averaged_cycle_trace(const ecc::Curve& curve,
+                                        const ecc::Scalar& k,
+                                        const ecc::Point& p,
+                                        const CycleSimConfig& config,
+                                        std::size_t num_captures);
+
+}  // namespace medsec::sidechannel

@@ -1,0 +1,26 @@
+#include "sidechannel/tvla.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace medsec::sidechannel {
+
+TvlaReport tvla_fixed_vs_random(const TraceSet& fixed, const TraceSet& random,
+                                double threshold) {
+  TvlaReport rep;
+  rep.threshold = threshold;
+  const std::size_t len = std::min(fixed.length(), random.length());
+  rep.t_values.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    RunningStats f, r;
+    for (const Trace& t : fixed.traces) f.add(t[i]);
+    for (const Trace& t : random.traces) r.add(t[i]);
+    const double t = welch_t(f, r);
+    rep.t_values.push_back(t);
+    rep.max_abs_t = std::max(rep.max_abs_t, std::abs(t));
+    if (std::abs(t) > threshold) ++rep.points_over_threshold;
+  }
+  return rep;
+}
+
+}  // namespace medsec::sidechannel

@@ -1,0 +1,31 @@
+// tvla.h — Test Vector Leakage Assessment (Welch t-test).
+//
+// The paper's white-box evaluation (§7) asks a yes/no question per
+// countermeasure: does any time point of the trace depend on the data?
+// TVLA is the standard formulation: capture one group with a *fixed*
+// input and one with *random* inputs, compute Welch's t per sample, and
+// flag |t| > 4.5 (the conventional 99.999% threshold) as leakage. The
+// circuit-ablation bench uses this as its leakage metric.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sidechannel/trace.h"
+
+namespace medsec::sidechannel {
+
+struct TvlaReport {
+  std::vector<double> t_values;  ///< per time point
+  double max_abs_t = 0.0;
+  std::size_t points_over_threshold = 0;
+  double threshold = 4.5;
+  bool leaks() const { return points_over_threshold > 0; }
+};
+
+/// Welch t-test between a fixed-input group and a random-input group.
+/// Traces must have equal length; unequal trailing samples are ignored.
+TvlaReport tvla_fixed_vs_random(const TraceSet& fixed, const TraceSet& random,
+                                double threshold = 4.5);
+
+}  // namespace medsec::sidechannel

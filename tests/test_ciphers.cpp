@@ -1,0 +1,238 @@
+// Published-test-vector and property tests for the symmetric substrates:
+// AES-128 (FIPS 197), PRESENT (CHES 2007 paper vectors), SIMON/SPECK
+// (Beaulieu et al. reference vectors), CTR/CMAC modes (NIST SP 800-38A/B),
+// and the encrypt-then-MAC composition the mutual-auth protocol uses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "ciphers/aes128.h"
+#include "ciphers/modes.h"
+#include "ciphers/present.h"
+#include "ciphers/simon_speck.h"
+#include "rng/xoshiro.h"
+
+namespace {
+
+namespace ci = medsec::ciphers;
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2)
+    out.push_back(
+        static_cast<std::uint8_t>(std::stoi(hex.substr(i, 2), nullptr, 16)));
+  return out;
+}
+
+std::string to_hex(std::span<const std::uint8_t> v) {
+  static const char* d = "0123456789abcdef";
+  std::string s;
+  for (const auto b : v) {
+    s += d[b >> 4];
+    s += d[b & 0xf];
+  }
+  return s;
+}
+
+std::vector<std::uint8_t> encrypt(const ci::BlockCipher& c,
+                                  const std::vector<std::uint8_t>& pt) {
+  std::vector<std::uint8_t> ct(pt.size());
+  c.encrypt_block(pt, ct);
+  return ct;
+}
+
+std::vector<std::uint8_t> decrypt(const ci::BlockCipher& c,
+                                  const std::vector<std::uint8_t>& ct) {
+  std::vector<std::uint8_t> pt(ct.size());
+  c.decrypt_block(ct, pt);
+  return pt;
+}
+
+// --- AES-128 (FIPS 197 Appendix C.1) -----------------------------------------
+
+TEST(Aes128, Fips197Vector) {
+  const ci::Aes128 aes(from_hex("000102030405060708090a0b0c0d0e0f"));
+  const auto pt = from_hex("00112233445566778899aabbccddeeff");
+  const auto ct = encrypt(aes, pt);
+  EXPECT_EQ(to_hex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  EXPECT_EQ(decrypt(aes, ct), pt);
+}
+
+TEST(Aes128, Sp80038aEcbVectors) {
+  const ci::Aes128 aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const auto ct = encrypt(aes, from_hex("6bc1bee22e409f96e93d7e117393172a"));
+  EXPECT_EQ(to_hex(ct), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(Aes128, Metadata) {
+  const ci::Aes128 aes(std::vector<std::uint8_t>(16, 0));
+  EXPECT_EQ(aes.block_bytes(), 16u);
+  EXPECT_EQ(aes.key_bytes(), 16u);
+  EXPECT_EQ(aes.name(), "AES-128");
+}
+
+// --- PRESENT (Bogdanov et al., CHES 2007, Table 2) ----------------------------
+
+struct PresentVector {
+  const char* key;
+  const char* pt;
+  const char* ct;
+};
+
+class Present80Vectors : public ::testing::TestWithParam<PresentVector> {};
+
+TEST_P(Present80Vectors, Matches) {
+  const auto& v = GetParam();
+  const ci::Present c(from_hex(v.key));
+  const auto ct = encrypt(c, from_hex(v.pt));
+  EXPECT_EQ(to_hex(ct), v.ct);
+  EXPECT_EQ(decrypt(c, ct), from_hex(v.pt));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ches2007, Present80Vectors,
+    ::testing::Values(
+        PresentVector{"00000000000000000000", "0000000000000000",
+                      "5579c1387b228445"},
+        PresentVector{"ffffffffffffffffffff", "0000000000000000",
+                      "e72c46c0f5945049"},
+        PresentVector{"00000000000000000000", "ffffffffffffffff",
+                      "a112ffc72f68417b"},
+        PresentVector{"ffffffffffffffffffff", "ffffffffffffffff",
+                      "3333dcd3213210d2"}));
+
+TEST(Present, KeySizeInferredFromKeyLength) {
+  const ci::Present p80(std::vector<std::uint8_t>(10, 0));
+  const ci::Present p128(std::vector<std::uint8_t>(16, 0));
+  EXPECT_EQ(p80.key_bytes(), 10u);
+  EXPECT_EQ(p128.key_bytes(), 16u);
+  EXPECT_EQ(p80.block_bytes(), 8u);
+  // Different key schedules must encrypt differently.
+  const std::vector<std::uint8_t> pt(8, 0);
+  EXPECT_NE(encrypt(p80, pt), encrypt(p128, pt));
+}
+
+// --- SIMON / SPECK 64/96 (reference implementation vectors) -------------------
+
+TEST(Simon6496, ReferenceVector) {
+  // Key (k2, k1, k0) = (13121110, 0b0a0908, 03020100), big-endian words.
+  const ci::Simon6496 c(from_hex("131211100b0a090803020100"));
+  const auto pt = from_hex("6f7220676e696c63");
+  const auto ct = encrypt(c, pt);
+  EXPECT_EQ(to_hex(ct), "5ca2e27f111a8fc8");
+  EXPECT_EQ(decrypt(c, ct), pt);
+}
+
+TEST(Speck6496, ReferenceVector) {
+  const ci::Speck6496 c(from_hex("131211100b0a090803020100"));
+  const auto pt = from_hex("74614620736e6165");
+  const auto ct = encrypt(c, pt);
+  EXPECT_EQ(to_hex(ct), "9f7952ec4175946c");
+  EXPECT_EQ(decrypt(c, ct), pt);
+}
+
+// --- round-trip property across all ciphers -----------------------------------
+
+class AllCiphers
+    : public ::testing::TestWithParam<std::shared_ptr<ci::BlockCipher>> {};
+
+TEST_P(AllCiphers, EncryptDecryptRoundTripRandomBlocks) {
+  const auto& c = *GetParam();
+  medsec::rng::Xoshiro256 rng(77);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<std::uint8_t> pt(c.block_bytes());
+    rng.fill(pt);
+    const auto ct = encrypt(c, pt);
+    EXPECT_NE(ct, pt);  // 2^-64 fluke at worst
+    EXPECT_EQ(decrypt(c, ct), pt);
+  }
+}
+
+TEST_P(AllCiphers, EncryptionIsAPermutationOnDistinctBlocks) {
+  const auto& c = *GetParam();
+  std::vector<std::uint8_t> a(c.block_bytes(), 0x00);
+  std::vector<std::uint8_t> b(c.block_bytes(), 0x00);
+  b[0] = 1;
+  EXPECT_NE(encrypt(c, a), encrypt(c, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fleet, AllCiphers,
+    ::testing::Values(
+        std::make_shared<ci::Aes128>(std::vector<std::uint8_t>(16, 0x42)),
+        std::make_shared<ci::Present>(std::vector<std::uint8_t>(10, 0x42)),
+        std::make_shared<ci::Present>(std::vector<std::uint8_t>(16, 0x42)),
+        std::make_shared<ci::Simon6496>(std::vector<std::uint8_t>(12, 0x42)),
+        std::make_shared<ci::Speck6496>(std::vector<std::uint8_t>(12, 0x42))),
+    [](const auto& info) {
+      std::string n = info.param->name();
+      std::replace_if(n.begin(), n.end(),
+                      [](char ch) { return !std::isalnum(ch); }, '_');
+      return n + std::to_string(info.index);
+    });
+
+// --- modes ----------------------------------------------------------------------
+
+TEST(Modes, CtrRoundTripAndKeystreamProperty) {
+  const ci::Aes128 aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const std::vector<std::uint8_t> nonce(12, 0xAB);
+  std::vector<std::uint8_t> msg(45);
+  for (std::size_t i = 0; i < msg.size(); ++i)
+    msg[i] = static_cast<std::uint8_t>(i);
+  const auto ct = ci::ctr_crypt(aes, nonce, msg);
+  EXPECT_EQ(ct.size(), msg.size());
+  EXPECT_EQ(ci::ctr_crypt(aes, nonce, ct), msg);  // involution
+}
+
+TEST(Modes, CmacNistVectors) {
+  // NIST SP 800-38B, AES-128 examples.
+  const ci::Aes128 aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  EXPECT_EQ(to_hex(ci::cmac(aes, {})),
+            "bb1d6929e95937287fa37d129b756746");
+  EXPECT_EQ(to_hex(ci::cmac(aes, from_hex("6bc1bee22e409f96e93d7e117393172a"))),
+            "070a16b46b4d4144f79bdd9dd04a287c");
+  EXPECT_EQ(
+      to_hex(ci::cmac(
+          aes, from_hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c"
+                        "9eb76fac45af8e5130c81c46a35ce411"))),
+      "dfa66747de9ae63030ca32611497c827");
+}
+
+TEST(Modes, CmacWorksOn8ByteBlocks) {
+  const ci::Present p(std::vector<std::uint8_t>(10, 1));
+  const auto m1 = ci::cmac(p, from_hex("00"));
+  const auto m2 = ci::cmac(p, from_hex("01"));
+  EXPECT_EQ(m1.size(), 8u);
+  EXPECT_NE(m1, m2);
+}
+
+TEST(Modes, EncryptThenMacRoundTripAndTamperDetection) {
+  const ci::Aes128 enc(std::vector<std::uint8_t>(16, 3));
+  const ci::Aes128 mac(std::vector<std::uint8_t>(16, 4));
+  const std::vector<std::uint8_t> nonce(12, 9);
+  const auto pt = from_hex("000102030405060708090a0b0c0d0e0f1011");
+  const auto sealed = ci::encrypt_then_mac(enc, mac, nonce, pt);
+
+  std::vector<std::uint8_t> out;
+  EXPECT_TRUE(ci::decrypt_then_verify(enc, mac, nonce, sealed.ciphertext,
+                                      sealed.tag, out));
+  EXPECT_EQ(out, pt);
+
+  auto bad_ct = sealed.ciphertext;
+  bad_ct[0] ^= 1;
+  EXPECT_FALSE(
+      ci::decrypt_then_verify(enc, mac, nonce, bad_ct, sealed.tag, out));
+  auto bad_tag = sealed.tag;
+  bad_tag[0] ^= 1;
+  EXPECT_FALSE(ci::decrypt_then_verify(enc, mac, nonce, sealed.ciphertext,
+                                       bad_tag, out));
+}
+
+TEST(Modes, CbcMacDiffersFromCmac) {
+  const ci::Aes128 aes(std::vector<std::uint8_t>(16, 5));
+  const auto msg = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  EXPECT_NE(ci::cbc_mac(aes, msg), ci::cmac(aes, msg));
+}
+
+}  // namespace

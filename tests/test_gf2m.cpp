@@ -1,0 +1,286 @@
+// Unit and property tests for F_2^163 and the generic GF(2)[x] oracle.
+#include <gtest/gtest.h>
+
+#include "gf2m/clmul.h"
+#include "gf2m/gf2_163.h"
+#include "gf2m/gf2_poly.h"
+#include "rng/xoshiro.h"
+
+namespace {
+
+using medsec::gf2m::clmul64;
+using medsec::gf2m::clsqr64;
+using medsec::gf2m::Gf163;
+using medsec::gf2m::Gf2Poly;
+using medsec::rng::Xoshiro256;
+
+Gf163 random_fe(Xoshiro256& rng) {
+  medsec::bigint::U192 v;
+  v.set_limb(0, rng.next_u64());
+  v.set_limb(1, rng.next_u64());
+  v.set_limb(2, rng.next_u64());
+  return Gf163::from_bits(v);
+}
+
+Gf2Poly to_poly(const Gf163& a) {
+  Gf2Poly p;
+  for (std::size_t i = 0; i < 163; ++i)
+    if (a.bit(i)) p.set_bit(i);
+  return p;
+}
+
+const Gf2Poly kFieldPoly = Gf2Poly::from_exponents({163, 7, 6, 3, 0});
+
+// --- carry-less multiply primitive -----------------------------------------
+
+TEST(Clmul, MatchesBitwiseReference) {
+  Xoshiro256 rng(1);
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    std::uint64_t lo, hi;
+    clmul64(a, b, lo, hi);
+    std::uint64_t rlo = 0, rhi = 0;
+    for (int i = 0; i < 64; ++i) {
+      if ((b >> i) & 1u) {
+        rlo ^= a << i;
+        if (i != 0) rhi ^= a >> (64 - i);
+      }
+    }
+    EXPECT_EQ(lo, rlo) << "a=" << a << " b=" << b;
+    EXPECT_EQ(hi, rhi) << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(Clmul, TopBitsExercised) {
+  // Operands with all of the top window bits set (the correction path).
+  std::uint64_t lo, hi;
+  clmul64(0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL, lo, hi);
+  // (sum x^i)^2-free check: known value of ones(64) (x) ones(64):
+  // bit k of result = parity of number of (i,j), i+j=k, i,j<64 = (k<64? k+1 : 127-k) mod 2.
+  std::uint64_t rlo = 0, rhi = 0;
+  for (int k = 0; k < 128; ++k) {
+    const int count = k < 64 ? k + 1 : 127 - k;
+    if (count & 1) {
+      if (k < 64) rlo |= std::uint64_t{1} << k;
+      else rhi |= std::uint64_t{1} << (k - 64);
+    }
+  }
+  EXPECT_EQ(lo, rlo);
+  EXPECT_EQ(hi, rhi);
+}
+
+TEST(Clmul, SquareMatchesSelfMultiply) {
+  Xoshiro256 rng(2);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::uint64_t a = rng.next_u64();
+    std::uint64_t lo1, hi1, lo2, hi2;
+    clmul64(a, a, lo1, hi1);
+    clsqr64(a, lo2, hi2);
+    EXPECT_EQ(lo1, lo2);
+    EXPECT_EQ(hi1, hi2);
+  }
+}
+
+// --- field element basics ---------------------------------------------------
+
+TEST(Gf163, HexRoundTrip) {
+  const auto a = Gf163::from_hex("2FE13C0537BBC11ACAA07D793DE4E6D5E5C94EEE8");
+  EXPECT_EQ(a.to_hex(), "2fe13c0537bbc11acaa07d793de4e6d5e5c94eee8");
+}
+
+TEST(Gf163, AdditionIsXorAndInvolutive) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Gf163 a = random_fe(rng);
+    const Gf163 b = random_fe(rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + b, a);  // char 2: x + x = 0
+    EXPECT_TRUE((a + a).is_zero());
+  }
+}
+
+TEST(Gf163, MulIdentityAndZero) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const Gf163 a = random_fe(rng);
+    EXPECT_EQ(Gf163::mul(a, Gf163::one()), a);
+    EXPECT_TRUE(Gf163::mul(a, Gf163::zero()).is_zero());
+  }
+}
+
+TEST(Gf163, MulMatchesGenericPolyOracle) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Gf163 a = random_fe(rng);
+    const Gf163 b = random_fe(rng);
+    const Gf163 fast = Gf163::mul(a, b);
+    const Gf2Poly ref = Gf2Poly::mulmod(to_poly(a), to_poly(b), kFieldPoly);
+    EXPECT_EQ(to_poly(fast), ref)
+        << "a=" << a.to_hex() << " b=" << b.to_hex();
+  }
+}
+
+TEST(Gf163, FieldAxioms) {
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const Gf163 a = random_fe(rng);
+    const Gf163 b = random_fe(rng);
+    const Gf163 c = random_fe(rng);
+    EXPECT_EQ(Gf163::mul(a, b), Gf163::mul(b, a));
+    EXPECT_EQ(Gf163::mul(Gf163::mul(a, b), c),
+              Gf163::mul(a, Gf163::mul(b, c)));
+    EXPECT_EQ(Gf163::mul(a, b + c),
+              Gf163::mul(a, b) + Gf163::mul(a, c));
+  }
+}
+
+TEST(Gf163, SqrMatchesMul) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Gf163 a = random_fe(rng);
+    EXPECT_EQ(Gf163::sqr(a), Gf163::mul(a, a));
+  }
+}
+
+TEST(Gf163, FrobeniusIsLinear) {
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 100; ++i) {
+    const Gf163 a = random_fe(rng);
+    const Gf163 b = random_fe(rng);
+    EXPECT_EQ(Gf163::sqr(a + b), Gf163::sqr(a) + Gf163::sqr(b));
+  }
+}
+
+TEST(Gf163, InverseTimesSelfIsOne) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100; ++i) {
+    Gf163 a = random_fe(rng);
+    if (a.is_zero()) a = Gf163::one();
+    EXPECT_EQ(Gf163::mul(a, Gf163::inv(a)), Gf163::one());
+  }
+}
+
+TEST(Gf163, InverseMatchesGenericOracle) {
+  Xoshiro256 rng(10);
+  for (int i = 0; i < 20; ++i) {
+    Gf163 a = random_fe(rng);
+    if (a.is_zero()) a = Gf163::one();
+    const Gf2Poly ref = Gf2Poly::invmod(to_poly(a), kFieldPoly);
+    EXPECT_EQ(to_poly(Gf163::inv(a)), ref);
+  }
+}
+
+TEST(Gf163, SqrtInvertsSquaring) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const Gf163 a = random_fe(rng);
+    EXPECT_EQ(Gf163::sqrt(Gf163::sqr(a)), a);
+    EXPECT_EQ(Gf163::sqr(Gf163::sqrt(a)), a);
+  }
+}
+
+TEST(Gf163, FrobeniusOrder163) {
+  // a^(2^163) == a for all a (the field has 2^163 elements).
+  Xoshiro256 rng(12);
+  const Gf163 a = random_fe(rng);
+  EXPECT_EQ(Gf163::sqr_n(a, 163), a);
+}
+
+TEST(Gf163, TraceIsAdditive) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 10; ++i) {
+    const Gf163 a = random_fe(rng);
+    const Gf163 b = random_fe(rng);
+    EXPECT_EQ(Gf163::trace(a + b),
+              Gf163::trace(a) ^ Gf163::trace(b));
+  }
+}
+
+TEST(Gf163, TraceOfOneIsOneForOddM) {
+  // For odd extension degree m, Tr(1) = m mod 2 = 1.
+  EXPECT_EQ(Gf163::trace(Gf163::one()), 1);
+}
+
+TEST(Gf163, HalfTraceSolvesQuadratic) {
+  Xoshiro256 rng(14);
+  int solved = 0;
+  for (int i = 0; i < 20; ++i) {
+    const Gf163 c = random_fe(rng);
+    if (Gf163::trace(c) != 0) continue;  // no solution exists
+    const Gf163 z = Gf163::half_trace(c);
+    EXPECT_EQ(Gf163::sqr(z) + z, c);
+    ++solved;
+  }
+  EXPECT_GT(solved, 0);  // about half the samples should have Tr = 0
+}
+
+TEST(Gf163, CswapSwapsExactlyWhenAsked) {
+  Xoshiro256 rng(15);
+  const Gf163 a0 = random_fe(rng), b0 = random_fe(rng);
+  Gf163 a = a0, b = b0;
+  Gf163::cswap(0, a, b);
+  EXPECT_EQ(a, a0);
+  EXPECT_EQ(b, b0);
+  Gf163::cswap(1, a, b);
+  EXPECT_EQ(a, b0);
+  EXPECT_EQ(b, a0);
+}
+
+// --- generic polynomial layer ----------------------------------------------
+
+TEST(Gf2Poly, DegreeAndBits) {
+  EXPECT_EQ(Gf2Poly{}.degree(), -1);
+  EXPECT_EQ(Gf2Poly{1}.degree(), 0);
+  EXPECT_EQ(kFieldPoly.degree(), 163);
+  EXPECT_TRUE(kFieldPoly.bit(163));
+  EXPECT_TRUE(kFieldPoly.bit(0));
+  EXPECT_FALSE(kFieldPoly.bit(2));
+}
+
+TEST(Gf2Poly, MulDistributes) {
+  Xoshiro256 rng(16);
+  for (int i = 0; i < 50; ++i) {
+    Gf2Poly a(rng.next_u64()), b(rng.next_u64()), c(rng.next_u64());
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a * b, b * a);
+  }
+}
+
+TEST(Gf2Poly, ModReducesDegree) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 50; ++i) {
+    Gf2Poly a(rng.next_u64());
+    const Gf2Poly m = Gf2Poly::from_exponents({13, 4, 3, 1, 0});
+    const Gf2Poly r = Gf2Poly::mod(a, m);
+    EXPECT_LT(r.degree(), 13);
+  }
+}
+
+TEST(Gf2Poly, KnownIrreduciblePolys) {
+  // NIST reduction polynomials are irreducible.
+  EXPECT_TRUE(Gf2Poly::is_irreducible(kFieldPoly));
+  EXPECT_TRUE(Gf2Poly::is_irreducible(
+      Gf2Poly::from_exponents({233, 74, 0})));  // B-233 trinomial
+  EXPECT_TRUE(Gf2Poly::is_irreducible(Gf2Poly::from_exponents({8, 4, 3, 1, 0})));
+}
+
+TEST(Gf2Poly, KnownReduciblePolys) {
+  // x^4 + x^2 = x^2 (x^2 + 1) is reducible; x^2+1 = (x+1)^2 too.
+  EXPECT_FALSE(Gf2Poly::is_irreducible(Gf2Poly::from_exponents({4, 2})));
+  EXPECT_FALSE(Gf2Poly::is_irreducible(Gf2Poly::from_exponents({2, 0})));
+}
+
+TEST(Gf2Poly, InvModRoundTrip) {
+  Xoshiro256 rng(18);
+  const Gf2Poly m = Gf2Poly::from_exponents({17, 3, 0});
+  ASSERT_TRUE(Gf2Poly::is_irreducible(m));
+  for (int i = 0; i < 50; ++i) {
+    Gf2Poly a(rng.next_u64() & 0x1FFFF);
+    if (a.is_zero()) continue;
+    const Gf2Poly inv = Gf2Poly::invmod(a, m);
+    EXPECT_EQ(Gf2Poly::mulmod(a, inv, m), Gf2Poly{1});
+  }
+}
+
+}  // namespace

@@ -1,0 +1,322 @@
+// Tests for the protocol layer: wire encoding, Schnorr, Peeters–Hermans
+// (completeness, soundness, workload accounting), mutual authentication
+// with failure injection, the privacy game, and energy accounting.
+#include <gtest/gtest.h>
+
+#include "ciphers/aes128.h"
+#include "ciphers/present.h"
+#include "ecc/curve.h"
+#include "protocol/energy_ledger.h"
+#include "protocol/mutual_auth.h"
+#include "protocol/peeters_hermans.h"
+#include "protocol/privacy_game.h"
+#include "protocol/schnorr.h"
+#include "protocol/wire.h"
+#include "rng/xoshiro.h"
+
+namespace {
+
+using medsec::ecc::Curve;
+using medsec::ecc::Fe;
+using medsec::ecc::Point;
+using medsec::ecc::Scalar;
+using medsec::rng::Xoshiro256;
+namespace proto = medsec::protocol;
+
+// --- wire encoding -----------------------------------------------------------
+
+TEST(Wire, FeRoundTrip) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10; ++i) {
+    medsec::bigint::U192 v;
+    for (std::size_t l = 0; l < 3; ++l) v.set_limb(l, rng.next_u64());
+    const Fe fe = Fe::from_bits(v);
+    EXPECT_EQ(proto::decode_fe(proto::encode_fe(fe)), fe);
+  }
+  EXPECT_THROW(proto::decode_fe(std::vector<std::uint8_t>(5)),
+               std::invalid_argument);
+  // A stray bit above position 162 must be rejected.
+  std::vector<std::uint8_t> bad(proto::kFeBytes, 0);
+  bad[0] = 0x10;  // bit 164
+  EXPECT_THROW(proto::decode_fe(bad), std::invalid_argument);
+}
+
+TEST(Wire, ScalarRoundTrip) {
+  Xoshiro256 rng(2);
+  const Curve& c = Curve::k163();
+  for (int i = 0; i < 10; ++i) {
+    const Scalar s = rng.uniform_nonzero(c.order());
+    EXPECT_EQ(proto::decode_scalar(proto::encode_scalar(s)), s);
+  }
+}
+
+TEST(Wire, PointRoundTripValidatesSubgroup) {
+  const Curve& c = Curve::k163();
+  const auto enc = proto::encode_point(c, c.base_point());
+  EXPECT_EQ(enc.size(), 1 + proto::kFeBytes);
+  const auto dec = proto::decode_point(c, enc);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, c.base_point());
+
+  // Infinity and malformed prefixes are rejected.
+  EXPECT_FALSE(proto::decode_point(
+      c, std::vector<std::uint8_t>(1 + proto::kFeBytes, 0x00)));
+  auto bad = enc;
+  bad[0] = 0x07;
+  EXPECT_FALSE(proto::decode_point(c, bad));
+  EXPECT_FALSE(proto::decode_point(c, std::vector<std::uint8_t>(3, 1)));
+
+  // The order-2 point (x = 0) is on-curve but outside the subgroup: the
+  // invalid-point injection the decoder must catch.
+  const Point two_torsion =
+      Point::affine(Fe::zero(), Fe::sqrt(c.b()));
+  const auto enc2 = proto::encode_point(c, two_torsion);
+  EXPECT_FALSE(proto::decode_point(c, enc2));
+}
+
+TEST(Wire, FeToScalarReduces) {
+  const Curve& c = Curve::k163();
+  const Scalar s = proto::fe_to_scalar_mod_order(c, Fe{0xdeadbeef});
+  EXPECT_EQ(s, Scalar{0xdeadbeef});
+  // A large x-coordinate reduces below the order.
+  const Fe big{~0ull, ~0ull, (1ull << 35) - 1};
+  EXPECT_LT(proto::fe_to_scalar_mod_order(c, big), c.order());
+}
+
+// --- Schnorr ------------------------------------------------------------------
+
+TEST(Schnorr, CompletenessOverRandomKeys) {
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(10);
+  for (int i = 0; i < 5; ++i) {
+    const auto kp = proto::schnorr_keygen(c, rng);
+    const auto session = proto::run_schnorr_session(c, kp, rng);
+    EXPECT_TRUE(session.accepted);
+  }
+}
+
+TEST(Schnorr, SoundnessRejectsWrongKeyAndTamperedResponse) {
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(11);
+  const auto kp = proto::schnorr_keygen(c, rng);
+  const auto other = proto::schnorr_keygen(c, rng);
+  auto session = proto::run_schnorr_session(c, kp, rng);
+  EXPECT_FALSE(proto::schnorr_verify(c, other.X, session.view));
+  auto tampered = session.view;
+  tampered.response = c.scalar_ring().add(tampered.response, Scalar{1});
+  EXPECT_FALSE(proto::schnorr_verify(c, kp.X, tampered));
+  auto infinity = session.view;
+  infinity.commitment = Point::at_infinity();
+  EXPECT_FALSE(proto::schnorr_verify(c, kp.X, infinity));
+}
+
+TEST(Schnorr, TranscriptLinksToPublicKey) {
+  // The traceability defect the paper calls out.
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(12);
+  const auto kp = proto::schnorr_keygen(c, rng);
+  const auto other = proto::schnorr_keygen(c, rng);
+  const auto session = proto::run_schnorr_session(c, kp, rng);
+  EXPECT_TRUE(proto::schnorr_links(c, kp.X, session.view));
+  EXPECT_FALSE(proto::schnorr_links(c, other.X, session.view));
+}
+
+TEST(Schnorr, TagWorkloadAccounting) {
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(13);
+  const auto kp = proto::schnorr_keygen(c, rng);
+  const auto session = proto::run_schnorr_session(c, kp, rng);
+  EXPECT_EQ(session.tag_ledger.ecpm, 1u);  // R_c = r·P only
+  EXPECT_EQ(session.tag_ledger.modmul, 1u);
+  EXPECT_GT(session.tag_ledger.tx_bits, 0u);
+  EXPECT_GT(session.tag_ledger.rx_bits, 0u);
+}
+
+// --- Peeters–Hermans ------------------------------------------------------------
+
+class PhFixture : public ::testing::Test {
+ protected:
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng{20};
+  proto::PhReader reader;
+  std::vector<proto::PhTag> tags;
+
+  void SetUp() override {
+    reader = proto::ph_setup_reader(c, rng);
+    for (int i = 0; i < 4; ++i)
+      tags.push_back(proto::ph_register_tag(c, reader, rng));
+  }
+};
+
+TEST_F(PhFixture, CompletenessIdentifiesTheRightTag) {
+  for (const auto& tag : tags) {
+    const auto session = proto::run_ph_session(c, tag, reader, rng);
+    ASSERT_TRUE(session.identified);
+    EXPECT_EQ(*session.identity, tag.registered_index);
+  }
+}
+
+TEST_F(PhFixture, UnregisteredTagIsRejected) {
+  proto::PhReader other = proto::ph_setup_reader(c, rng);
+  proto::PhTag stranger = proto::ph_register_tag(c, other, rng);
+  stranger.Y = reader.Y;  // provisioned for our reader, never registered
+  const auto session = proto::run_ph_session(c, stranger, reader, rng);
+  EXPECT_FALSE(session.identified);
+}
+
+TEST_F(PhFixture, TamperedResponseIsRejected) {
+  const auto session = proto::run_ph_session(c, tags[0], reader, rng);
+  auto view = session.view;
+  view.response = c.scalar_ring().add(view.response, Scalar{1});
+  EXPECT_FALSE(proto::ph_reader_identify(c, reader, view).has_value());
+  auto bad = session.view;
+  bad.commitment = Point::at_infinity();
+  EXPECT_FALSE(proto::ph_reader_identify(c, reader, bad).has_value());
+}
+
+TEST_F(PhFixture, TagCostIsTwoEcpmOneModmul) {
+  // §4: "the main operation on the tag is two point multiplications
+  // (namely, r·P and r·Y), and one modular multiplication (namely, er)."
+  const auto session = proto::run_ph_session(c, tags[0], reader, rng);
+  EXPECT_EQ(session.tag_ledger.ecpm, 2u);
+  EXPECT_EQ(session.tag_ledger.modmul, 1u);
+}
+
+TEST_F(PhFixture, WrongChallengeDoesNotIdentify) {
+  proto::EnergyLedger ledger;
+  const auto ts = proto::ph_tag_commit(c, tags[1], rng, ledger);
+  const Scalar e1 = rng.uniform_nonzero(c.order());
+  const Scalar e2 = rng.uniform_nonzero(c.order());
+  const Scalar s = proto::ph_tag_respond(c, tags[1], ts, e1, rng, ledger);
+  // Reader pairing the response with a different challenge must fail.
+  const auto id = proto::ph_reader_identify(
+      c, reader, proto::PhTranscript{ts.commitment, e2, s});
+  EXPECT_FALSE(id.has_value());
+}
+
+// --- privacy game ----------------------------------------------------------------
+
+TEST(PrivacyGame, SchnorrIsTraceable) {
+  const auto r = proto::run_privacy_game(Curve::k163(),
+                                         proto::GameProtocol::kSchnorr, 40);
+  EXPECT_EQ(r.correct_guesses, r.trials);  // tracing test always resolves
+  EXPECT_EQ(r.tracing_test_fired, r.trials);
+  EXPECT_DOUBLE_EQ(r.advantage, 1.0);
+}
+
+TEST(PrivacyGame, PeetersHermansIsNot) {
+  const auto r = proto::run_privacy_game(
+      Curve::k163(), proto::GameProtocol::kPeetersHermans, 40);
+  EXPECT_EQ(r.tracing_test_fired, 0u);  // the test never resolves
+  EXPECT_LT(r.advantage, 0.35);         // statistical coin flipping
+}
+
+// --- mutual authentication --------------------------------------------------------
+
+struct MutualAuthFixture : public ::testing::Test {
+  proto::CipherFactory aes = [](std::span<const std::uint8_t> key) {
+    return std::unique_ptr<medsec::ciphers::BlockCipher>(
+        new medsec::ciphers::Aes128(key));
+  };
+  std::vector<std::uint8_t> master{1, 2, 3, 4, 5, 6, 7, 8,
+                                   9, 10, 11, 12, 13, 14, 15, 16};
+  proto::SharedKeys keys = proto::derive_session_keys(master, 16);
+  std::vector<std::uint8_t> telemetry{'h', 'r', '=', '7', '2',
+                                      'b', 'p', 'm', '!', '!'};
+  Xoshiro256 rng{30};
+};
+
+TEST_F(MutualAuthFixture, HonestSessionDeliversTelemetry) {
+  const auto r =
+      proto::run_mutual_auth(aes, keys, telemetry, rng);
+  EXPECT_TRUE(r.tag_accepted_server);
+  EXPECT_TRUE(r.server_accepted_tag);
+  EXPECT_TRUE(r.telemetry_delivered);
+  EXPECT_EQ(r.delivered_telemetry, telemetry);
+  EXPECT_FALSE(r.tag_ledger.aborted_early);
+}
+
+TEST_F(MutualAuthFixture, KeyDerivationSeparatesRoles) {
+  EXPECT_NE(keys.enc_key, keys.mac_key);
+  EXPECT_EQ(keys.enc_key.size(), 16u);
+}
+
+TEST_F(MutualAuthFixture, ImpersonatedServerAbortsEarlyAndCheaply) {
+  proto::MutualAuthFaults faults;
+  faults.wrong_server_key = true;
+  const auto r = proto::run_mutual_auth(aes, keys, telemetry, rng, {}, faults);
+  EXPECT_FALSE(r.tag_accepted_server);
+  EXPECT_TRUE(r.tag_ledger.aborted_early);
+  EXPECT_FALSE(r.telemetry_delivered);
+
+  // §4's energy lever: with server-first ordering the failed session must
+  // be much cheaper than with the naive ordering.
+  proto::MutualAuthConfig naive;
+  naive.server_first = false;
+  const auto r2 =
+      proto::run_mutual_auth(aes, keys, telemetry, rng, naive, faults);
+  EXPECT_FALSE(r2.tag_accepted_server);
+  EXPECT_GT(r2.tag_ledger.cipher_blocks, r.tag_ledger.cipher_blocks);
+}
+
+TEST_F(MutualAuthFixture, TamperedCiphertextIsNotDelivered) {
+  // "a modification on the ciphertext may also lead to a corrupted
+  // therapy" — the MAC must catch it.
+  proto::MutualAuthFaults faults;
+  faults.tamper_ciphertext = true;
+  const auto r = proto::run_mutual_auth(aes, keys, telemetry, rng, {}, faults);
+  EXPECT_TRUE(r.tag_accepted_server);
+  EXPECT_TRUE(r.server_accepted_tag);
+  EXPECT_FALSE(r.telemetry_delivered);
+}
+
+TEST_F(MutualAuthFixture, ImpersonatedTagIsRejected) {
+  proto::MutualAuthFaults faults;
+  faults.tamper_tag_mac = true;
+  const auto r = proto::run_mutual_auth(aes, keys, telemetry, rng, {}, faults);
+  EXPECT_FALSE(r.server_accepted_tag);
+  EXPECT_FALSE(r.telemetry_delivered);
+}
+
+TEST_F(MutualAuthFixture, WorksWithLightweightCipherToo) {
+  proto::CipherFactory present = [](std::span<const std::uint8_t> key) {
+    return std::unique_ptr<medsec::ciphers::BlockCipher>(
+        new medsec::ciphers::Present(key));  // 16-byte key -> PRESENT-128
+  };
+  const auto k2 = proto::derive_session_keys(master, 16);
+  const auto r = proto::run_mutual_auth(present, k2, telemetry, rng);
+  EXPECT_TRUE(r.telemetry_delivered);
+  EXPECT_EQ(r.delivered_telemetry, telemetry);
+}
+
+// --- energy accounting -------------------------------------------------------------
+
+TEST(EnergyLedger, SessionEnergyComposition) {
+  proto::EnergyLedger l;
+  l.ecpm = 2;
+  l.modmul = 1;
+  l.tx_bits = 400;
+  l.rx_bits = 168;
+  const proto::TagCostModel cost;
+  const auto radio = medsec::hw::RadioModel::ban();
+  const double compute = cost.compute_energy_j(l);
+  EXPECT_NEAR(compute, 2 * 5.1e-6 + 0.12e-6, 1e-9);
+  const double near = cost.session_energy_j(l, radio, 0.5);
+  const double far = cost.session_energy_j(l, radio, 20.0);
+  EXPECT_GT(far, near);  // distance only affects the radio part
+  EXPECT_NEAR(far - near,
+              radio.tx_energy_j(400, 20.0) - radio.tx_energy_j(400, 0.5),
+              1e-12);
+}
+
+TEST(EnergyLedger, AccumulationOperator) {
+  proto::EnergyLedger a, b;
+  a.ecpm = 1;
+  b.ecpm = 2;
+  b.cipher_blocks = 7;
+  a += b;
+  EXPECT_EQ(a.ecpm, 3u);
+  EXPECT_EQ(a.cipher_blocks, 7u);
+}
+
+}  // namespace
