@@ -1,17 +1,32 @@
 // Microbenchmarks of the arithmetic substrates — the performance baseline
 // for everything above them (no paper table; supporting data for
 // EXPERIMENTS.md's runtime notes).
+//
+// The Gf163 benchmarks run once per arithmetic backend (portable /
+// karatsuba / clmul when the CPU has a hardware carry-less multiply);
+// unavailable backends report "unavailable" and are skipped. Unless the
+// caller passes its own --benchmark_out, the run also emits
+// BENCH_field_ops.json (google-benchmark's JSON schema) next to the
+// binary, which the CI job archives as the perf trajectory artifact.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bigint/modring.h"
 #include "ecc/curve.h"
+#include "ecc/fixed_base.h"
+#include "ecc/koblitz.h"
 #include "ecc/ladder.h"
+#include "gf2m/backend.h"
 #include "gf2m/gf2_163.h"
 #include "rng/xoshiro.h"
 
 namespace {
 
 using namespace medsec;
+using gf2m::Backend;
 using gf2m::Gf163;
 
 Gf163 rand_fe(rng::Xoshiro256& rng) {
@@ -20,35 +35,85 @@ Gf163 rand_fe(rng::Xoshiro256& rng) {
   return Gf163::from_bits(v);
 }
 
+/// Switch the global dispatch to the backend named by the benchmark arg;
+/// returns false (after flagging the run) when it is unavailable.
+bool use_backend(benchmark::State& state) {
+  const auto b = static_cast<Backend>(state.range(0));
+  if (!gf2m::set_backend(b)) {
+    state.SkipWithError("backend unavailable on this CPU");
+    return false;
+  }
+  state.SetLabel(gf2m::backend_name(b));
+  return true;
+}
+
+#define MEDSEC_BENCH_BACKENDS(fn) \
+  BENCHMARK(fn)->Arg(0)->Arg(1)->Arg(2)->ArgName("backend")
+
 void BM_Gf163Mul(benchmark::State& state) {
+  if (!use_backend(state)) return;
   rng::Xoshiro256 rng(1);
   const Gf163 a = rand_fe(rng), b = rand_fe(rng);
   for (auto _ : state) benchmark::DoNotOptimize(Gf163::mul(a, b));
 }
-BENCHMARK(BM_Gf163Mul);
+MEDSEC_BENCH_BACKENDS(BM_Gf163Mul);
+
+void BM_Gf163MulAddMul(benchmark::State& state) {
+  if (!use_backend(state)) return;
+  rng::Xoshiro256 rng(11);
+  const Gf163 a = rand_fe(rng), b = rand_fe(rng);
+  const Gf163 c = rand_fe(rng), d = rand_fe(rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(Gf163::mul_add_mul(a, b, c, d));
+}
+MEDSEC_BENCH_BACKENDS(BM_Gf163MulAddMul);
 
 void BM_Gf163Sqr(benchmark::State& state) {
+  if (!use_backend(state)) return;
   rng::Xoshiro256 rng(2);
   const Gf163 a = rand_fe(rng);
   for (auto _ : state) benchmark::DoNotOptimize(Gf163::sqr(a));
 }
-BENCHMARK(BM_Gf163Sqr);
+MEDSEC_BENCH_BACKENDS(BM_Gf163Sqr);
 
 void BM_Gf163Inv(benchmark::State& state) {
+  if (!use_backend(state)) return;
   rng::Xoshiro256 rng(3);
   const Gf163 a = rand_fe(rng);
   for (auto _ : state) benchmark::DoNotOptimize(Gf163::inv(a));
 }
-BENCHMARK(BM_Gf163Inv);
+MEDSEC_BENCH_BACKENDS(BM_Gf163Inv);
+
+void BM_Gf163BatchInv(benchmark::State& state) {
+  if (!use_backend(state)) return;
+  rng::Xoshiro256 rng(13);
+  constexpr std::size_t kBatch = 64;
+  std::vector<Gf163> pool(kBatch);
+  for (auto& e : pool) {
+    e = rand_fe(rng);
+    if (e.is_zero()) e = Gf163::one();
+  }
+  std::vector<Gf163> work(kBatch);
+  for (auto _ : state) {
+    work = pool;
+    Gf163::batch_inv(work.data(), work.size());
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBatch);
+}
+MEDSEC_BENCH_BACKENDS(BM_Gf163BatchInv);
 
 void BM_Gf163Sqrt(benchmark::State& state) {
+  if (!use_backend(state)) return;
   rng::Xoshiro256 rng(4);
   const Gf163 a = rand_fe(rng);
   for (auto _ : state) benchmark::DoNotOptimize(Gf163::sqrt(a));
 }
-BENCHMARK(BM_Gf163Sqrt);
+MEDSEC_BENCH_BACKENDS(BM_Gf163Sqrt);
 
 void BM_LadderIteration(benchmark::State& state) {
+  if (!use_backend(state)) return;
   const ecc::Curve& c = ecc::Curve::k163();
   ecc::LadderState s =
       ecc::ladder_initial_state(c.b(), c.base_point().x);
@@ -58,9 +123,51 @@ void BM_LadderIteration(benchmark::State& state) {
     benchmark::DoNotOptimize(s.x1);
   }
 }
-BENCHMARK(BM_LadderIteration);
+MEDSEC_BENCH_BACKENDS(BM_LadderIteration);
+
+void BM_LadderScalarMult(benchmark::State& state) {
+  if (!use_backend(state)) return;
+  const ecc::Curve& c = ecc::Curve::k163();
+  rng::Xoshiro256 rng(7);
+  const auto k = rng.uniform_nonzero(c.order());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ecc::montgomery_ladder(c, k, c.base_point()));
+}
+MEDSEC_BENCH_BACKENDS(BM_LadderScalarMult);
+
+void BM_FixedBaseCombMult(benchmark::State& state) {
+  if (!use_backend(state)) return;
+  const ecc::Curve& c = ecc::Curve::k163();
+  const auto& comb = ecc::generator_comb(c);
+  rng::Xoshiro256 rng(8);
+  const auto k = rng.uniform_nonzero(c.order());
+  for (auto _ : state) benchmark::DoNotOptimize(comb.mult(k));
+}
+MEDSEC_BENCH_BACKENDS(BM_FixedBaseCombMult);
+
+void BM_FixedBaseCombMultCt(benchmark::State& state) {
+  if (!use_backend(state)) return;
+  const ecc::Curve& c = ecc::Curve::k163();
+  const auto& comb = ecc::generator_comb(c);
+  rng::Xoshiro256 rng(9);
+  const auto k = rng.uniform_nonzero(c.order());
+  for (auto _ : state) benchmark::DoNotOptimize(comb.mult_ct(k));
+}
+MEDSEC_BENCH_BACKENDS(BM_FixedBaseCombMultCt);
+
+void BM_TauNafMultPrecomp(benchmark::State& state) {
+  if (!use_backend(state)) return;
+  const ecc::Curve& c = ecc::Curve::k163();
+  const auto& pre = ecc::generator_tau_precomp(c);
+  rng::Xoshiro256 rng(10);
+  const auto k = rng.uniform_nonzero(c.order());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ecc::tau_naf_mult(c, k, pre));
+}
+MEDSEC_BENCH_BACKENDS(BM_TauNafMultPrecomp);
 
 void BM_AffinePointAdd(benchmark::State& state) {
+  if (!use_backend(state)) return;
   const ecc::Curve& c = ecc::Curve::k163();
   const ecc::Point g = c.base_point();
   ecc::Point p = c.dbl(g);
@@ -69,7 +176,21 @@ void BM_AffinePointAdd(benchmark::State& state) {
     benchmark::DoNotOptimize(p);
   }
 }
-BENCHMARK(BM_AffinePointAdd);
+MEDSEC_BENCH_BACKENDS(BM_AffinePointAdd);
+
+void BM_ValidateSubgroupPoint(benchmark::State& state) {
+  if (!use_backend(state)) return;
+  const ecc::Curve& c = ecc::Curve::k163();
+  rng::Xoshiro256 rng(12);
+  const ecc::Point p =
+      ecc::montgomery_ladder(c, rng.uniform_nonzero(c.order()),
+                             c.base_point());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(c.validate_subgroup_point(p));
+}
+MEDSEC_BENCH_BACKENDS(BM_ValidateSubgroupPoint);
+
+// --- backend-independent substrates (integer scalar ring) -------------------
 
 void BM_ScalarRingMul(benchmark::State& state) {
   const ecc::Curve& c = ecc::Curve::k163();
@@ -92,4 +213,25 @@ BENCHMARK(BM_ScalarRingInv);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Default to emitting the machine-readable perf artifact unless the
+  // caller already steers the output somewhere.
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
+        std::strcmp(argv[i], "--benchmark_out") == 0)
+      has_out = true;
+  std::string out_flag = "--benchmark_out=BENCH_field_ops.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <vector>
 
 #include "ecc/curve.h"
 #include "ecc/ladder.h"

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "ecc/fixed_base.h"
+
 namespace medsec::ecc {
 
 Curve::Curve(std::string name, const Fe& a, const Fe& b, const Fe& gx,
@@ -56,7 +58,11 @@ bool Curve::validate_subgroup_point(const Point& p) const {
   if (p.infinity) return false;
   if (!is_on_curve(p)) return false;
   if (p.x.is_zero()) return false;  // the order-2 point (0, sqrt(b))
-  return scalar_mult_reference(order_, p).infinity;
+  // Exact order·P in projective coordinates: one inversion total instead
+  // of one per affine group operation. (The constant-length ladder cannot
+  // be used here: its k -> k + n padding is only sound for points whose
+  // order divides n, which is the very thing being checked.)
+  return scalar_mult_ld(*this, order_, p).infinity;
 }
 
 Point Curve::negate(const Point& p) const {

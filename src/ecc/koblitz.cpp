@@ -1,5 +1,10 @@
 #include "ecc/koblitz.h"
 
+#include "ecc/fixed_base.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 namespace medsec::ecc {
@@ -16,13 +21,13 @@ struct Signed {
   bool is_zero() const { return mag.is_zero(); }
   bool is_even() const { return !mag.bit(0); }
 
-  /// Low two bits as a signed residue helper: value mod 4 in [0, 4).
-  unsigned mod4() const {
-    const unsigned m = static_cast<unsigned>(mag.limb(0) & 3u);
+  /// Low bits as a signed residue helper: value mod 2^w in [0, 2^w).
+  unsigned mod_pow2(unsigned w) const {
+    const unsigned mask = (1u << w) - 1u;
+    const unsigned m = static_cast<unsigned>(mag.limb(0)) & mask;
     if (!neg || m == 0) return m;
-    return 4u - m;  // (-mag) mod 4
+    return (1u << w) - m;  // (-mag) mod 2^w
   }
-  unsigned mod2() const { return static_cast<unsigned>(mag.limb(0) & 1u); }
 
   Signed half() const {  // exact division by 2 (precondition: even)
     return Signed{neg, mag >> 1};
@@ -51,53 +56,112 @@ struct Signed {
   }
 };
 
+/// The even solution t_w of t^2 - mu*t + 2 == 0 (mod 2^w): tau == t_w under
+/// the ring isomorphism Z[tau]/(tau^w) ~ Z/2^w, so (a + b*t_w) mod 2^w
+/// decides divisibility of a + b*tau by powers of tau. w = 2 gives t = 2,
+/// i.e. the classic "(a - 2b) mods 4" TNAF digit rule.
+unsigned tau_modular_image(int mu, unsigned w) {
+  const unsigned modulus = 1u << w;
+  for (unsigned t = 0; t < modulus; t += 2) {
+    const unsigned v = (t * t + modulus - (mu == 1 ? t : modulus - t) + 2u) &
+                       (modulus - 1u);
+    if (v == 0) return t;
+  }
+  throw std::logic_error("tau_modular_image: no root (unreachable)");
+}
+
 }  // namespace
 
 std::vector<int> tau_naf_digits(const Scalar& k, int mu) {
+  return tau_naf_window_digits(k, mu, 2);
+}
+
+std::vector<int> tau_naf_window_digits(const Scalar& k, int mu,
+                                       unsigned width) {
   if (mu != 1 && mu != -1)
     throw std::invalid_argument("tau_naf_digits: mu must be +-1");
+  // Width is capped at 5: the integer-digit expansion provably terminates
+  // for w in [2, 5] (exhaustive small-state sweep + norm contraction), but
+  // cycles for w = 6. Larger windows would need Solinas' element digits
+  // alpha_u = u mods tau^w.
+  if (width < 2 || width > 5)
+    throw std::invalid_argument("tau_naf_window_digits: width in [2, 5]");
 
-  // Walk a + b*tau, emitting the NAF digit and dividing by tau:
-  //   u = 0                      if a even
-  //   u = (a - 2b) mods 4        if a odd   (forces next digit zero)
+  const unsigned tw = tau_modular_image(mu, width);
+  const unsigned modulus = 1u << width;
+  const int half = 1 << (width - 1);
+
+  // Walk a + b*tau, emitting a digit and dividing by tau:
+  //   u = 0                              if a even
+  //   u = (a + b*t_w) mods 2^w           if a odd (odd u, |u| < 2^(w-1);
+  //                                       forces the next w-1 digits zero)
   //   a <- a - u;  (a, b) <- (b + mu*(a/2), -(a/2))
   std::vector<int> out;
   Signed a{false, k};
   Signed b;  // 0
+  // Expansion length is ~2 * 163 digits; the cap is a non-termination
+  // canary, not a tuning knob.
+  const std::size_t max_digits = 4 * Scalar::kBits + 64;
   while (!a.is_zero() || !b.is_zero()) {
     int u = 0;
     if (!a.is_even()) {
-      // r = (a - 2b) mod 4, signed NAF digit: +1 if r == 1, -1 if r == 3.
       const unsigned r =
-          (a.mod4() + 4u - ((2u * b.mod2()) & 3u)) & 3u;
-      u = r == 1 ? 1 : -1;
+          (a.mod_pow2(width) + b.mod_pow2(width) * tw) & (modulus - 1u);
+      u = static_cast<int>(r) >= half ? static_cast<int>(r) -
+                                            static_cast<int>(modulus)
+                                      : static_cast<int>(r);
       a = Signed::add(a, Signed::from_int(-u));
     }
     out.push_back(u);
-    const Signed half = a.half();
-    const Signed new_b = half.negated();
-    a = Signed::add(b, mu == 1 ? half : half.negated());
+    if (out.size() > max_digits)
+      throw std::logic_error("tau_naf_window_digits: expansion diverged");
+    const Signed half_a = a.half();
+    const Signed new_b = half_a.negated();
+    a = Signed::add(b, mu == 1 ? half_a : half_a.negated());
     b = new_b;
   }
   return out;
 }
 
+TauNafPrecomp::TauNafPrecomp(const Curve& curve, const Point& p,
+                             unsigned w)
+    : width(w), base(p) {
+  if (w < 2 || w > 5)
+    throw std::invalid_argument("TauNafPrecomp: width in [2, 5]");
+  odd.resize(std::size_t{1} << (w - 2));
+  odd[0] = p;
+  const Point p2 = curve.dbl(p);
+  for (std::size_t i = 1; i < odd.size(); ++i)
+    odd[i] = curve.add(odd[i - 1], p2);
+}
+
 Point tau_naf_mult(const Curve& curve, const Scalar& k, const Point& p,
                    MultStats* stats) {
   if (p.infinity) return p;
+  return tau_naf_mult(curve, k, TauNafPrecomp(curve, p, 4), stats);
+}
+
+Point tau_naf_mult(const Curve& curve, const Scalar& k,
+                   const TauNafPrecomp& precomp, MultStats* stats) {
+  const Point& p = precomp.base;
+  if (p.infinity) return p;
   const int mu = curve.frobenius_trace_mu();
-  const std::vector<int> digits = tau_naf_digits(k.mod(curve.order()), mu);
+  const std::vector<int> digits =
+      tau_naf_window_digits(k.mod(curve.order()), mu, precomp.width);
+  if (stats) stats->op_pattern.reserve(stats->op_pattern.size() +
+                                       digits.size());
 
   // Horner over tau, most significant digit first:
-  //   Q <- tau(Q); Q <- Q +- P when the digit is nonzero.
+  //   Q <- tau(Q); Q <- Q +- u*P (precomputed) when the digit is nonzero.
   Point q = Point::at_infinity();
-  const Point neg_p = curve.negate(p);
   for (std::size_t i = digits.size(); i-- > 0;) {
     q = curve.frobenius(q);
     if (stats) ++stats->op_slots;  // Frobenius: 2 squarings, near-free
     const int d = digits[i];
     if (d != 0) {
-      q = curve.add(q, d > 0 ? p : neg_p);
+      const Point& m = precomp.odd[static_cast<std::size_t>(
+          ((d > 0 ? d : -d) - 1) / 2)];
+      q = curve.add(q, d > 0 ? m : curve.negate(m));
       if (stats) {
         ++stats->point_adds;
         ++stats->op_slots;
@@ -106,6 +170,16 @@ Point tau_naf_mult(const Curve& curve, const Scalar& k, const Point& p,
     if (stats) stats->op_pattern.push_back(d != 0 ? 1 : 0);
   }
   return q;
+}
+
+const TauNafPrecomp& generator_tau_precomp(const Curve& curve) {
+  static std::mutex mu;
+  static std::map<std::string, std::unique_ptr<TauNafPrecomp>> cache;
+  const std::lock_guard<std::mutex> lock(mu);
+  auto& slot = cache[detail::curve_cache_key(curve)];
+  if (!slot)
+    slot = std::make_unique<TauNafPrecomp>(curve, curve.base_point(), 4u);
+  return *slot;
 }
 
 }  // namespace medsec::ecc

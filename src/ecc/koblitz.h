@@ -39,11 +39,42 @@ namespace medsec::ecc {
 /// Throws std::invalid_argument for |mu| != 1.
 std::vector<int> tau_naf_digits(const Scalar& k, int mu);
 
-/// k*P via TNAF: Frobenius maps + additions, zero doublings.
-/// Precondition: the curve is Koblitz (a in {0,1}, b = 1); K-163 and the
-/// test curves qualify. The result is cross-checked against the ladder in
-/// tests for random scalars.
+/// Width-w tau-adic digits: odd integer digits u with |u| < 2^(w-1), and
+/// after every nonzero digit at least w-1 zeros (the expansion is chosen
+/// so a + b*tau becomes divisible by tau^w after each subtraction). The
+/// nonzero-digit density drops from ~1/3 (w = 2) to ~1/(w+1), which is
+/// the point of the precomputed table below. width in [2, 5] (the
+/// integer-digit expansion terminates for these widths; larger windows
+/// would need Solinas' element digits); width 2 reproduces
+/// tau_naf_digits.
+std::vector<int> tau_naf_window_digits(const Scalar& k, int mu,
+                                       unsigned width);
+
+/// Precomputed odd multiples P, 3P, ..., (2^(w-1)-1)P of a fixed base
+/// point for width-w tau-adic multiplication (the tau-NAF analogue of the
+/// wNAF table). Build once per base point; the generator's table is
+/// cached process-wide by generator_tau_precomp().
+struct TauNafPrecomp {
+  unsigned width;
+  Point base;
+  std::vector<Point> odd;  ///< odd[i] = (2i+1)·base
+
+  TauNafPrecomp(const Curve& curve, const Point& p, unsigned width = 4);
+};
+
+/// k*P via width-4 windowed TNAF: Frobenius maps + additions, zero
+/// doublings. Precondition: the curve is Koblitz (a in {0,1}, b = 1);
+/// K-163 and the test curves qualify. The result is cross-checked against
+/// the ladder in tests for random scalars.
 Point tau_naf_mult(const Curve& curve, const Scalar& k, const Point& p,
                    MultStats* stats = nullptr);
+
+/// Same, with a caller-held precomputed table (amortizes the table across
+/// many multiplications by the same base point).
+Point tau_naf_mult(const Curve& curve, const Scalar& k,
+                   const TauNafPrecomp& precomp, MultStats* stats = nullptr);
+
+/// Process-wide cached width-4 table for a curve's generator.
+const TauNafPrecomp& generator_tau_precomp(const Curve& curve);
 
 }  // namespace medsec::ecc

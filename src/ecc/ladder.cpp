@@ -9,14 +9,14 @@ void ladder_add(const Fe& xd, const Fe& x1, const Fe& z1, const Fe& x2,
   const Fe t = Fe::mul(x1, z2);
   const Fe u = Fe::mul(x2, z1);
   z3 = Fe::sqr(t + u);
-  x3 = Fe::mul(xd, z3) + Fe::mul(t, u);
+  x3 = Fe::mul_add_mul(xd, z3, t, u);  // xd·z3 + t·u, one reduction
 }
 
 void ladder_double(const Fe& b, const Fe& x, const Fe& z, Fe& x3, Fe& z3) {
   const Fe x2 = Fe::sqr(x);
   const Fe z2 = Fe::sqr(z);
   z3 = Fe::mul(x2, z2);
-  x3 = Fe::sqr(x2) + Fe::mul(b, Fe::sqr(z2));
+  x3 = Fe::sqr_add_mul(x2, b, Fe::sqr(z2));  // x2^2 + b·z2^2, one reduction
 }
 
 namespace {
@@ -34,19 +34,21 @@ Fe nonzero_randomizer(rng::RandomSource& rng) {
 
 }  // namespace
 
-Point recover_from_ladder(const Curve& curve, const Point& p, const Fe& x1,
-                          const Fe& z1, const Fe& x2, const Fe& z2) {
-  if (z1.is_zero()) return Point::at_infinity();
-  if (z2.is_zero()) return curve.negate(p);  // kP = -P
+namespace {
 
+/// Shared recovery arithmetic once the two inverses (1/Z1 and
+/// 1/(x·Z1·Z2)) are in hand — the single-point path computes them with a
+/// joint two-element inversion, the batch path with Gf163::batch_inv.
+/// z1z2 is the already-computed Z1·Z2 from the caller's denominator.
+Point recover_affine(const Curve& curve, const Point& p, const Fe& x1,
+                     const Fe& z1, const Fe& x2, const Fe& z2,
+                     const Fe& z1z2, const Fe& z1_inv, const Fe& den_inv) {
   const Fe x = p.x, y = p.y;
-  const Fe xa = Fe::mul(x1, Fe::inv(z1));  // affine x(kP)
+  const Fe xa = Fe::mul(x1, z1_inv);  // affine x(kP)
 
-  const Fe t2 = x1 + Fe::mul(x, z1);          // X1 + x Z1
-  const Fe t4 = x2 + Fe::mul(x, z2);          // X2 + x Z2
-  const Fe z1z2 = Fe::mul(z1, z2);
-  const Fe num = Fe::mul(t2, t4) + Fe::mul(Fe::sqr(x) + y, z1z2);
-  const Fe den_inv = Fe::inv(Fe::mul(x, z1z2));
+  const Fe t2 = x1 + Fe::mul(x, z1);  // X1 + x Z1
+  const Fe t4 = x2 + Fe::mul(x, z2);  // X2 + x Z2
+  const Fe num = Fe::mul_add_mul(t2, t4, Fe::sqr(x) + y, z1z2);
   const Fe ya = Fe::mul(Fe::mul(x + xa, num), den_inv) + y;
 
   const Point out = Point::affine(xa, ya);
@@ -54,6 +56,61 @@ Point recover_from_ladder(const Curve& curve, const Point& p, const Fe& x1,
   // practice): the recovered point must satisfy the curve equation.
   if (!curve.is_on_curve(out))
     throw std::logic_error("montgomery_ladder: recovered point off-curve");
+  return out;
+}
+
+}  // namespace
+
+Point recover_from_ladder(const Curve& curve, const Point& p, const Fe& x1,
+                          const Fe& z1, const Fe& x2, const Fe& z2) {
+  if (z1.is_zero()) return Point::at_infinity();
+  if (z2.is_zero()) return curve.negate(p);  // kP = -P
+
+  // Joint inversion of Z1 and x·Z1·Z2 (Montgomery's trick): one
+  // Itoh–Tsujii inversion instead of two.
+  const Fe z1z2 = Fe::mul(z1, z2);
+  const Fe den = Fe::mul(p.x, z1z2);
+  const Fe joint = Fe::inv(Fe::mul(z1, den));
+  const Fe z1_inv = Fe::mul(joint, den);
+  const Fe den_inv = Fe::mul(joint, z1);
+  return recover_affine(curve, p, x1, z1, x2, z2, z1z2, z1_inv, den_inv);
+}
+
+std::vector<Point> recover_from_ladder_batch(
+    const Curve& curve, const std::vector<Point>& bases,
+    const std::vector<LadderState>& states) {
+  if (bases.size() != states.size())
+    throw std::invalid_argument(
+        "recover_from_ladder_batch: bases/states size mismatch");
+  const std::size_t n = states.size();
+  // Two denominators per point: [2i] = Z1, [2i+1] = x·Z1·Z2. Degenerate
+  // accumulators stay zero, which batch_inv skips. Z1·Z2 is kept: the
+  // recovery formula needs it again.
+  std::vector<Fe> denoms(2 * n);
+  std::vector<Fe> z1z2s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const LadderState& s = states[i];
+    if (s.z1.is_zero() || s.z2.is_zero()) continue;
+    z1z2s[i] = Fe::mul(s.z1, s.z2);
+    denoms[2 * i] = s.z1;
+    denoms[2 * i + 1] = Fe::mul(bases[i].x, z1z2s[i]);
+  }
+  Fe::batch_inv(denoms.data(), denoms.size());
+
+  std::vector<Point> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const LadderState& s = states[i];
+    if (s.z1.is_zero()) {
+      out.push_back(Point::at_infinity());
+    } else if (s.z2.is_zero()) {
+      out.push_back(curve.negate(bases[i]));
+    } else {
+      out.push_back(recover_affine(curve, bases[i], s.x1, s.z1, s.x2, s.z2,
+                                   z1z2s[i], denoms[2 * i],
+                                   denoms[2 * i + 1]));
+    }
+  }
   return out;
 }
 
@@ -87,9 +144,11 @@ void ladder_iteration(const Fe& b, const Fe& x_base, LadderState& s,
   Fe::cswap(bit, s.z1, s.z2);
 }
 
-Point montgomery_ladder(const Curve& curve, const Scalar& k0, const Point& p,
-                        const LadderOptions& options) {
-  if (p.infinity) return Point::at_infinity();
+LadderState montgomery_ladder_raw(const Curve& curve, const Scalar& k0,
+                                  const Point& p,
+                                  const LadderOptions& options) {
+  if (p.infinity)
+    throw std::invalid_argument("montgomery_ladder_raw: P is infinity");
   if (p.x.is_zero())
     throw std::invalid_argument("montgomery_ladder: x(P) = 0 (order-2 point)");
 
@@ -123,12 +182,17 @@ Point montgomery_ladder(const Curve& curve, const Scalar& k0, const Point& p,
     s.z2 = Fe::mul(s.z2, l2);
   }
 
+  // Hoist the std::function emptiness test out of the hot loop: when no
+  // observer is installed the iteration body is pure field arithmetic and
+  // no LadderObservation is ever materialized.
+  const bool has_observer = static_cast<bool>(options.observer);
+
   const std::size_t t = k.bit_length();  // == order.bit_length() + 1, always
   for (std::size_t i = t - 1; i-- > 0;) {
     const std::uint64_t bit = k.bit(i) ? 1 : 0;
     ladder_iteration(b, x, s, bit);
 
-    if (options.observer) {
+    if (has_observer) {
       options.observer(LadderObservation{
           .bit_index = i,
           .key_bit = static_cast<int>(bit),
@@ -140,6 +204,13 @@ Point montgomery_ladder(const Curve& curve, const Scalar& k0, const Point& p,
     }
   }
 
+  return s;
+}
+
+Point montgomery_ladder(const Curve& curve, const Scalar& k, const Point& p,
+                        const LadderOptions& options) {
+  if (p.infinity) return Point::at_infinity();
+  const LadderState s = montgomery_ladder_raw(curve, k, p, options);
   return recover_from_ladder(curve, p, s.x1, s.z1, s.x2, s.z2);
 }
 

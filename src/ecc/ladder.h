@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "ecc/curve.h"
 #include "rng/random_source.h"
@@ -76,6 +77,16 @@ void ladder_iteration(const Fe& b, const Fe& x_base, LadderState& s,
 Point montgomery_ladder(const Curve& curve, const Scalar& k, const Point& p,
                         const LadderOptions& options = {});
 
+/// The ladder without the inversion-heavy affine recovery: returns the raw
+/// projective accumulators. Pair with recover_from_ladder (one point) or
+/// recover_from_ladder_batch (many points, one shared inversion) so
+/// protocol-level callers can amortize the 162-squaring Itoh–Tsujii
+/// inversion across several point multiplications.
+/// Precondition: p is affine (not infinity) with x != 0.
+LadderState montgomery_ladder_raw(const Curve& curve, const Scalar& k,
+                                  const Point& p,
+                                  const LadderOptions& options = {});
+
 /// y-recovery after an x-only ladder (López–Dahab): from the affine input
 /// point P and the two projective accumulators (X1 : Z1) = kP and
 /// (X2 : Z2) = (k+1)P, reconstruct affine kP. This is the key-independent
@@ -84,6 +95,15 @@ Point montgomery_ladder(const Curve& curve, const Scalar& k, const Point& p,
 /// recovered point is off-curve (fault-detection canary).
 Point recover_from_ladder(const Curve& curve, const Point& p, const Fe& x1,
                           const Fe& z1, const Fe& x2, const Fe& z2);
+
+/// Batch y-recovery: converts many raw ladder outputs to affine points with
+/// Montgomery's-trick batch inversion — one field inversion for the whole
+/// batch instead of one (previously two) per point. bases[i] is the affine
+/// input point of states[i]. Throws std::logic_error if any recovered point
+/// is off-curve (same fault canary as recover_from_ladder).
+std::vector<Point> recover_from_ladder_batch(
+    const Curve& curve, const std::vector<Point>& bases,
+    const std::vector<LadderState>& states);
 
 /// Pad a scalar to a fixed bit length of order.bit_length() + 1 by adding
 /// the group order once or twice: k and the result act identically on any

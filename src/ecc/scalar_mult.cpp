@@ -10,6 +10,7 @@ namespace {
 
 Point double_and_add(const Curve& curve, const Scalar& k, const Point& p,
                      MultStats* stats) {
+  if (stats) stats->op_pattern.reserve(k.bit_length());
   Point acc = Point::at_infinity();
   for (std::size_t i = k.bit_length(); i-- > 0;) {
     acc = curve.dbl(acc);
@@ -33,6 +34,7 @@ Point double_and_add(const Curve& curve, const Scalar& k, const Point& p,
 Point wnaf_mult(const Curve& curve, const Scalar& k, const Point& p,
                 unsigned width, MultStats* stats) {
   const std::vector<int> digits = wnaf_digits(k, width);
+  if (stats) stats->op_pattern.reserve(digits.size());
   // Precompute odd multiples P, 3P, ..., (2^(w-1)-1)P.
   std::vector<Point> odd(std::size_t{1} << (width - 2));
   odd[0] = p;

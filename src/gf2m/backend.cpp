@@ -1,0 +1,289 @@
+#include "gf2m/backend.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "gf2m/clmul.h"
+
+// The hardware paths use GCC/Clang-only constructs (target attributes,
+// __builtin_cpu_supports), so the gates require those compilers too; other
+// compilers fall back to the portable/karatsuba backends.
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define MEDSEC_ARCH_X86_64 1
+#include <immintrin.h>
+#endif
+
+#if defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+#define MEDSEC_ARCH_AARCH64 1
+#include <arm_neon.h>
+#if __has_include(<sys/auxv.h>)
+#include <sys/auxv.h>
+#define MEDSEC_HAVE_AUXV 1
+#endif
+#endif
+
+namespace medsec::gf2m {
+
+namespace {
+
+// --- portable schoolbook (the seed reference path) --------------------------
+
+void mul326_portable(const std::uint64_t a[3], const std::uint64_t b[3],
+                     std::uint64_t p[6]) {
+  p[0] = p[1] = p[2] = p[3] = p[4] = p[5] = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      std::uint64_t lo = 0, hi = 0;
+      clmul64(a[i], b[j], lo, hi);
+      p[i + j] ^= lo;
+      p[i + j + 1] ^= hi;
+    }
+  }
+}
+
+void sqr326_portable(const std::uint64_t a[3], std::uint64_t p[6]) {
+  for (std::size_t i = 0; i < 3; ++i) clsqr64(a[i], p[2 * i], p[2 * i + 1]);
+}
+
+// --- portable Karatsuba: 6 emulated clmuls instead of 9 ---------------------
+//
+// With a = a0 + a1 X + a2 X^2 (X = x^64) and the six products
+//   d_i  = a_i b_i,   e_ij = (a_i + a_j)(b_i + b_j)
+// the coefficients of the product are
+//   c0 = d0
+//   c1 = e01 + d0 + d1
+//   c2 = e02 + d0 + d1 + d2
+//   c3 = e12 + d1 + d2
+//   c4 = d2
+// (characteristic 2: additions are XOR, no carries anywhere).
+
+void mul326_karatsuba(const std::uint64_t a[3], const std::uint64_t b[3],
+                      std::uint64_t p[6]) {
+  std::uint64_t d0l, d0h, d1l, d1h, d2l, d2h;
+  std::uint64_t e01l, e01h, e02l, e02h, e12l, e12h;
+  clmul64(a[0], b[0], d0l, d0h);
+  clmul64(a[1], b[1], d1l, d1h);
+  clmul64(a[2], b[2], d2l, d2h);
+  clmul64(a[0] ^ a[1], b[0] ^ b[1], e01l, e01h);
+  clmul64(a[0] ^ a[2], b[0] ^ b[2], e02l, e02h);
+  clmul64(a[1] ^ a[2], b[1] ^ b[2], e12l, e12h);
+
+  const std::uint64_t c1l = e01l ^ d0l ^ d1l, c1h = e01h ^ d0h ^ d1h;
+  const std::uint64_t c2l = e02l ^ d0l ^ d1l ^ d2l,
+                      c2h = e02h ^ d0h ^ d1h ^ d2h;
+  const std::uint64_t c3l = e12l ^ d1l ^ d2l, c3h = e12h ^ d1h ^ d2h;
+
+  p[0] = d0l;
+  p[1] = d0h ^ c1l;
+  p[2] = c1h ^ c2l;
+  p[3] = c2h ^ c3l;
+  p[4] = c3h ^ d2l;
+  p[5] = d2h;
+}
+
+// --- x86-64 PCLMULQDQ path --------------------------------------------------
+
+#if MEDSEC_ARCH_X86_64
+
+__attribute__((target("pclmul,sse4.1"))) void mul326_clmul(
+    const std::uint64_t a[3], const std::uint64_t b[3], std::uint64_t p[6]) {
+  const __m128i a01 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a));
+  const __m128i b01 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
+  const __m128i a2 = _mm_cvtsi64_si128(static_cast<long long>(a[2]));
+  const __m128i b2 = _mm_cvtsi64_si128(static_cast<long long>(b[2]));
+
+  const __m128i d0 = _mm_clmulepi64_si128(a01, b01, 0x00);
+  const __m128i d1 = _mm_clmulepi64_si128(a01, b01, 0x11);
+  const __m128i d2 = _mm_clmulepi64_si128(a2, b2, 0x00);
+
+  const __m128i a1x = _mm_srli_si128(a01, 8);  // a1 in the low lane
+  const __m128i b1x = _mm_srli_si128(b01, 8);
+  const __m128i e01 = _mm_clmulepi64_si128(_mm_xor_si128(a01, a1x),
+                                           _mm_xor_si128(b01, b1x), 0x00);
+  const __m128i e02 = _mm_clmulepi64_si128(_mm_xor_si128(a01, a2),
+                                           _mm_xor_si128(b01, b2), 0x00);
+  const __m128i e12 = _mm_clmulepi64_si128(_mm_xor_si128(a1x, a2),
+                                           _mm_xor_si128(b1x, b2), 0x00);
+
+  const __m128i d01 = _mm_xor_si128(d0, d1);
+  const __m128i c1 = _mm_xor_si128(e01, d01);
+  const __m128i c2 = _mm_xor_si128(e02, _mm_xor_si128(d01, d2));
+  const __m128i c3 = _mm_xor_si128(e12, _mm_xor_si128(d1, d2));
+
+  p[0] = static_cast<std::uint64_t>(_mm_cvtsi128_si64(d0));
+  p[1] = static_cast<std::uint64_t>(_mm_extract_epi64(d0, 1)) ^
+         static_cast<std::uint64_t>(_mm_cvtsi128_si64(c1));
+  p[2] = static_cast<std::uint64_t>(_mm_extract_epi64(c1, 1)) ^
+         static_cast<std::uint64_t>(_mm_cvtsi128_si64(c2));
+  p[3] = static_cast<std::uint64_t>(_mm_extract_epi64(c2, 1)) ^
+         static_cast<std::uint64_t>(_mm_cvtsi128_si64(c3));
+  p[4] = static_cast<std::uint64_t>(_mm_extract_epi64(c3, 1)) ^
+         static_cast<std::uint64_t>(_mm_cvtsi128_si64(d2));
+  p[5] = static_cast<std::uint64_t>(_mm_extract_epi64(d2, 1));
+}
+
+__attribute__((target("pclmul,sse4.1"))) void sqr326_clmul(
+    const std::uint64_t a[3], std::uint64_t p[6]) {
+  for (std::size_t i = 0; i < 3; ++i) {
+    const __m128i v = _mm_cvtsi64_si128(static_cast<long long>(a[i]));
+    const __m128i s = _mm_clmulepi64_si128(v, v, 0x00);
+    p[2 * i] = static_cast<std::uint64_t>(_mm_cvtsi128_si64(s));
+    p[2 * i + 1] = static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+  }
+}
+
+bool clmul_supported() { return __builtin_cpu_supports("pclmul") != 0; }
+
+#elif MEDSEC_ARCH_AARCH64
+
+__attribute__((target("+crypto"))) inline void pmull64(std::uint64_t a,
+                                                       std::uint64_t b,
+                                                       std::uint64_t& lo,
+                                                       std::uint64_t& hi) {
+  const poly128_t r = vmull_p64(static_cast<poly64_t>(a),
+                                static_cast<poly64_t>(b));
+  const uint64x2_t v = vreinterpretq_u64_p128(r);
+  lo = vgetq_lane_u64(v, 0);
+  hi = vgetq_lane_u64(v, 1);
+}
+
+__attribute__((target("+crypto"))) void mul326_clmul(const std::uint64_t a[3],
+                                                     const std::uint64_t b[3],
+                                                     std::uint64_t p[6]) {
+  std::uint64_t d0l, d0h, d1l, d1h, d2l, d2h;
+  std::uint64_t e01l, e01h, e02l, e02h, e12l, e12h;
+  pmull64(a[0], b[0], d0l, d0h);
+  pmull64(a[1], b[1], d1l, d1h);
+  pmull64(a[2], b[2], d2l, d2h);
+  pmull64(a[0] ^ a[1], b[0] ^ b[1], e01l, e01h);
+  pmull64(a[0] ^ a[2], b[0] ^ b[2], e02l, e02h);
+  pmull64(a[1] ^ a[2], b[1] ^ b[2], e12l, e12h);
+
+  const std::uint64_t c1l = e01l ^ d0l ^ d1l, c1h = e01h ^ d0h ^ d1h;
+  const std::uint64_t c2l = e02l ^ d0l ^ d1l ^ d2l,
+                      c2h = e02h ^ d0h ^ d1h ^ d2h;
+  const std::uint64_t c3l = e12l ^ d1l ^ d2l, c3h = e12h ^ d1h ^ d2h;
+
+  p[0] = d0l;
+  p[1] = d0h ^ c1l;
+  p[2] = c1h ^ c2l;
+  p[3] = c2h ^ c3l;
+  p[4] = c3h ^ d2l;
+  p[5] = d2h;
+}
+
+__attribute__((target("+crypto"))) void sqr326_clmul(const std::uint64_t a[3],
+                                                     std::uint64_t p[6]) {
+  for (std::size_t i = 0; i < 3; ++i) pmull64(a[i], a[i], p[2 * i], p[2 * i + 1]);
+}
+
+bool clmul_supported() {
+#if defined(MEDSEC_HAVE_AUXV) && defined(HWCAP_PMULL)
+  return (getauxval(AT_HWCAP) & HWCAP_PMULL) != 0;
+#else
+  return false;
+#endif
+}
+
+#else
+
+bool clmul_supported() { return false; }
+
+#endif
+
+// --- vtables and dispatch ---------------------------------------------------
+
+constexpr BackendVTable kPortableVTable{Backend::kPortable, "portable",
+                                        &mul326_portable, &sqr326_portable};
+constexpr BackendVTable kKaratsubaVTable{Backend::kKaratsuba, "karatsuba",
+                                         &mul326_karatsuba, &sqr326_portable};
+#if MEDSEC_ARCH_X86_64 || MEDSEC_ARCH_AARCH64
+constexpr BackendVTable kClmulVTable{Backend::kClmul, "clmul", &mul326_clmul,
+                                     &sqr326_clmul};
+#endif
+
+const BackendVTable* vtable_for(Backend b) {
+  switch (b) {
+    case Backend::kPortable:
+      return &kPortableVTable;
+    case Backend::kKaratsuba:
+      return &kKaratsubaVTable;
+    case Backend::kClmul:
+#if MEDSEC_ARCH_X86_64 || MEDSEC_ARCH_AARCH64
+      if (clmul_supported()) return &kClmulVTable;
+#endif
+      return nullptr;
+  }
+  return nullptr;
+}
+
+const BackendVTable* default_vtable() {
+  // Environment override first, then fastest-available.
+  if (const char* env = std::getenv("MEDSEC_GF2M_BACKEND")) {
+    const std::string_view v{env};
+    if (v == "portable") return &kPortableVTable;
+    if (v == "karatsuba") return &kKaratsubaVTable;
+    if (v == "clmul" || v == "pclmul" || v == "pmull" || v == "hw") {
+      if (const BackendVTable* t = vtable_for(Backend::kClmul)) return t;
+      std::fprintf(stderr,
+                   "medsec: MEDSEC_GF2M_BACKEND=%s requested but hardware "
+                   "carry-less multiply is unavailable; using karatsuba\n",
+                   env);
+    } else if (v != "auto" && !v.empty()) {
+      std::fprintf(stderr,
+                   "medsec: unknown MEDSEC_GF2M_BACKEND=%s "
+                   "(want portable|karatsuba|clmul|auto); using auto\n",
+                   env);
+    }
+  }
+  if (const BackendVTable* t = vtable_for(Backend::kClmul)) return t;
+  return &kKaratsubaVTable;
+}
+
+std::atomic<const BackendVTable*>& dispatch_slot() {
+  static std::atomic<const BackendVTable*> slot{default_vtable()};
+  return slot;
+}
+
+}  // namespace
+
+namespace detail {
+const BackendVTable* active_vtable() {
+  return dispatch_slot().load(std::memory_order_relaxed);
+}
+}  // namespace detail
+
+Backend active_backend() { return detail::active_vtable()->id; }
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kPortable:
+      return "portable";
+    case Backend::kKaratsuba:
+      return "karatsuba";
+    case Backend::kClmul:
+      return "clmul";
+  }
+  return "?";
+}
+
+bool backend_available(Backend b) { return vtable_for(b) != nullptr; }
+
+bool set_backend(Backend b) {
+  const BackendVTable* t = vtable_for(b);
+  if (t == nullptr) return false;
+  dispatch_slot().store(t, std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<Backend> known_backends() {
+  return {Backend::kClmul, Backend::kKaratsuba, Backend::kPortable};
+}
+
+const BackendVTable* backend_vtable(Backend b) { return vtable_for(b); }
+
+}  // namespace medsec::gf2m

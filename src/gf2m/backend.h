@@ -1,0 +1,74 @@
+// backend.h — pluggable arithmetic backends for the F_2^163 field layer.
+//
+// The paper's thesis is that a carry-less multiplier is smaller and faster
+// than an integer one; this subsystem makes the *software model* of that
+// multiplier as fast as the host allows, with three interchangeable
+// implementations of the unreduced 3x3-limb carry-less product:
+//
+//   kPortable   — the seed's branchless 4-bit-window emulation, schoolbook
+//                 (9 emulated clmuls). Reference path, always available.
+//   kKaratsuba  — same emulated clmul primitive, 3-limb Karatsuba
+//                 (6 emulated clmuls instead of 9).
+//   kClmul      — hardware carry-less multiply (x86 PCLMULQDQ or AArch64
+//                 PMULL) plus the same Karatsuba schedule. Available only
+//                 when the CPU advertises the instruction.
+//
+// Selection: runtime CPU detection picks the fastest available backend at
+// startup; the MEDSEC_GF2M_BACKEND environment variable
+// (portable | karatsuba | clmul | auto) overrides it, and set_backend()
+// switches programmatically (used by the per-backend benches and the
+// cross-check tests). All backends are bit-for-bit interchangeable; the
+// dispatch is a single relaxed-atomic pointer load per field multiply.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace medsec::gf2m {
+
+enum class Backend {
+  kPortable,
+  kKaratsuba,
+  kClmul,
+};
+
+/// Unreduced carry-less product of 3-limb polynomials: p[0..5] = a (x) b.
+using MulFn = void (*)(const std::uint64_t a[3], const std::uint64_t b[3],
+                       std::uint64_t p[6]);
+/// Unreduced carry-less square: p[0..5] = a (x) a.
+using SqrFn = void (*)(const std::uint64_t a[3], std::uint64_t p[6]);
+
+struct BackendVTable {
+  Backend id;
+  const char* name;
+  MulFn mul;
+  SqrFn sqr;
+};
+
+/// The backend currently wired into Gf163::mul / Gf163::sqr.
+Backend active_backend();
+const char* backend_name(Backend b);
+
+/// True if the backend can run on this CPU (kPortable/kKaratsuba always;
+/// kClmul only with PCLMULQDQ / PMULL support).
+bool backend_available(Backend b);
+
+/// Switch the active backend. Returns false (and leaves the dispatch
+/// unchanged) if the backend is unavailable on this CPU.
+bool set_backend(Backend b);
+
+/// All backends this build knows about, in preference order (fastest first).
+std::vector<Backend> known_backends();
+
+/// Direct access to a backend's vtable (nullptr if unavailable): the
+/// cross-check tests and benches drive every implementation explicitly,
+/// bypassing the global dispatch.
+const BackendVTable* backend_vtable(Backend b);
+
+namespace detail {
+/// The active vtable (never null; initialized on first use from CPU
+/// detection + MEDSEC_GF2M_BACKEND).
+const BackendVTable* active_vtable();
+}  // namespace detail
+
+}  // namespace medsec::gf2m

@@ -1,7 +1,9 @@
 #include "gf2m/gf2_163.h"
 
 #include <stdexcept>
+#include <vector>
 
+#include "gf2m/backend.h"
 #include "gf2m/clmul.h"
 
 namespace medsec::gf2m {
@@ -48,35 +50,126 @@ Gf163 Gf163::reduce_product(const std::array<std::uint64_t, 6>& prod) {
 }
 
 Gf163 Gf163::mul(const Gf163& a, const Gf163& b) {
-  std::array<std::uint64_t, 6> p{};
-  for (std::size_t i = 0; i < kLimbs; ++i) {
-    for (std::size_t j = 0; j < kLimbs; ++j) {
-      std::uint64_t lo = 0, hi = 0;
-      clmul64(a.limb_[i], b.limb_[j], lo, hi);
-      p[i + j] ^= lo;
-      p[i + j + 1] ^= hi;
-    }
-  }
+  std::array<std::uint64_t, 6> p;
+  detail::active_vtable()->mul(a.limb_.data(), b.limb_.data(), p.data());
+  return reduce_product(p);
+}
+
+Gf163 Gf163::mul_add_mul(const Gf163& a, const Gf163& b, const Gf163& c,
+                         const Gf163& d) {
+  const BackendVTable* vt = detail::active_vtable();
+  std::array<std::uint64_t, 6> p, q;
+  vt->mul(a.limb_.data(), b.limb_.data(), p.data());
+  vt->mul(c.limb_.data(), d.limb_.data(), q.data());
+  for (std::size_t i = 0; i < 6; ++i) p[i] ^= q[i];
+  return reduce_product(p);
+}
+
+Gf163 Gf163::sqr_add_mul(const Gf163& a, const Gf163& b, const Gf163& c) {
+  const BackendVTable* vt = detail::active_vtable();
+  std::array<std::uint64_t, 6> p, q;
+  vt->sqr(a.limb_.data(), p.data());
+  vt->mul(b.limb_.data(), c.limb_.data(), q.data());
+  for (std::size_t i = 0; i < 6; ++i) p[i] ^= q[i];
   return reduce_product(p);
 }
 
 Gf163 Gf163::sqr(const Gf163& a) {
-  std::array<std::uint64_t, 6> p{};
-  for (std::size_t i = 0; i < kLimbs; ++i) {
-    clsqr64(a.limb_[i], p[2 * i], p[2 * i + 1]);
-  }
+  std::array<std::uint64_t, 6> p;
+  detail::active_vtable()->sqr(a.limb_.data(), p.data());
   return reduce_product(p);
 }
 
+namespace {
+
+/// Precomputed table for the linear map a -> a^(2^n) at a fixed stride n.
+///
+/// Frobenius iterates are GF(2)-linear, so a^(2^n) is the XOR over the set
+/// bits of a of e_i^(2^n) for basis elements e_i = x^i. The table groups the
+/// 163 input bits into 41 4-bit windows; applying the map is 41 table
+/// lookups + XORs regardless of n — this is what turns the Itoh–Tsujii
+/// chain's 162 serial squarings into a handful of sub-100ns steps.
+struct MultiSqrTable {
+  static constexpr std::size_t kWindows = 41;  // ceil(163 / 4)
+  std::array<std::array<Gf163, 16>, kWindows> t{};
+
+  explicit MultiSqrTable(unsigned n) {
+    for (std::size_t c = 0; c < kWindows; ++c) {
+      for (unsigned bit = 0; bit < 4; ++bit) {
+        const std::size_t pos = 4 * c + bit;
+        if (pos >= Gf163::kBits) break;
+        // basis = (x^pos)^(2^n), by n plain squarings (table build only).
+        std::uint64_t l[3] = {0, 0, 0};
+        l[pos / 64] = std::uint64_t{1} << (pos % 64);
+        Gf163 basis{l[0], l[1], l[2]};
+        for (unsigned s = 0; s < n; ++s) basis = Gf163::sqr(basis);
+        const unsigned hi = 1u << bit;
+        for (unsigned v = 0; v < hi; ++v) t[c][v | hi] = t[c][v] + basis;
+      }
+    }
+  }
+
+  Gf163 apply(const Gf163& a) const {
+    Gf163 acc;
+    for (std::size_t c = 0; c < kWindows; ++c) {
+      const std::size_t off = 4 * c;
+      const unsigned nib =
+          static_cast<unsigned>(a.limb(off / 64) >> (off % 64)) & 0xF;
+      acc += t[c][nib];
+    }
+    return acc;
+  }
+};
+
+/// Tables for the strides of the Itoh–Tsujii addition chain
+/// (1 -> 2 -> 4 -> 5 -> 10 -> 20 -> 40 -> 80 -> 81 -> 162) plus sqrt
+/// (162 = 81 + 81). Built lazily on first use (thread-safe magic statics).
+const MultiSqrTable* msqr_table(unsigned n) {
+  switch (n) {
+    case 5: {
+      static const MultiSqrTable t{5};
+      return &t;
+    }
+    case 10: {
+      static const MultiSqrTable t{10};
+      return &t;
+    }
+    case 20: {
+      static const MultiSqrTable t{20};
+      return &t;
+    }
+    case 40: {
+      static const MultiSqrTable t{40};
+      return &t;
+    }
+    case 81: {
+      static const MultiSqrTable t{81};
+      return &t;
+    }
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
 Gf163 Gf163::sqr_n(Gf163 a, unsigned n) {
-  for (unsigned i = 0; i < n; ++i) a = sqr(a);
+  static constexpr unsigned kStrides[] = {81, 40, 20, 10, 5};
+  for (const unsigned stride : kStrides) {
+    while (n >= stride) {
+      a = msqr_table(stride)->apply(a);
+      n -= stride;
+    }
+  }
+  for (; n > 0; --n) a = sqr(a);
   return a;
 }
 
 Gf163 Gf163::inv(const Gf163& a) {
   // Itoh–Tsujii: a^{-1} = (a^(2^162 - 1))^2, with the addition chain
   // 1 -> 2 -> 4 -> 5 -> 10 -> 20 -> 40 -> 80 -> 81 -> 162 for the
-  // exponents beta_k = a^(2^k - 1).
+  // exponents beta_k = a^(2^k - 1). The sqr_n steps with stride >= 5 hit
+  // the precomputed multi-squaring tables.
   const Gf163 b1 = a;
   const Gf163 b2 = mul(sqr(b1), b1);
   const Gf163 b4 = mul(sqr_n(b2, 2), b2);
@@ -90,9 +183,34 @@ Gf163 Gf163::inv(const Gf163& a) {
   return sqr(b162);
 }
 
+void Gf163::batch_inv(Gf163* elems, std::size_t n) {
+  if (n == 0) return;
+  if (n == 1) {
+    if (!elems[0].is_zero()) elems[0] = inv(elems[0]);
+    return;
+  }
+  // Forward pass: prefix[i] = product of the nonzero elements before i.
+  std::vector<Gf163> prefix(n);
+  Gf163 acc = one();
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix[i] = acc;
+    if (!elems[i].is_zero()) acc = mul(acc, elems[i]);
+  }
+  // One inversion for the whole batch (acc == 1 if every element was zero).
+  Gf163 inv_acc = inv(acc);
+  // Backward pass: peel one element off the running inverse at a time.
+  for (std::size_t i = n; i-- > 0;) {
+    if (elems[i].is_zero()) continue;
+    const Gf163 original = elems[i];
+    elems[i] = mul(inv_acc, prefix[i]);
+    inv_acc = mul(inv_acc, original);
+  }
+}
+
 Gf163 Gf163::sqrt(const Gf163& a) {
   // sqrt(a) = a^(2^162): squaring is a field automorphism and the Frobenius
-  // has order 163, so 162 squarings invert one squaring.
+  // has order 163, so 162 squarings invert one squaring. With the
+  // multi-squaring tables this is two 81-stride applications.
   return sqr_n(a, 162);
 }
 

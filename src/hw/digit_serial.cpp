@@ -23,25 +23,43 @@ int hamming_distance(const Gf163& a, const Gf163& b) {
   return popcount(a + b);  // XOR in characteristic 2
 }
 
+constexpr std::uint64_t kTop35 = (std::uint64_t{1} << 35) - 1;
+
 /// Multiply by x (shift left one bit) and reduce modulo
 /// f(x) = x^163 + x^7 + x^6 + x^3 + 1 — one slice of the shift network.
 Gf163 mulx(const Gf163& v) {
   const std::uint64_t carry = (v.limb(2) >> 34) & 1;  // bit 162
   Gf163 out{(v.limb(0) << 1), (v.limb(1) << 1) | (v.limb(0) >> 63),
-            ((v.limb(2) << 1) | (v.limb(1) >> 63)) &
-                ((std::uint64_t{1} << 35) - 1)};
+            ((v.limb(2) << 1) | (v.limb(1) >> 63)) & kTop35};
   if (carry) out += Gf163{(1u << 7) | (1u << 6) | (1u << 3) | 1u};
   return out;
 }
 
-/// Extract d bits of b starting at bit position pos (may run off the top).
+/// v * x^d mod f(x) in one word-parallel step (1 <= d <= 32): shift the
+/// 163-bit value left across limbs, then fold the d overflow bits back
+/// with the pentanomial taps — bit-exact with d applications of mulx
+/// (folded tap bits land at positions <= d + 6 < 163, so they can never
+/// re-overflow within one step). This is the model's fast path; the
+/// hardware it models computes the same d-bit shift-reduce in one cycle.
+Gf163 shl_mod(const Gf163& v, std::size_t d) {
+  const std::uint64_t t = v.limb(2) >> (35 - d);  // bits 163..162+d
+  std::uint64_t l0 = v.limb(0) << d;
+  const std::uint64_t l1 = (v.limb(1) << d) | (v.limb(0) >> (64 - d));
+  const std::uint64_t l2 =
+      ((v.limb(2) << d) | (v.limb(1) >> (64 - d))) & kTop35;
+  l0 ^= t ^ (t << 3) ^ (t << 6) ^ (t << 7);
+  return Gf163{l0, l1, l2};
+}
+
+/// Extract d bits of b starting at bit position pos (may run off the top),
+/// word-parallel. Precondition: pos < 163, d <= 32.
 std::uint32_t digit_at(const Gf163& b, std::size_t pos, std::size_t d) {
-  std::uint32_t digit = 0;
-  for (std::size_t j = 0; j < d; ++j) {
-    const std::size_t i = pos + j;
-    if (i < kM && b.bit(i)) digit |= (1u << j);
-  }
-  return digit;
+  const std::size_t limb = pos / 64;
+  const std::size_t off = pos % 64;
+  std::uint64_t v = b.limb(limb) >> off;
+  if (off + d > 64 && limb + 1 < Gf163::kLimbs)
+    v |= b.limb(limb + 1) << (64 - off);
+  return static_cast<std::uint32_t>(v & ((std::uint64_t{1} << d) - 1));
 }
 
 }  // namespace
@@ -85,9 +103,8 @@ MaluResult DigitSerialMultiplier::multiply(const Gf163& a,
     const std::size_t pos = (cycles_ - 1 - c) * d;
     const std::uint32_t digit = digit_at(b, pos, d);
 
-    // acc <- acc * x^d mod f  (shift-reduce network)
-    Gf163 shifted = acc;
-    for (std::size_t j = 0; j < d; ++j) shifted = mulx(shifted);
+    // acc <- acc * x^d mod f  (shift-reduce network, one word-parallel step)
+    const Gf163 shifted = shl_mod(acc, d);
 
     // partial <- a * digit (selected partial-product rows XORed together)
     Gf163 partial;
@@ -113,6 +130,11 @@ MaluResult DigitSerialMultiplier::multiply(const Gf163& a,
   r.product = acc;
   r.cycles = cycles_;
   return r;
+}
+
+Gf163 DigitSerialMultiplier::product_only(const Gf163& a,
+                                          const Gf163& b) const {
+  return Gf163::mul(a, b);
 }
 
 double DigitSerialMultiplier::avg_mult_energy_j(const Technology& tech) const {

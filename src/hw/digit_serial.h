@@ -61,7 +61,15 @@ class DigitSerialMultiplier {
 
   /// Execute a full a*b mod f(x) pass, bit-exact, with activity log.
   /// The result is cross-checked against gf2m::Gf163::mul in tests.
+  /// Internally word-parallel: the d-bit shift-reduce network and digit
+  /// extraction are single word operations per cycle, not bit loops.
   MaluResult multiply(const gf2m::Gf163& a, const gf2m::Gf163& b) const;
+
+  /// Product only, no per-cycle activity model: delegates to the active
+  /// gf2m backend (bit-exact with multiply().product — asserted by the
+  /// backend cross-check tests). Use when the caller needs functional
+  /// hardware-equivalence, not the power trace.
+  gf2m::Gf163 product_only(const gf2m::Gf163& a, const gf2m::Gf163& b) const;
 
   /// Average energy of one multiplication under the given technology,
   /// using the average switching activity of random operands (analytic,

@@ -1,7 +1,8 @@
 #include "protocol/ecies.h"
 
 #include "ciphers/modes.h"
-#include "ecc/scalar_mult.h"
+#include "ecc/fixed_base.h"
+#include "ecc/ladder.h"
 #include "hash/hmac.h"
 #include "hash/sha256.h"
 #include "protocol/wire.h"
@@ -48,7 +49,7 @@ std::size_t EciesCiphertext::wire_bits(const Curve& curve) const {
 EciesKeyPair ecies_keygen(const Curve& curve, rng::RandomSource& rng) {
   EciesKeyPair kp;
   kp.y = rng.uniform_nonzero(curve.order());
-  kp.Y = curve.scalar_mult_reference(kp.y, curve.base_point());
+  kp.Y = ecc::generator_comb(curve).mult_ct(kp.y);
   return kp;
 }
 
@@ -60,18 +61,22 @@ EciesCiphertext ecies_encrypt(const Curve& curve, const Point& Y,
   if (!curve.validate_subgroup_point(Y))
     throw std::invalid_argument("ecies_encrypt: invalid recipient key");
 
-  // Ephemeral pair + shared secret, both on the protected ladder.
-  ecc::MultOptions opt;
-  opt.algorithm = ecc::MultAlgorithm::kLadderRpc;
-  opt.rng = &rng;
+  // Ephemeral point R = r·P on the fixed-base comb (constant schedule,
+  // masked table scan); shared secret Z = r·Y on the RPC ladder, whose
+  // output conversion shares one joint inversion across its two
+  // denominators (Montgomery's trick inside recover_from_ladder).
+  ecc::LadderOptions lo;
+  lo.randomize_z = true;
+  lo.rng = &rng;
+  const ecc::FixedBaseComb& comb = ecc::generator_comb(curve);
   Point R, Z;
   Scalar r;
   do {
     r = rng.uniform_nonzero(curve.order());
     if (ledger) ledger->rng_bits += 163 + 2 * 163;
-    R = ecc::scalar_mult(curve, r, curve.base_point(), opt);
+    R = comb.mult_ct(r);
     if (ledger) ++ledger->ecpm;
-    Z = ecc::scalar_mult(curve, r, Y, opt);
+    Z = ecc::montgomery_ladder(curve, r, Y, lo);
     if (ledger) ++ledger->ecpm;
   } while (R.infinity || Z.infinity);
 
@@ -103,7 +108,7 @@ std::optional<std::vector<std::uint8_t>> ecies_decrypt(
     const CipherFactory& make_cipher, std::size_t key_bytes) {
   // Invalid-curve gate: the ephemeral point is attacker-controlled.
   if (!curve.validate_subgroup_point(ct.ephemeral)) return std::nullopt;
-  const Point Z = curve.scalar_mult_reference(y, ct.ephemeral);
+  const Point Z = ecc::scalar_mult_ld(curve, y, ct.ephemeral);
   if (Z.infinity) return std::nullopt;
 
   const auto probe = make_cipher(std::vector<std::uint8_t>(key_bytes, 0));

@@ -1,5 +1,6 @@
 #include "protocol/peeters_hermans.h"
 
+#include "ecc/fixed_base.h"
 #include "ecc/scalar_mult.h"
 
 namespace medsec::protocol {
@@ -23,7 +24,7 @@ Point tag_pm(const Curve& c, const Scalar& k, const Point& p,
 PhReader ph_setup_reader(const Curve& curve, rng::RandomSource& rng) {
   PhReader r;
   r.y = rng.uniform_nonzero(curve.order());
-  r.Y = curve.scalar_mult_reference(r.y, curve.base_point());
+  r.Y = ecc::generator_comb(curve).mult_ct(r.y);
   return r;
 }
 
@@ -33,8 +34,7 @@ PhTag ph_register_tag(const Curve& curve, PhReader& reader,
   t.x = rng.uniform_nonzero(curve.order());
   t.Y = reader.Y;
   t.registered_index = reader.db.size();
-  reader.db.push_back(
-      curve.scalar_mult_reference(t.x, curve.base_point()));
+  reader.db.push_back(ecc::generator_comb(curve).mult_ct(t.x));
   return t;
 }
 
@@ -44,7 +44,9 @@ PhTagSession ph_tag_commit(const Curve& curve,
   PhTagSession s;
   s.r = rng.uniform_nonzero(curve.order());
   ledger.rng_bits += 163;
-  s.commitment = tag_pm(curve, s.r, curve.base_point(), rng, ledger);
+  // Generator multiplication: fixed-base comb, constant schedule.
+  ++ledger.ecpm;
+  s.commitment = ecc::generator_comb(curve).mult_ct(s.r);
   return s;
 }
 
@@ -70,12 +72,12 @@ std::optional<std::size_t> ph_reader_identify(const Curve& curve,
   if (t.commitment.infinity) return std::nullopt;
   if (!curve.validate_subgroup_point(t.commitment)) return std::nullopt;
   // d' = xcoord(y·R_c); X^ = s·P - d'·P - e·R_c.
-  const Point yr = curve.scalar_mult_reference(reader.y, t.commitment);
+  const Point yr = ecc::scalar_mult_ld(curve, reader.y, t.commitment);
   const Scalar d = fe_to_scalar_mod_order(curve, yr.x);
-  const Point sp =
-      curve.scalar_mult_reference(t.response, curve.base_point());
-  const Point dp = curve.scalar_mult_reference(d, curve.base_point());
-  const Point er = curve.scalar_mult_reference(t.challenge, t.commitment);
+  const auto& comb = ecc::generator_comb(curve);
+  const Point sp = comb.mult(t.response);
+  const Point dp = comb.mult(d);
+  const Point er = ecc::scalar_mult_ld(curve, t.challenge, t.commitment);
   const Point x_hat =
       curve.add(sp, curve.add(curve.negate(dp), curve.negate(er)));
   for (std::size_t i = 0; i < reader.db.size(); ++i)

@@ -1,5 +1,6 @@
 #include "protocol/privacy_game.h"
 
+#include "ecc/fixed_base.h"
 #include "protocol/peeters_hermans.h"
 #include "protocol/schnorr.h"
 #include "rng/xoshiro.h"
@@ -58,10 +59,8 @@ PrivacyGameResult run_privacy_game(const Curve& curve, GameProtocol protocol,
       // Same tracing test as against Schnorr: X^? = s·P - e·R_c, compare
       // with the known public keys. The blinding term d·P makes the
       // comparison fail for both candidates.
-      const Point sp =
-          curve.scalar_mult_reference(s, curve.base_point());
-      const Point er =
-          curve.scalar_mult_reference(e, ts.commitment);
+      const Point sp = ecc::generator_comb(curve).mult(s);
+      const Point er = ecc::scalar_mult_ld(curve, e, ts.commitment);
       const Point candidate = curve.add(sp, curve.negate(er));
       const bool links0 = candidate == reader.db[0];
       const bool links1 = candidate == reader.db[1];

@@ -1,7 +1,6 @@
 #include "protocol/schnorr.h"
 
-#include "ecc/ladder.h"
-#include "ecc/scalar_mult.h"
+#include "ecc/fixed_base.h"
 
 namespace medsec::protocol {
 
@@ -9,24 +8,12 @@ namespace {
 using ecc::Curve;
 using ecc::Point;
 using ecc::Scalar;
-
-/// Tag-side point multiplication: the constant-time ladder with RPC, as
-/// the modeled device would run it.
-Point tag_pm(const Curve& c, const Scalar& k, const Point& p,
-             rng::RandomSource& rng, EnergyLedger& ledger) {
-  ecc::MultOptions opt;
-  opt.algorithm = ecc::MultAlgorithm::kLadderRpc;
-  opt.rng = &rng;
-  ++ledger.ecpm;
-  ledger.rng_bits += 2 * 163;  // Z-randomizers
-  return ecc::scalar_mult(c, k, p, opt);
-}
 }  // namespace
 
 SchnorrKeyPair schnorr_keygen(const Curve& curve, rng::RandomSource& rng) {
   SchnorrKeyPair kp;
   kp.x = rng.uniform_nonzero(curve.order());
-  kp.X = curve.scalar_mult_reference(kp.x, curve.base_point());
+  kp.X = ecc::generator_comb(curve).mult_ct(kp.x);
   return kp;
 }
 
@@ -36,10 +23,13 @@ SchnorrSessionResult run_schnorr_session(const Curve& curve,
   SchnorrSessionResult out;
   const auto& ring = curve.scalar_ring();
 
-  // T: commitment.
+  // T: commitment — a generator multiplication, so the tag runs the
+  // fixed-base comb with its key-independent double+add schedule and
+  // masked table scan instead of the general-point ladder.
   const Scalar r = rng.uniform_nonzero(curve.order());
   out.tag_ledger.rng_bits += 163;
-  const Point rc = tag_pm(curve, r, curve.base_point(), rng, out.tag_ledger);
+  ++out.tag_ledger.ecpm;
+  const Point rc = ecc::generator_comb(curve).mult_ct(r);
   out.transcript.tag_to_reader.push_back(
       Message{"commitment R", encode_point(curve, rc)});
 
@@ -66,11 +56,12 @@ bool schnorr_verify(const Curve& curve, const Point& X,
                     const SchnorrTranscript& t) {
   if (t.commitment.infinity) return false;
   if (!curve.validate_subgroup_point(t.commitment)) return false;
-  // s*P == R + e*X  (reader side: energy-rich, plain arithmetic).
-  const Point lhs =
-      curve.scalar_mult_reference(t.response, curve.base_point());
+  // s*P == R + e*X  (reader side: energy-rich, plain arithmetic — the
+  // generator term goes through the comb, the arbitrary-point term through
+  // projective double-and-add).
+  const Point lhs = ecc::generator_comb(curve).mult(t.response);
   const Point rhs =
-      curve.add(t.commitment, curve.scalar_mult_reference(t.challenge, X));
+      curve.add(t.commitment, ecc::scalar_mult_ld(curve, t.challenge, X));
   return lhs == rhs;
 }
 

@@ -1,5 +1,6 @@
 #include "protocol/signature.h"
 
+#include "ecc/fixed_base.h"
 #include "ecc/scalar_mult.h"
 #include "hash/sha256.h"
 #include "protocol/wire.h"
@@ -46,7 +47,7 @@ SignatureKeyPair signature_keygen(const Curve& curve,
                                   rng::RandomSource& rng) {
   SignatureKeyPair kp;
   kp.x = rng.uniform_nonzero(curve.order());
-  kp.X = curve.scalar_mult_reference(kp.x, curve.base_point());
+  kp.X = ecc::generator_comb(curve).mult_ct(kp.x);
   return kp;
 }
 
@@ -56,11 +57,9 @@ Signature ec_schnorr_sign(const Curve& curve, const SignatureKeyPair& key,
   const auto& ring = curve.scalar_ring();
   for (;;) {
     const Scalar r = rng.uniform_nonzero(curve.order());
-    if (ledger) ledger->rng_bits += 163 + 2 * 163;
-    ecc::MultOptions opt;
-    opt.algorithm = ecc::MultAlgorithm::kLadderRpc;
-    opt.rng = &rng;
-    const Point R = ecc::scalar_mult(curve, r, curve.base_point(), opt);
+    if (ledger) ledger->rng_bits += 163;
+    // Generator multiplication: fixed-base comb, constant schedule.
+    const Point R = ecc::generator_comb(curve).mult_ct(r);
     if (ledger) ++ledger->ecpm;
     if (R.infinity) continue;  // r = 0 mod l, impossible by construction
 
@@ -82,8 +81,8 @@ bool ec_schnorr_verify(const Curve& curve, const Point& X,
   if (sig.e >= curve.order() || sig.s >= curve.order()) return false;
   if (!curve.validate_subgroup_point(X)) return false;
   // R' = s*P - e*X.
-  const Point sp = curve.scalar_mult_reference(sig.s, curve.base_point());
-  const Point ex = curve.scalar_mult_reference(sig.e, X);
+  const Point sp = ecc::generator_comb(curve).mult(sig.s);
+  const Point ex = ecc::scalar_mult_ld(curve, sig.e, X);
   const Point r = curve.add(sp, curve.negate(ex));
   if (r.infinity) return false;
   return challenge_scalar(curve, r.x, message, nullptr) == sig.e;
