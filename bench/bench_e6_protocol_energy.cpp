@@ -152,7 +152,6 @@ BENCHMARK(BM_MutualAuthSession)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return medsec::bench::run_benchmarks_with_json(argc, argv,
+                                                 "BENCH_e6_protocol.json");
 }

@@ -10,10 +10,9 @@
 // binary, which the CI job archives as the perf trajectory artifact.
 #include <benchmark/benchmark.h>
 
-#include <cstring>
-#include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "bigint/modring.h"
 #include "ecc/curve.h"
 #include "ecc/fixed_base.h"
@@ -214,24 +213,6 @@ BENCHMARK(BM_ScalarRingInv);
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Default to emitting the machine-readable perf artifact unless the
-  // caller already steers the output somewhere.
-  std::vector<char*> args(argv, argv + argc);
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
-        std::strcmp(argv[i], "--benchmark_out") == 0)
-      has_out = true;
-  std::string out_flag = "--benchmark_out=BENCH_field_ops.json";
-  std::string fmt_flag = "--benchmark_out_format=json";
-  if (!has_out) {
-    args.push_back(out_flag.data());
-    args.push_back(fmt_flag.data());
-  }
-  int argc2 = static_cast<int>(args.size());
-  benchmark::Initialize(&argc2, args.data());
-  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return medsec::bench::run_benchmarks_with_json(argc, argv,
+                                                 "BENCH_field_ops.json");
 }

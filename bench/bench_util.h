@@ -6,7 +6,11 @@
 // google-benchmark timers. Benches are deterministic (fixed seeds).
 #pragma once
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "ecc/curve.h"
@@ -29,6 +33,32 @@ inline std::vector<int> padded_bits(const ecc::Curve& c,
   for (std::size_t i = padded.bit_length(); i-- > 0;)
     bits.push_back(padded.bit(i) ? 1 : 0);
   return bits;
+}
+
+/// Run google-benchmark with --benchmark_out defaulted to `default_json`
+/// (google-benchmark's JSON schema) unless the caller already steers the
+/// output somewhere: every bench binary leaves a machine-readable perf
+/// artifact next to itself, which CI archives as the perf trajectory.
+inline int run_benchmarks_with_json(int argc, char** argv,
+                                    const char* default_json) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
+        std::strcmp(argv[i], "--benchmark_out") == 0)
+      has_out = true;
+  std::string out_flag = std::string("--benchmark_out=") + default_json;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace medsec::bench

@@ -54,15 +54,33 @@ CountermeasureConfig CountermeasureConfig::unprotected() {
 SecureEccProcessor::SecureEccProcessor(const ecc::Curve& curve,
                                        const CountermeasureConfig& config,
                                        std::uint64_t seed)
+    : curve_(&curve), config_(config), seed_(seed),
+      root_(curve, config, seed) {}
+
+SecureEccProcessor::Session SecureEccProcessor::open_session(
+    std::uint64_t session_seed) const {
+  // splitmix-style diversification keeps distinct sessions' DRBG streams
+  // independent even for adjacent session seeds.
+  std::uint64_t mixed = seed_ ^ (session_seed * 0x9E3779B97F4A7C15ULL);
+  mixed ^= mixed >> 31;
+  return Session(*curve_, config_, mixed);
+}
+
+SecureEccProcessor::Session::Session(const ecc::Curve& curve,
+                                     const CountermeasureConfig& config,
+                                     std::uint64_t seed)
     : curve_(&curve), config_(config), coproc_(to_hw_config(config)),
       drbg_(seed_bytes(seed)) {}
 
-PointMultOutcome SecureEccProcessor::point_mult(const Scalar& k,
-                                                const Point& p) {
+PointMultOutcome SecureEccProcessor::Session::point_mult(const Scalar& k,
+                                                         const Point& p) {
   // Trust boundary (§5's insecure zone, but validation is mandatory):
   // reject off-curve, small-subgroup and infinity inputs before the key
-  // ever meets the data.
-  if (!curve_->validate_subgroup_point(p))
+  // ever meets the data. The exact order·P check is kept here (not the
+  // cofactor fast path): this boundary models the fielded chip's
+  // fault-attack gate, and the full multiplication is what the paper's
+  // controller runs.
+  if (!curve_->validate_subgroup_point_exact(p))
     throw std::invalid_argument(
         "SecureEccProcessor::point_mult: invalid input point");
 

@@ -53,6 +53,38 @@ struct PointMultOutcome {
 
 class SecureEccProcessor {
  public:
+  /// A reentrant per-session execution handle: its own co-processor
+  /// register file, its own DRBG stream, its own telemetry buffer. The
+  /// engine layer opens one per protocol session so concurrent sessions
+  /// never share mutable state (the processor facade itself keeps no
+  /// per-operation state) — the paper's chip serves one link, the fleet
+  /// server model needs thousands of independent ones.
+  class Session {
+   public:
+    Session(const ecc::Curve& curve, const CountermeasureConfig& config,
+            std::uint64_t seed);
+
+    /// Validated k·P. Throws std::invalid_argument if P is not a valid
+    /// prime-order subgroup point (invalid-curve / small-subgroup gate)
+    /// and std::logic_error if the fault canary fires (off-curve result).
+    PointMultOutcome point_mult(const ecc::Scalar& k, const ecc::Point& p);
+
+    /// Telemetry from this session's last operation (empty if
+    /// record_cycles is off or nothing ran yet).
+    const std::vector<hw::CycleRecord>& last_records() const {
+      return last_records_;
+    }
+    const hw::Coprocessor& coprocessor() const { return coproc_; }
+    double area_ge() const { return coproc_.area_ge(); }
+
+   private:
+    const ecc::Curve* curve_;
+    CountermeasureConfig config_;
+    hw::Coprocessor coproc_;
+    rng::HmacDrbg drbg_;
+    std::vector<hw::CycleRecord> last_records_;
+  };
+
   /// `seed` initializes the device DRBG (models the provisioning-time
   /// entropy; production would reseed from the TRNG).
   SecureEccProcessor(const ecc::Curve& curve,
@@ -61,29 +93,34 @@ class SecureEccProcessor {
 
   const ecc::Curve& curve() const { return *curve_; }
   const CountermeasureConfig& config() const { return config_; }
-  double area_ge() const { return coproc_.area_ge(); }
+  double area_ge() const { return root_.area_ge(); }
 
-  /// Validated k·P. Throws std::invalid_argument if P is not a valid
-  /// prime-order subgroup point (invalid-curve / small-subgroup gate) and
-  /// std::logic_error if the fault canary fires (off-curve result).
-  PointMultOutcome point_mult(const ecc::Scalar& k, const ecc::Point& p);
+  /// Open an independent session handle. `session_seed` diversifies the
+  /// handle's DRBG from the device seed (a fielded chip would mix in the
+  /// TRNG); handles are safe to drive from different threads.
+  Session open_session(std::uint64_t session_seed) const;
+
+  /// Single-threaded facade: the device's root session. Exactly the
+  /// historical API — point_mult + last_records() on shared state.
+  PointMultOutcome point_mult(const ecc::Scalar& k, const ecc::Point& p) {
+    return root_.point_mult(k, p);
+  }
 
   /// Telemetry from the last operation (empty if record_cycles is off or
   /// nothing ran yet) — the hook the side-channel benches instrument.
   const std::vector<hw::CycleRecord>& last_records() const {
-    return last_records_;
+    return root_.last_records();
   }
 
   /// Direct read of the co-processor register file (white-box evaluation
   /// and the ISA audit; a fielded chip has no such port).
-  const hw::Coprocessor& coprocessor() const { return coproc_; }
+  const hw::Coprocessor& coprocessor() const { return root_.coprocessor(); }
 
  private:
   const ecc::Curve* curve_;
   CountermeasureConfig config_;
-  hw::Coprocessor coproc_;
-  rng::HmacDrbg drbg_;
-  std::vector<hw::CycleRecord> last_records_;
+  std::uint64_t seed_;
+  Session root_;
 };
 
 }  // namespace medsec::core

@@ -14,11 +14,16 @@ Curve::Curve(std::string name, const Fe& a, const Fe& b, const Fe& gx,
       g_(Point::affine(gx, gy)),
       order_(order),
       cofactor_(cofactor),
+      trace_a_(Fe::trace(a)),
       ring_(order) {
   if (b_.is_zero())
     throw std::invalid_argument("Curve: b = 0 is singular");
   if (!is_on_curve(g_))
     throw std::invalid_argument("Curve: base point not on curve");
+  // Sanity for the cofactor-2 halving-criterion subgroup gate: the base
+  // point generates the prime-order subgroup, so it must pass the gate.
+  if (cofactor_ == 2 && Fe::trace(g_.x) != trace_a_)
+    throw std::invalid_argument("Curve: base point fails Tr(x) == Tr(a)");
 }
 
 const Curve& Curve::k163() {
@@ -58,6 +63,22 @@ bool Curve::validate_subgroup_point(const Point& p) const {
   if (p.infinity) return false;
   if (!is_on_curve(p)) return false;
   if (p.x.is_zero()) return false;  // the order-2 point (0, sqrt(b))
+  if (cofactor_ == 2) {
+    // Point-halving criterion (Knudsen): on y^2 + xy = x^3 + a x^2 + b an
+    // affine point is in the image of doubling iff Tr(x) == Tr(a), and for
+    // cofactor 2 that image is exactly the prime-order subgroup (it has
+    // index 2 and contains no 2-torsion). One trace computation instead of
+    // an order-length scalar multiplication — this is what lets the engine
+    // layer validate thousands of incoming points per second.
+    return Fe::trace(p.x) == trace_a_;
+  }
+  return validate_subgroup_point_exact(p);
+}
+
+bool Curve::validate_subgroup_point_exact(const Point& p) const {
+  if (p.infinity) return false;
+  if (!is_on_curve(p)) return false;
+  if (p.x.is_zero()) return false;
   // Exact order·P in projective coordinates: one inversion total instead
   // of one per affine group operation. (The constant-length ladder cannot
   // be used here: its k -> k + n padding is only sound for points whose

@@ -65,10 +65,21 @@ class Curve {
   bool is_on_curve(const Point& p) const;
 
   /// Full point validation for untrusted inputs: on-curve, not infinity,
-  /// and in the prime-order subgroup (order * P == infinity). This is the
-  /// fault-attack / invalid-curve-attack gate the paper's security analysis
-  /// assumes at the protocol boundary.
+  /// and in the prime-order subgroup. This is the fault-attack /
+  /// invalid-curve-attack gate the paper's security analysis assumes at the
+  /// protocol boundary.
+  ///
+  /// For cofactor-2 curves (both NIST binary curves here) the subgroup test
+  /// is the O(1) point-halving criterion Tr(x) == Tr(a) instead of an
+  /// order-length scalar multiplication — the doubling image 2E, which the
+  /// criterion characterizes, IS the prime-order subgroup when the cofactor
+  /// is 2. Other cofactors fall back to the exact order·P check.
   bool validate_subgroup_point(const Point& p) const;
+
+  /// The exact order·P == infinity subgroup check (one projective scalar
+  /// multiplication). Reference oracle for the fast path above; tests
+  /// cross-check the two on points inside and outside the subgroup.
+  bool validate_subgroup_point_exact(const Point& p) const;
 
   Point negate(const Point& p) const;
   Point add(const Point& p, const Point& q) const;
@@ -104,6 +115,7 @@ class Curve {
   Point g_;
   Scalar order_;
   unsigned cofactor_;
+  int trace_a_;  ///< Tr(a), precomputed for the halving-criterion gate
   bigint::ModRing<192> ring_;
 };
 

@@ -1,5 +1,6 @@
 #include "ecc/scalar_mult.h"
 
+#include "ecc/fixed_base.h"
 #include "ecc/koblitz.h"
 
 #include <stdexcept>
@@ -63,7 +64,93 @@ Point wnaf_mult(const Curve& curve, const Scalar& k, const Point& p,
   return acc;
 }
 
+/// wNAF window for the interleaved MSM: 4 precomputed odd multiples
+/// (1, 3, 5, 7)·P per term, ~163/5 additions per full-width scalar.
+constexpr unsigned kMsmWidth = 4;
+constexpr std::size_t kMsmOdd = std::size_t{1} << (kMsmWidth - 2);
+
+/// Normalize a flat list of López–Dahab points to affine with one shared
+/// batch inversion. Z == 0 (infinity) entries stay at their zero marker and
+/// come back as the point at infinity.
+std::vector<Point> normalize_ld_batch(const std::vector<LdPoint>& pts) {
+  std::vector<Fe> zinv(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) zinv[i] = pts[i].Z;
+  Fe::batch_inv(zinv.data(), zinv.size());
+  std::vector<Point> out(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].is_infinity()) continue;  // stays at the default infinity
+    out[i] = Point::affine(Fe::mul(pts[i].X, zinv[i]),
+                           Fe::mul(pts[i].Y, Fe::sqr(zinv[i])));
+  }
+  return out;
+}
+
 }  // namespace
+
+Point multi_scalar_mult(const Curve& curve, std::span<const MsmTerm> terms) {
+  struct Entry {
+    std::vector<int> digits;
+    std::size_t table_offset = 0;  // into the flat odd-multiple table
+  };
+  std::vector<Entry> entries;
+  entries.reserve(terms.size());
+
+  // Phase 1: 2P for every live term, normalized together (1st batch_inv).
+  std::vector<LdPoint> doubles;
+  std::vector<const Point*> bases;
+  for (const auto& t : terms) {
+    if (t.p.infinity) continue;
+    const Scalar k = t.k.mod(curve.order());
+    if (k.is_zero()) continue;
+    Entry e;
+    e.digits = wnaf_digits(k, kMsmWidth);
+    e.table_offset = bases.size() * kMsmOdd;
+    entries.push_back(std::move(e));
+    bases.push_back(&t.p);
+    doubles.push_back(ld_double(curve, LdPoint::from_affine(t.p)));
+  }
+  if (entries.empty()) return Point::at_infinity();
+  const std::vector<Point> two_p = normalize_ld_batch(doubles);
+
+  // Phase 2: odd multiples 1P, 3P, 5P, 7P per term — a mixed-addition chain
+  // in projective coordinates, normalized together (2nd batch_inv).
+  std::vector<LdPoint> odd_ld;
+  odd_ld.reserve(bases.size() * kMsmOdd);
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    LdPoint acc = LdPoint::from_affine(*bases[i]);
+    odd_ld.push_back(acc);
+    for (std::size_t j = 1; j < kMsmOdd; ++j) {
+      acc = ld_add_affine(curve, acc, two_p[i]);
+      odd_ld.push_back(acc);
+    }
+  }
+  const std::vector<Point> odd = normalize_ld_batch(odd_ld);
+
+  // Phase 3: one shared doubling chain, interleaved wNAF additions.
+  std::size_t max_len = 0;
+  for (const auto& e : entries)
+    if (e.digits.size() > max_len) max_len = e.digits.size();
+
+  LdPoint acc = LdPoint::infinity();
+  for (std::size_t j = max_len; j-- > 0;) {
+    acc = ld_double(curve, acc);
+    for (const auto& e : entries) {
+      if (j >= e.digits.size()) continue;
+      const int d = e.digits[j];
+      if (d == 0) continue;
+      const Point& m =
+          odd[e.table_offset + static_cast<std::size_t>(d > 0 ? d : -d) / 2];
+      acc = ld_add_affine(curve, acc, d > 0 ? m : curve.negate(m));
+    }
+  }
+  return acc.to_affine();
+}
+
+Point double_scalar_mult(const Curve& curve, const Scalar& k1, const Point& p1,
+                         const Scalar& k2, const Point& p2) {
+  const MsmTerm terms[2] = {{k1, p1}, {k2, p2}};
+  return multi_scalar_mult(curve, terms);
+}
 
 std::vector<int> wnaf_digits(const Scalar& k0, unsigned width) {
   if (width < 2 || width > 8)

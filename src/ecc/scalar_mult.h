@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ecc/curve.h"
@@ -49,6 +50,33 @@ struct MultOptions {
 /// trust boundaries must run Curve::validate_subgroup_point first.
 Point scalar_mult(const Curve& curve, const Scalar& k, const Point& p,
                   const MultOptions& options = {});
+
+/// One term of a multi-scalar multiplication.
+struct MsmTerm {
+  Scalar k;
+  Point p;
+};
+
+/// Interleaved (Straus/Shamir) multi-scalar multiplication:
+/// sum_i terms[i].k * terms[i].p. All terms share ONE doubling chain in
+/// López–Dahab projective coordinates; each term contributes only its wNAF
+/// additions, and every per-term precomputed odd multiple across the whole
+/// call is normalized to affine with a shared Gf163::batch_inv. For n
+/// full-width terms this costs ~163 doublings + n*(163/5 + 4) additions +
+/// 2 field inversions total, against n*(163 + 81) operations for n
+/// independent double-and-add multiplications.
+///
+/// Variable-time (verifier/reader-side only — never feed it a secret
+/// scalar). Zero scalars and infinity points contribute nothing. Like
+/// scalar_mult, it validates nothing: callers at trust boundaries must run
+/// Curve::validate_subgroup_point on each point first.
+Point multi_scalar_mult(const Curve& curve, std::span<const MsmTerm> terms);
+
+/// Double-scalar convenience (Shamir's trick): k1·p1 + k2·p2 with one
+/// shared doubling chain — the verifier-equation workhorse (Schnorr
+/// s·P − e·X, Peeters–Hermans (s−d)·P − e·R).
+Point double_scalar_mult(const Curve& curve, const Scalar& k1, const Point& p1,
+                         const Scalar& k2, const Point& p2);
 
 /// Width-w non-adjacent form of k: digits are zero or odd in
 /// (-2^(w-1), 2^(w-1)), no two consecutive digits nonzero. Returned

@@ -1,0 +1,305 @@
+#include "engine/fleet_server.h"
+
+#include <random>
+#include <stdexcept>
+#include <utility>
+
+#include "rng/xoshiro.h"
+
+namespace medsec::engine {
+
+namespace {
+using protocol::Message;
+using protocol::SessionMachine;
+using protocol::SessionState;
+using protocol::StepResult;
+
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t id) {
+  std::uint64_t s = base ^ (0x9E3779B97F4A7C15ULL * (id + 1));
+  return rng::splitmix64(s);
+}
+
+FleetConfig resolve_config(FleetConfig config) {
+  if (!config.deterministic) {
+    // Challenges and RLC coefficients must be unpredictable to devices:
+    // fold in process entropy (see FleetConfig::deterministic).
+    std::random_device rd;
+    config.seed ^= (static_cast<std::uint64_t>(rd()) << 32) | rd();
+  }
+  return config;
+}
+}  // namespace
+
+/// One in-flight session: the suspended machine, its private server-side
+/// randomness, and its registry record. `mu` serializes message delivery
+/// and verdict finalization for this session only.
+struct FleetServer::Session {
+  std::mutex mu;
+  SessionRecord record;
+  std::unique_ptr<SessionMachine> machine;
+  std::unique_ptr<rng::Xoshiro256> rng;  ///< stable address for the machine
+  std::function<bool(const SessionMachine&)> judge;
+  bool deferred_schnorr = false;
+};
+
+FleetServer::FleetServer(const ecc::Curve& curve, const FleetConfig& config,
+                         Downlink downlink, Completion on_complete)
+    : curve_(&curve),
+      config_(resolve_config(config)),
+      downlink_(std::move(downlink)),
+      on_complete_(std::move(on_complete)),
+      verifier_(curve, config_.verify_batch, mix_seed(config_.seed, 0)) {
+  const std::size_t n = config_.worker_threads ? config_.worker_threads : 1;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+FleetServer::~FleetServer() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::uint32_t FleetServer::enroll(const ecc::Point& X) {
+  if (!curve_->validate_subgroup_point(X))
+    throw std::invalid_argument("FleetServer::enroll: invalid device key");
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  devices_.push_back(X);
+  {
+    const std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.devices = devices_.size();
+  }
+  return static_cast<std::uint32_t>(devices_.size() - 1);
+}
+
+ecc::Point FleetServer::device_key(std::uint32_t device) const {
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  return devices_.at(device);
+}
+
+std::uint64_t FleetServer::register_session(
+    std::shared_ptr<Session> s,
+    const std::function<void(Session&, std::uint64_t)>& init_with_id) {
+  std::uint64_t id;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mu_);
+    id = next_id_++;
+    s->record.id = id;
+    if (init_with_id) init_with_id(*s, id);
+    sessions_.emplace(id, std::move(s));
+  }
+  const std::lock_guard<std::mutex> slock(stats_mu_);
+  ++stats_.sessions_opened;
+  return id;
+}
+
+std::uint64_t FleetServer::open_schnorr_session(std::uint32_t device) {
+  auto s = std::make_shared<Session>();
+  s->record.device = device;
+  s->deferred_schnorr = true;
+  // The machine's randomness is derived from (fleet seed, session id):
+  // the same worker interleaving always sees the same challenges, and
+  // with the entropy-mixed seed they stay unpredictable to devices. The
+  // id must exist before the rng, hence the init_with_id hook.
+  return register_session(
+      std::move(s), [this, device](Session& sess, std::uint64_t id) {
+        sess.rng =
+            std::make_unique<rng::Xoshiro256>(mix_seed(config_.seed, id));
+        sess.machine = std::make_unique<protocol::SchnorrVerifier>(
+            *curve_, devices_.at(device), *sess.rng,
+            protocol::SchnorrVerifier::Mode::kDeferred);
+      });
+}
+
+std::uint64_t FleetServer::open_session(
+    std::unique_ptr<SessionMachine> machine,
+    std::function<bool(const SessionMachine&)> judge) {
+  auto s = std::make_shared<Session>();
+  s->machine = std::move(machine);
+  s->judge = std::move(judge);
+  return register_session(std::move(s));
+}
+
+void FleetServer::deliver(std::uint64_t session, Message m) {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stop_) return;
+    queue_.emplace_back(session, std::move(m));
+  }
+  queue_cv_.notify_one();
+}
+
+void FleetServer::report_tag_energy(std::uint64_t session,
+                                    const protocol::EnergyLedger& ledger) {
+  const auto s = find(session);
+  if (!s) return;
+  {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    s->record.tag_ledger = ledger;
+  }
+  const std::lock_guard<std::mutex> slock(stats_mu_);
+  stats_.fleet_tag_energy += ledger;
+}
+
+std::shared_ptr<FleetServer::Session> FleetServer::find(
+    std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+SessionRecord FleetServer::record(std::uint64_t session) const {
+  const auto s = find(session);
+  if (!s) throw std::out_of_range("FleetServer::record: unknown session");
+  const std::lock_guard<std::mutex> lock(s->mu);
+  return s->record;
+}
+
+FleetStats FleetServer::stats() const {
+  FleetStats out;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  out.verifier = verifier_.stats();
+  return out;
+}
+
+void FleetServer::worker_loop() {
+  for (;;) {
+    std::pair<std::uint64_t, Message> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    process(job.first, job.second);
+    {
+      const std::lock_guard<std::mutex> lock(queue_mu_);
+      --in_flight_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void FleetServer::finalize(Session& s, bool accepted) {
+  s.record.completed = true;
+  s.record.accepted = accepted;
+  s.record.state =
+      accepted ? SessionState::kDone : SessionState::kFailed;
+  // The machine and its rng are dead weight once the verdict is in; only
+  // the record outlives the session (late messages are dropped on the
+  // completed flag).
+  s.machine.reset();
+  s.rng.reset();
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.sessions_completed;
+    ++(accepted ? stats_.accepted : stats_.rejected);
+  }
+  if (on_complete_) on_complete_(s.record);
+}
+
+std::size_t FleetServer::evict_completed() {
+  std::vector<std::shared_ptr<Session>> doomed;  // destroy outside the lock
+  {
+    const std::lock_guard<std::mutex> lock(registry_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      // A racing finalize holds the session mutex, not the registry's, so
+      // peek under the session lock.
+      bool completed;
+      {
+        const std::lock_guard<std::mutex> slock(it->second->mu);
+        completed = it->second->record.completed;
+      }
+      if (completed) {
+        doomed.push_back(std::move(it->second));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return doomed.size();
+}
+
+void FleetServer::process(std::uint64_t id, const Message& m) {
+  const auto s = find(id);
+  if (!s) return;
+
+  // Step the machine under the session lock; hand anything that must not
+  // hold it (downlink, verifier enqueue) to the post-step phase.
+  StepResult result;
+  bool step_ran = false;
+  PendingTranscript pending;
+  bool enqueue_pending = false;
+  {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    ++s->record.messages_in;
+    s->record.rx_bits += m.bits();
+    if (!s->machine || s->machine->state() != SessionState::kAwait)
+      return;  // already finished (machine freed at finalize)
+    result = s->machine->on_message(m);
+    step_ran = true;
+    s->record.state = result.state;
+    for (const auto& out : result.out) s->record.tx_bits += out.bits();
+
+    if (result.state == SessionState::kFailed) {
+      finalize(*s, false);
+    } else if (result.state == SessionState::kDone) {
+      if (s->deferred_schnorr) {
+        auto& v = static_cast<protocol::SchnorrVerifier&>(*s->machine);
+        pending.X = v.public_key();
+        pending.commitment_wire = v.commitment_wire();
+        pending.challenge = v.challenge();
+        pending.response = v.response();
+        std::weak_ptr<Session> weak = s;
+        pending.on_result = [this, weak](bool accepted) {
+          if (const auto held = weak.lock()) {
+            const std::lock_guard<std::mutex> lock(held->mu);
+            finalize(*held, accepted);
+          }
+        };
+        enqueue_pending = true;
+      } else {
+        finalize(*s, s->judge ? s->judge(*s->machine) : true);
+      }
+    }
+  }
+
+  if (step_ran) {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.messages_processed;
+  }
+  // Downlink and verifier work happen outside the session lock: the
+  // downlink may deliver() the next uplink message immediately, and a
+  // verifier flush takes other sessions' locks in its callbacks.
+  for (const auto& out : result.out)
+    if (downlink_) downlink_(id, out);
+  if (enqueue_pending) verifier_.enqueue(std::move(pending));
+}
+
+void FleetServer::drain() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      idle_cv_.wait(lock,
+                    [this] { return queue_.empty() && in_flight_ == 0; });
+    }
+    if (verifier_.pending() > 0) {
+      verifier_.flush();
+      continue;  // callbacks ran; re-check for follow-on work
+    }
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (queue_.empty() && in_flight_ == 0) return;
+  }
+}
+
+}  // namespace medsec::engine

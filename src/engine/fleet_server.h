@@ -1,0 +1,182 @@
+// fleet_server.h — a multi-device session engine over the protocol state
+// machines.
+//
+// The deployment story of the paper is one mini-server talking to many
+// implanted tags. This engine is that server: a registry of enrolled
+// device keys, a registry of in-flight sessions (each one a suspended
+// protocol::SessionMachine plus telemetry), a worker thread pool that
+// resumes whichever session a radio message arrives for, and a shared
+// SchnorrBatchVerifier that amortizes the expensive part — transcript
+// verification — across sessions with one multi-scalar multiplication per
+// batch.
+//
+// Data flow:
+//
+//   radio front-end           FleetServer                       engine
+//   ───────────────  deliver() ──> work queue ──> worker pool
+//                                                  │ resume machine
+//   downlink(msg) <────────────────────────────────┤ on_message()
+//                                                  │ session done?
+//                                                  └──> batch verifier ──┐
+//   session record (registry) <── on_result(accept) ── RLC + 1 MSM  <───┘
+//
+// Threading contract: deliver() may be called from any thread, including
+// from inside the downlink callback (a worker's context). Messages for
+// the same session are serialized by a per-session mutex; the batch
+// verifier runs callbacks without holding engine locks.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "ecc/curve.h"
+#include "engine/batch_verifier.h"
+#include "protocol/energy_ledger.h"
+#include "protocol/schnorr.h"
+#include "protocol/session.h"
+
+namespace medsec::engine {
+
+struct FleetConfig {
+  std::size_t worker_threads = 2;
+  /// Batch size for deferred Schnorr verification; 1 = independent
+  /// per-session verification (the baseline).
+  std::size_t verify_batch = 64;
+  /// Base seed: per-session server randomness (challenges, RLC
+  /// coefficients) is derived from it and the session id, so a fleet run
+  /// is reproducible regardless of how the scheduler interleaves workers.
+  std::uint64_t seed = 0x5EC0'FFEE;
+  /// By default the seed is additionally mixed with process entropy at
+  /// construction: predictable challenges let a keyless device forge
+  /// R = s·P − e·X, and predictable RLC coefficients void the batch
+  /// verifier's 2^-64 forgery bound. Set true ONLY for reproducible
+  /// replay (benches, deterministic tests).
+  bool deterministic = false;
+};
+
+/// Registry entry: one session's telemetry, readable after completion.
+struct SessionRecord {
+  std::uint64_t id = 0;
+  std::uint32_t device = 0;                 ///< enrolled device index
+  protocol::SessionState state = protocol::SessionState::kAwait;
+  bool completed = false;                   ///< protocol + verdict finished
+  bool accepted = false;                    ///< verifier verdict
+  std::size_t messages_in = 0;
+  std::size_t rx_bits = 0;                  ///< device -> server
+  std::size_t tx_bits = 0;                  ///< server -> device
+  protocol::EnergyLedger tag_ledger;        ///< attached by the front-end
+};
+
+struct FleetStats {
+  std::size_t devices = 0;
+  std::size_t sessions_opened = 0;
+  std::size_t sessions_completed = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t messages_processed = 0;
+  BatchVerifierStats verifier;
+  protocol::EnergyLedger fleet_tag_energy;  ///< sum of attached tag ledgers
+};
+
+class FleetServer {
+ public:
+  /// Server -> device messages come out through this hook, on a worker
+  /// thread. It must be thread-safe; it may call deliver() re-entrantly.
+  using Downlink =
+      std::function<void(std::uint64_t session, const protocol::Message&)>;
+  /// Hook run when a session's verdict lands (worker thread, no engine
+  /// locks held beyond the session's own record lock).
+  using Completion = std::function<void(const SessionRecord&)>;
+
+  FleetServer(const ecc::Curve& curve, const FleetConfig& config,
+              Downlink downlink, Completion on_complete = {});
+  ~FleetServer();  // stops the workers; pending work is abandoned
+
+  FleetServer(const FleetServer&) = delete;
+  FleetServer& operator=(const FleetServer&) = delete;
+
+  /// Register a device public key (validated once, here — per-session
+  /// traffic never re-validates it). Returns the device index.
+  std::uint32_t enroll(const ecc::Point& X);
+  ecc::Point device_key(std::uint32_t device) const;
+
+  /// Open a Schnorr identification session for an enrolled device. The
+  /// verifier runs in deferred mode and the verdict comes from the batch
+  /// queue (or per-session when verify_batch == 1).
+  std::uint64_t open_schnorr_session(std::uint32_t device);
+
+  /// Open a session over any server-side machine (mutual auth, ECIES
+  /// receive, ...). `judge` extracts the verdict from the finished
+  /// machine; when empty, reaching kDone counts as accepted.
+  std::uint64_t open_session(
+      std::unique_ptr<protocol::SessionMachine> machine,
+      std::function<bool(const protocol::SessionMachine&)> judge = {});
+
+  /// Queue one device -> server message; a worker resumes the session.
+  void deliver(std::uint64_t session, protocol::Message m);
+
+  /// Attach the device-side energy ledger to the session's record (the
+  /// radio front-end reports it; §4's per-session accounting at fleet
+  /// scale).
+  void report_tag_energy(std::uint64_t session,
+                         const protocol::EnergyLedger& ledger);
+
+  /// Block until every queued message is processed and every pending
+  /// verification has flushed.
+  void drain();
+
+  /// Drop completed sessions from the registry (harvest their records
+  /// first). Keeps a long-running server's memory bounded; returns how
+  /// many were evicted. The finished machine and rng are already freed at
+  /// completion — this reclaims the records themselves.
+  std::size_t evict_completed();
+
+  SessionRecord record(std::uint64_t session) const;
+  FleetStats stats() const;
+
+ private:
+  struct Session;
+
+  std::shared_ptr<Session> find(std::uint64_t id) const;
+  /// Allocate an id, run `init_with_id` (machine construction that needs
+  /// the id, e.g. id-derived rng seeding) and insert — the single
+  /// registration path for every open_* flavor.
+  std::uint64_t register_session(
+      std::shared_ptr<Session> s,
+      const std::function<void(Session&, std::uint64_t)>& init_with_id = {});
+  void worker_loop();
+  void process(std::uint64_t id, const protocol::Message& m);
+  void finalize(Session& s, bool accepted);  // session mutex held
+
+  const ecc::Curve* curve_;
+  FleetConfig config_;
+  Downlink downlink_;
+  Completion on_complete_;
+  SchnorrBatchVerifier verifier_;
+
+  mutable std::mutex registry_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::vector<ecc::Point> devices_;
+  std::uint64_t next_id_ = 1;
+
+  mutable std::mutex stats_mu_;
+  FleetStats stats_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;   ///< workers: work available / stop
+  std::condition_variable idle_cv_;    ///< drain(): queue empty + idle
+  std::deque<std::pair<std::uint64_t, protocol::Message>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace medsec::engine

@@ -140,52 +140,60 @@ bool clmul_supported() { return __builtin_cpu_supports("pclmul") != 0; }
 
 #elif MEDSEC_ARCH_AARCH64
 
-__attribute__((target("+crypto"))) inline void pmull64(std::uint64_t a,
-                                                       std::uint64_t b,
-                                                       std::uint64_t& lo,
-                                                       std::uint64_t& hi) {
-  const poly128_t r = vmull_p64(static_cast<poly64_t>(a),
-                                static_cast<poly64_t>(b));
-  const uint64x2_t v = vreinterpretq_u64_p128(r);
-  lo = vgetq_lane_u64(v, 0);
-  hi = vgetq_lane_u64(v, 1);
+// The same 3-limb Karatsuba schedule as the x86 path, on PMULL. The six
+// 128-bit products and the XOR folding stay in NEON registers; only the
+// final five cross-product recombinations touch general registers (the
+// (lo, hi) lane splits straddle product boundaries, as on x86).
+
+__attribute__((target("+crypto"))) inline uint64x2_t pmull128(
+    std::uint64_t a, std::uint64_t b) {
+  return vreinterpretq_u64_p128(
+      vmull_p64(static_cast<poly64_t>(a), static_cast<poly64_t>(b)));
 }
 
 __attribute__((target("+crypto"))) void mul326_clmul(const std::uint64_t a[3],
                                                      const std::uint64_t b[3],
                                                      std::uint64_t p[6]) {
-  std::uint64_t d0l, d0h, d1l, d1h, d2l, d2h;
-  std::uint64_t e01l, e01h, e02l, e02h, e12l, e12h;
-  pmull64(a[0], b[0], d0l, d0h);
-  pmull64(a[1], b[1], d1l, d1h);
-  pmull64(a[2], b[2], d2l, d2h);
-  pmull64(a[0] ^ a[1], b[0] ^ b[1], e01l, e01h);
-  pmull64(a[0] ^ a[2], b[0] ^ b[2], e02l, e02h);
-  pmull64(a[1] ^ a[2], b[1] ^ b[2], e12l, e12h);
+  const uint64x2_t d0 = pmull128(a[0], b[0]);
+  const uint64x2_t d1 = pmull128(a[1], b[1]);
+  const uint64x2_t d2 = pmull128(a[2], b[2]);
+  const uint64x2_t e01 = pmull128(a[0] ^ a[1], b[0] ^ b[1]);
+  const uint64x2_t e02 = pmull128(a[0] ^ a[2], b[0] ^ b[2]);
+  const uint64x2_t e12 = pmull128(a[1] ^ a[2], b[1] ^ b[2]);
 
-  const std::uint64_t c1l = e01l ^ d0l ^ d1l, c1h = e01h ^ d0h ^ d1h;
-  const std::uint64_t c2l = e02l ^ d0l ^ d1l ^ d2l,
-                      c2h = e02h ^ d0h ^ d1h ^ d2h;
-  const std::uint64_t c3l = e12l ^ d1l ^ d2l, c3h = e12h ^ d1h ^ d2h;
+  const uint64x2_t d01 = veorq_u64(d0, d1);
+  const uint64x2_t c1 = veorq_u64(e01, d01);
+  const uint64x2_t c2 = veorq_u64(e02, veorq_u64(d01, d2));
+  const uint64x2_t c3 = veorq_u64(e12, veorq_u64(d1, d2));
 
-  p[0] = d0l;
-  p[1] = d0h ^ c1l;
-  p[2] = c1h ^ c2l;
-  p[3] = c2h ^ c3l;
-  p[4] = c3h ^ d2l;
-  p[5] = d2h;
+  p[0] = vgetq_lane_u64(d0, 0);
+  p[1] = vgetq_lane_u64(d0, 1) ^ vgetq_lane_u64(c1, 0);
+  p[2] = vgetq_lane_u64(c1, 1) ^ vgetq_lane_u64(c2, 0);
+  p[3] = vgetq_lane_u64(c2, 1) ^ vgetq_lane_u64(c3, 0);
+  p[4] = vgetq_lane_u64(c3, 1) ^ vgetq_lane_u64(d2, 0);
+  p[5] = vgetq_lane_u64(d2, 1);
 }
 
 __attribute__((target("+crypto"))) void sqr326_clmul(const std::uint64_t a[3],
                                                      std::uint64_t p[6]) {
-  for (std::size_t i = 0; i < 3; ++i) pmull64(a[i], a[i], p[2 * i], p[2 * i + 1]);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const uint64x2_t s = pmull128(a[i], a[i]);
+    p[2 * i] = vgetq_lane_u64(s, 0);
+    p[2 * i + 1] = vgetq_lane_u64(s, 1);
+  }
 }
 
 bool clmul_supported() {
-#if defined(MEDSEC_HAVE_AUXV) && defined(HWCAP_PMULL)
+#if defined(__ARM_FEATURE_AES) || defined(__ARM_FEATURE_CRYPTO)
+  // The crypto extensions are part of the build target: every CPU this
+  // binary may legally run on has PMULL.
+  return true;
+#elif defined(__APPLE__)
+  return true;  // every Apple aarch64 core implements PMULL
+#elif defined(MEDSEC_HAVE_AUXV) && defined(HWCAP_PMULL)
   return (getauxval(AT_HWCAP) & HWCAP_PMULL) != 0;
 #else
-  return false;
+  return false;  // no detection channel: stay on the portable paths
 #endif
 }
 

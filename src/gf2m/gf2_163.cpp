@@ -1,5 +1,7 @@
 #include "gf2m/gf2_163.h"
 
+#include <array>
+#include <bit>
 #include <stdexcept>
 #include <vector>
 
@@ -214,27 +216,80 @@ Gf163 Gf163::sqrt(const Gf163& a) {
   return sqr_n(a, 162);
 }
 
-int Gf163::trace(const Gf163& a) {
-  // Tr(a) = sum_{i=0}^{162} a^(2^i). For this field the trace is linear and
-  // could be tabulated; the generic sum keeps the code obviously correct.
+namespace {
+
+Gf163 basis_element(unsigned i) {  // x^i
+  return Gf163{i < 64 ? (1ull << i) : 0,
+               (i >= 64 && i < 128) ? (1ull << (i - 64)) : 0,
+               i >= 128 ? (1ull << (i - 128)) : 0};
+}
+
+/// The defining sum Tr(a) = sum_{i=0}^{162} a^(2^i): reference path, used
+/// once to build the O(1) mask below (and self-checking: a non-binary
+/// result means the field arithmetic is broken).
+int trace_generic(const Gf163& a) {
   Gf163 acc = a;
   Gf163 t = a;
-  for (unsigned i = 1; i < kBits; ++i) {
-    t = sqr(t);
+  for (unsigned i = 1; i < Gf163::kBits; ++i) {
+    t = Gf163::sqr(t);
     acc += t;
   }
   if (acc.is_zero()) return 0;
-  if (acc == one()) return 1;
+  if (acc == Gf163::one()) return 1;
   throw std::logic_error("Gf163::trace: non-binary trace (field bug)");
 }
 
-Gf163 Gf163::half_trace(const Gf163& a) {
-  // H(c) = sum_{i=0}^{(m-1)/2} c^(2^(2i)), m = 163 odd.
+/// The defining sum H(c) = sum_{i=0}^{(m-1)/2} c^(2^(2i)), m = 163 odd.
+Gf163 half_trace_generic(const Gf163& a) {
   Gf163 acc = a;
   Gf163 t = a;
-  for (unsigned i = 1; i <= (kBits - 1) / 2; ++i) {
-    t = sqr(sqr(t));
+  for (unsigned i = 1; i <= (Gf163::kBits - 1) / 2; ++i) {
+    t = Gf163::sqr(Gf163::sqr(t));
     acc += t;
+  }
+  return acc;
+}
+
+}  // namespace
+
+int Gf163::trace(const Gf163& a) {
+  // The trace is F_2-linear, so Tr(a) = parity(a & T) with mask bit
+  // T_i = Tr(x^i), built once from the generic 162-squaring sum. One AND +
+  // popcount instead of 162 squarings — this sits on the hot path of the
+  // engine layer's point decoding and cofactor-2 subgroup gate. (For this
+  // pentanomial the mask is just bits {0, 157}, but deriving it keeps the
+  // code generic in the reduction polynomial.)
+  static const std::array<std::uint64_t, kLimbs> kMask = [] {
+    std::array<std::uint64_t, kLimbs> m{};
+    for (unsigned i = 0; i < kBits; ++i)
+      if (trace_generic(basis_element(i))) m[i / 64] |= 1ull << (i % 64);
+    return m;
+  }();
+  const std::uint64_t acc = (a.limb(0) & kMask[0]) ^ (a.limb(1) & kMask[1]) ^
+                            (a.limb(2) & kMask[2]);
+  return static_cast<int>(std::popcount(acc) & 1);
+}
+
+Gf163 Gf163::half_trace(const Gf163& a) {
+  // The half-trace is F_2-linear too: H(a) = xor over set bits a_i of
+  // H(x^i), with the 163-entry basis table built once from the generic
+  // double-squaring sum. ~20 XOR-accumulations for a random element
+  // instead of 162 squarings; together with the batch-inverted
+  // denominators this is what makes fleet-scale point decompression cheap.
+  static const std::array<Gf163, kBits> kTable = [] {
+    std::array<Gf163, kBits> t{};
+    for (unsigned i = 0; i < kBits; ++i)
+      t[i] = half_trace_generic(basis_element(i));
+    return t;
+  }();
+  Gf163 acc;
+  for (std::size_t l = 0; l < kLimbs; ++l) {
+    std::uint64_t w = a.limb(l);
+    while (w != 0) {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(w));
+      w &= w - 1;
+      acc += kTable[64 * l + b];
+    }
   }
   return acc;
 }

@@ -12,6 +12,7 @@ void Sha1::reset() {
 }
 
 void Sha1::update(std::span<const std::uint8_t> data) {
+  if (data.empty()) return;  // also keeps nullptr out of memcpy (UB)
   total_bytes_ += data.size();
   std::size_t off = 0;
   if (buffer_len_ != 0) {

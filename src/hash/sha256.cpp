@@ -28,6 +28,7 @@ void Sha256::reset() {
 }
 
 void Sha256::update(std::span<const std::uint8_t> data) {
+  if (data.empty()) return;  // also keeps nullptr out of memcpy (UB)
   total_bytes_ += data.size();
   std::size_t off = 0;
   if (buffer_len_ != 0) {

@@ -1,5 +1,7 @@
 #include "protocol/ecies.h"
 
+#include <utility>
+
 #include "ciphers/modes.h"
 #include "ecc/fixed_base.h"
 #include "ecc/ladder.h"
@@ -82,7 +84,7 @@ EciesCiphertext ecies_encrypt(const Curve& curve, const Point& Y,
 
   const auto probe = make_cipher(std::vector<std::uint8_t>(key_bytes, 0));
   const std::size_t bb = probe->block_bytes();
-  const std::size_t nonce_bytes = bb > 4 ? bb - 4 : 4;
+  const std::size_t nonce_bytes = cipher_nonce_bytes(bb);
   const DerivedKeys keys = kdf(Z.x, R.x, key_bytes, nonce_bytes);
 
   const auto enc = make_cipher(keys.enc);
@@ -103,6 +105,95 @@ EciesCiphertext ecies_encrypt(const Curve& curve, const Point& Y,
   return out;
 }
 
+std::vector<std::uint8_t> encode_ecies(const Curve& curve,
+                                       const EciesCiphertext& ct) {
+  std::vector<std::uint8_t> out = encode_point(curve, ct.ephemeral);
+  out.insert(out.end(), ct.nonce.begin(), ct.nonce.end());
+  out.insert(out.end(), ct.body.begin(), ct.body.end());
+  out.insert(out.end(), ct.tag.begin(), ct.tag.end());
+  return out;
+}
+
+std::optional<EciesCiphertext> decode_ecies(
+    const Curve& curve, const std::vector<std::uint8_t>& bytes,
+    std::size_t nonce_bytes, std::size_t tag_bytes) {
+  constexpr std::size_t kPointBytes = 1 + kFeBytes;
+  if (bytes.size() < kPointBytes + nonce_bytes + tag_bytes)
+    return std::nullopt;
+  const auto p = decode_point(
+      curve, {bytes.begin(), bytes.begin() + kPointBytes});
+  if (!p) return std::nullopt;
+  EciesCiphertext ct;
+  ct.ephemeral = *p;
+  auto it = bytes.begin() + kPointBytes;
+  ct.nonce.assign(it, it + static_cast<std::ptrdiff_t>(nonce_bytes));
+  it += static_cast<std::ptrdiff_t>(nonce_bytes);
+  ct.body.assign(it, bytes.end() - static_cast<std::ptrdiff_t>(tag_bytes));
+  ct.tag.assign(bytes.end() - static_cast<std::ptrdiff_t>(tag_bytes),
+                bytes.end());
+  return ct;
+}
+
+// --- state machines ----------------------------------------------------------
+
+EciesUploader::EciesUploader(const Curve& curve, Point recipient,
+                             std::span<const std::uint8_t> telemetry,
+                             const CipherFactory& make_cipher,
+                             std::size_t key_bytes, rng::RandomSource& rng)
+    : curve_(&curve),
+      recipient_(std::move(recipient)),
+      telemetry_(telemetry.begin(), telemetry.end()),
+      make_cipher_(&make_cipher),
+      key_bytes_(key_bytes),
+      rng_(&rng) {}
+
+StepResult EciesUploader::start() {
+  const EciesCiphertext ct = ecies_encrypt(*curve_, recipient_, telemetry_,
+                                           *make_cipher_, key_bytes_, *rng_,
+                                           &ledger_);
+  return step(
+      StepResult::done(Message{"ECIES blob", encode_ecies(*curve_, ct)}));
+}
+
+StepResult EciesUploader::on_message(const Message&) {
+  return step(StepResult::failed());  // nothing ever flows device-ward
+}
+
+EciesReceiver::EciesReceiver(const Curve& curve, const Scalar& y,
+                             const CipherFactory& make_cipher,
+                             std::size_t key_bytes)
+    : curve_(&curve),
+      y_(y),
+      make_cipher_(&make_cipher),
+      key_bytes_(key_bytes) {}
+
+StepResult EciesReceiver::on_message(const Message& m) {
+  const auto probe =
+      (*make_cipher_)(std::vector<std::uint8_t>(key_bytes_, 0));
+  const std::size_t bb = probe->block_bytes();
+  const std::size_t nonce_bytes = cipher_nonce_bytes(bb);
+  const auto ct = decode_ecies(*curve_, m.payload, nonce_bytes, bb);
+  if (!ct) return step(StepResult::failed());
+  plaintext_ = ecies_decrypt(*curve_, y_, *ct, *make_cipher_, key_bytes_);
+  return step(plaintext_ ? StepResult::done() : StepResult::failed());
+}
+
+EciesUploadResult run_ecies_upload(const Curve& curve,
+                                   const EciesKeyPair& recipient,
+                                   std::span<const std::uint8_t> telemetry,
+                                   const CipherFactory& make_cipher,
+                                   std::size_t key_bytes,
+                                   rng::RandomSource& rng) {
+  EciesUploadResult out;
+  EciesUploader device(curve, recipient.Y, telemetry, make_cipher, key_bytes,
+                       rng);
+  EciesReceiver clinic(curve, recipient.y, make_cipher, key_bytes);
+  out.delivered = drive_session(device, clinic, out.transcript);
+  if (out.delivered) out.plaintext = clinic.plaintext();
+  out.tag_ledger = device.ledger();
+  return out;
+}
+
 std::optional<std::vector<std::uint8_t>> ecies_decrypt(
     const Curve& curve, const Scalar& y, const EciesCiphertext& ct,
     const CipherFactory& make_cipher, std::size_t key_bytes) {
@@ -113,7 +204,7 @@ std::optional<std::vector<std::uint8_t>> ecies_decrypt(
 
   const auto probe = make_cipher(std::vector<std::uint8_t>(key_bytes, 0));
   const std::size_t bb = probe->block_bytes();
-  const std::size_t nonce_bytes = bb > 4 ? bb - 4 : 4;
+  const std::size_t nonce_bytes = cipher_nonce_bytes(bb);
   const DerivedKeys keys = kdf(Z.x, ct.ephemeral.x, key_bytes, nonce_bytes);
   if (keys.nonce != ct.nonce) return std::nullopt;  // transcript binding
 

@@ -25,6 +25,7 @@
 #include "ecc/curve.h"
 #include "protocol/energy_ledger.h"
 #include "protocol/mutual_auth.h"  // CipherFactory
+#include "protocol/session.h"
 #include "rng/random_source.h"
 
 namespace medsec::protocol {
@@ -59,5 +60,72 @@ EciesCiphertext ecies_encrypt(const ecc::Curve& curve, const ecc::Point& Y,
 std::optional<std::vector<std::uint8_t>> ecies_decrypt(
     const ecc::Curve& curve, const ecc::Scalar& y, const EciesCiphertext& ct,
     const CipherFactory& make_cipher, std::size_t key_bytes);
+
+/// Wire encoding of a ciphertext: compressed ephemeral point || nonce ||
+/// body || tag. Self-delimiting given the cipher geometry (nonce and tag
+/// widths are functions of the block size), so no length fields travel.
+std::vector<std::uint8_t> encode_ecies(const ecc::Curve& curve,
+                                       const EciesCiphertext& ct);
+std::optional<EciesCiphertext> decode_ecies(
+    const ecc::Curve& curve, const std::vector<std::uint8_t>& bytes,
+    std::size_t nonce_bytes, std::size_t tag_bytes);
+
+/// Device-side store-and-forward upload as a (one-shot) session machine:
+/// start() emits the whole ECIES blob as a single message and finishes.
+/// Copies its per-session inputs (recipient key, telemetry); the cipher
+/// factory and RNG are caller-owned and must outlive the machine.
+class EciesUploader final : public SessionMachine {
+ public:
+  EciesUploader(const ecc::Curve& curve, ecc::Point recipient,
+                std::span<const std::uint8_t> telemetry,
+                const CipherFactory& make_cipher, std::size_t key_bytes,
+                rng::RandomSource& rng);
+  StepResult start() override;
+  StepResult on_message(const Message& m) override;
+  const EnergyLedger& ledger() const { return ledger_; }
+
+ private:
+  const ecc::Curve* curve_;
+  ecc::Point recipient_;
+  std::vector<std::uint8_t> telemetry_;
+  const CipherFactory* make_cipher_;
+  std::size_t key_bytes_;
+  rng::RandomSource* rng_;
+  EnergyLedger ledger_;
+};
+
+/// Recipient side: decodes and verify-then-decrypts the blob.
+class EciesReceiver final : public SessionMachine {
+ public:
+  EciesReceiver(const ecc::Curve& curve, const ecc::Scalar& y,
+                const CipherFactory& make_cipher, std::size_t key_bytes);
+  StepResult on_message(const Message& m) override;
+  bool delivered() const { return plaintext_.has_value(); }
+  const std::vector<std::uint8_t>& plaintext() const { return *plaintext_; }
+
+ private:
+  const ecc::Curve* curve_;
+  ecc::Scalar y_;
+  const CipherFactory* make_cipher_;
+  std::size_t key_bytes_;
+  std::optional<std::vector<std::uint8_t>> plaintext_;
+};
+
+struct EciesUploadResult {
+  bool delivered = false;
+  std::vector<std::uint8_t> plaintext;  ///< what the recipient recovered
+  Transcript transcript;
+  EnergyLedger tag_ledger;
+};
+
+/// Full store-and-forward round: device encrypts to recipient.Y, the blob
+/// crosses the air once, the recipient decrypts — a driver over the two
+/// machines above (the ECIES analogue of the other protocols' run_*).
+EciesUploadResult run_ecies_upload(const ecc::Curve& curve,
+                                   const EciesKeyPair& recipient,
+                                   std::span<const std::uint8_t> telemetry,
+                                   const CipherFactory& make_cipher,
+                                   std::size_t key_bytes,
+                                   rng::RandomSource& rng);
 
 }  // namespace medsec::protocol

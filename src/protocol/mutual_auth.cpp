@@ -42,6 +42,145 @@ SharedKeys derive_session_keys(std::span<const std::uint8_t> master_secret,
   return k;
 }
 
+// --- tag machine -------------------------------------------------------------
+
+MutualAuthTag::MutualAuthTag(const CipherFactory& make_cipher,
+                             const SharedKeys& keys,
+                             std::span<const std::uint8_t> telemetry,
+                             rng::RandomSource& rng,
+                             const MutualAuthConfig& config)
+    : enc_(make_cipher(keys.enc_key)),
+      mac_(make_cipher(keys.mac_key)),
+      telemetry_(telemetry.begin(), telemetry.end()),
+      rng_(&rng),
+      config_(config) {}
+
+std::size_t MutualAuthTag::block_bytes() const { return mac_->block_bytes(); }
+
+std::size_t MutualAuthTag::nonce_bytes() const {
+  const std::size_t bb = mac_->block_bytes();
+  return cipher_nonce_bytes(bb);
+}
+
+StepResult MutualAuthTag::start() {
+  // --- move 1: T -> S, tag nonce -------------------------------------------
+  nt_.assign(kNonceBytes, 0);
+  rng_->fill(nt_);
+  ledger_.rng_bits += 8 * kNonceBytes;
+  started_ = true;
+  Message m{"N_t", nt_};
+  ledger_.tx_bits += m.bits();
+  return step(StepResult::wait(std::move(m)));
+}
+
+StepResult MutualAuthTag::on_message(const Message& m) {
+  const std::size_t bb = mac_->block_bytes();
+  if (!started_ || m.payload.size() != kNonceBytes + bb)
+    return step(StepResult::failed());
+  ledger_.rx_bits += m.bits();
+  const std::vector<std::uint8_t> ns{m.payload.begin(),
+                                     m.payload.begin() + kNonceBytes};
+  const std::vector<std::uint8_t> srv_mac_val{
+      m.payload.begin() + kNonceBytes, m.payload.end()};
+  const auto srv_tag_msg = concat({bytes_of("SRV"), nt_, ns});
+
+  auto verify_server = [&] {
+    const auto expect = ciphers::cmac(*mac_, srv_tag_msg);
+    ledger_.cipher_blocks += blocks(srv_tag_msg.size(), bb);
+    accepted_server_ = hash::constant_time_equal(expect, srv_mac_val);
+  };
+
+  std::vector<std::uint8_t> tag_auth_mac;
+  ciphers::AeadResult sealed;
+  std::vector<std::uint8_t> nonce(nonce_bytes());
+  auto heavy_work = [&] {
+    // Tag authenticator.
+    const auto tag_msg = concat({bytes_of("TAG"), ns, nt_});
+    tag_auth_mac = ciphers::cmac(*mac_, tag_msg);
+    ledger_.cipher_blocks += blocks(tag_msg.size(), bb);
+    // Telemetry: encrypt-then-MAC.
+    rng_->fill(nonce);
+    ledger_.rng_bits += 8 * nonce.size();
+    sealed = ciphers::encrypt_then_mac(*enc_, *mac_, nonce, telemetry_);
+    ledger_.cipher_blocks +=
+        blocks(telemetry_.size(), bb) +                  // CTR keystream
+        blocks(nonce.size() + telemetry_.size(), bb);    // CMAC
+  };
+
+  if (config_.server_first) {
+    verify_server();
+    if (!accepted_server_) {
+      // §4: "the protocol session stops immediately on the device when
+      // the server authentication fails" — none of the heavy work ran.
+      ledger_.aborted_early = true;
+      return step(StepResult::failed());
+    }
+    heavy_work();
+  } else {
+    // Naive ordering: spend first, check later.
+    heavy_work();
+    verify_server();
+    if (!accepted_server_) {
+      ledger_.aborted_early = true;
+      return step(StepResult::failed());
+    }
+  }
+
+  // --- move 3: T -> S ------------------------------------------------------
+  Message out{"MAC(TAG) || nonce || ct || MAC(ct)",
+              concat({tag_auth_mac, nonce, sealed.ciphertext, sealed.tag})};
+  ledger_.tx_bits += out.bits();
+  return step(StepResult::done(std::move(out)));
+}
+
+// --- server machine ----------------------------------------------------------
+
+MutualAuthServer::MutualAuthServer(const CipherFactory& make_cipher,
+                                   const SharedKeys& keys,
+                                   rng::RandomSource& rng)
+    : enc_(make_cipher(keys.enc_key)),
+      mac_(make_cipher(keys.mac_key)),
+      rng_(&rng) {}
+
+StepResult MutualAuthServer::on_message(const Message& m) {
+  const std::size_t bb = mac_->block_bytes();
+  if (!have_nt_) {
+    if (m.payload.size() != kNonceBytes) return step(StepResult::failed());
+    nt_ = m.payload;
+    have_nt_ = true;
+    // --- move 2: S -> T, server nonce + server MAC -------------------------
+    ns_.assign(kNonceBytes, 0);
+    rng_->fill(ns_);
+    const auto srv_tag_msg = concat({bytes_of("SRV"), nt_, ns_});
+    const auto srv_mac_val = ciphers::cmac(*mac_, srv_tag_msg);
+    return step(StepResult::wait(
+        Message{"N_s || MAC(SRV)", concat({ns_, srv_mac_val})}));
+  }
+
+  // --- move 3: MAC(TAG) || nonce || ct || MAC(ct) --------------------------
+  const std::size_t nonce_len = cipher_nonce_bytes(bb);
+  if (m.payload.size() < 2 * bb + nonce_len) return step(StepResult::failed());
+  auto it = m.payload.begin();
+  const std::vector<std::uint8_t> tag_auth_mac{it, it + bb};
+  it += static_cast<std::ptrdiff_t>(bb);
+  const std::vector<std::uint8_t> nonce{it, it + nonce_len};
+  it += static_cast<std::ptrdiff_t>(nonce_len);
+  const std::vector<std::uint8_t> ct{it, m.payload.end() - bb};
+  const std::vector<std::uint8_t> mac{m.payload.end() - bb, m.payload.end()};
+
+  // Authenticate the tag, then the telemetry.
+  const auto tag_msg = concat({bytes_of("TAG"), ns_, nt_});
+  const auto expect_tag = ciphers::cmac(*mac_, tag_msg);
+  accepted_tag_ = hash::constant_time_equal(expect_tag, tag_auth_mac);
+  if (accepted_tag_ &&
+      ciphers::decrypt_then_verify(*enc_, *mac_, nonce, ct, mac, plain_)) {
+    delivered_ = true;
+  }
+  return step(StepResult::done());
+}
+
+// --- driver ------------------------------------------------------------------
+
 MutualAuthResult run_mutual_auth(const CipherFactory& make_cipher,
                                  const SharedKeys& keys,
                                  std::span<const std::uint8_t> telemetry,
@@ -50,106 +189,34 @@ MutualAuthResult run_mutual_auth(const CipherFactory& make_cipher,
                                  const MutualAuthFaults& faults) {
   MutualAuthResult out;
 
-  // Tag-side cipher instances (the device's hardware cores).
-  const auto tag_enc = make_cipher(keys.enc_key);
-  const auto tag_mac = make_cipher(keys.mac_key);
-  const std::size_t bb = tag_mac->block_bytes();
+  MutualAuthTag tag(make_cipher, keys, telemetry, rng, config);
 
-  // Server side: honest server shares the keys; an impersonator does not.
+  // An impersonated server holds the wrong MAC key.
   SharedKeys server_keys = keys;
   if (faults.wrong_server_key)
     for (auto& b : server_keys.mac_key) b ^= 0xA5;
-  const auto srv_mac = make_cipher(server_keys.mac_key);
+  MutualAuthServer server(make_cipher, server_keys, rng);
 
-  // --- move 1: T -> S, tag nonce -------------------------------------------
-  std::vector<std::uint8_t> nt(kNonceBytes);
-  rng.fill(nt);
-  out.tag_ledger.rng_bits += 8 * kNonceBytes;
-  out.transcript.tag_to_reader.push_back(Message{"N_t", nt});
-
-  // --- move 2: S -> T, server nonce + server MAC ----------------------------
-  std::vector<std::uint8_t> ns(kNonceBytes);
-  rng.fill(ns);
-  const auto srv_tag_msg = concat({bytes_of("SRV"), nt, ns});
-  const auto srv_mac_val = ciphers::cmac(*srv_mac, srv_tag_msg);
-  out.transcript.reader_to_tag.push_back(
-      Message{"N_s || MAC(SRV)", concat({ns, srv_mac_val})});
-
-  // Tag-side work items, ordered per config.
-  auto verify_server = [&] {
-    const auto expect = ciphers::cmac(*tag_mac, srv_tag_msg);
-    out.tag_ledger.cipher_blocks += blocks(srv_tag_msg.size(), bb);
-    out.tag_accepted_server =
-        hash::constant_time_equal(expect, srv_mac_val);
+  // In-flight tampering: move 3 is the second tag->server message; its
+  // layout is MAC(TAG) [bb] || nonce || ct || MAC(ct) (see MutualAuthTag).
+  const std::size_t bb = tag.block_bytes();
+  const std::size_t ct_offset = bb + tag.nonce_bytes();
+  std::size_t tag_msgs = 0;
+  SessionTap tap;
+  tap.tag_to_reader = [&](Message& msg) {
+    if (++tag_msgs != 2) return;
+    if (faults.tamper_tag_mac && !msg.payload.empty()) msg.payload[0] ^= 0x80;
+    if (faults.tamper_ciphertext && msg.payload.size() > ct_offset + bb)
+      msg.payload[ct_offset] ^= 0x80;
   };
 
-  std::vector<std::uint8_t> tag_auth_mac;
-  ciphers::AeadResult sealed;
-  std::vector<std::uint8_t> nonce(bb > 4 ? bb - 4 : 4);
-  auto heavy_work = [&] {
-    // Tag authenticator.
-    const auto tag_msg = concat({bytes_of("TAG"), ns, nt});
-    tag_auth_mac = ciphers::cmac(*tag_mac, tag_msg);
-    out.tag_ledger.cipher_blocks += blocks(tag_msg.size(), bb);
-    // Telemetry: encrypt-then-MAC.
-    rng.fill(nonce);
-    out.tag_ledger.rng_bits += 8 * nonce.size();
-    sealed = ciphers::encrypt_then_mac(*tag_enc, *tag_mac, nonce, telemetry);
-    out.tag_ledger.cipher_blocks +=
-        blocks(telemetry.size(), bb) +                  // CTR keystream
-        blocks(nonce.size() + telemetry.size(), bb);    // CMAC
-  };
+  drive_session(tag, server, out.transcript, tap);
 
-  if (config.server_first) {
-    verify_server();
-    if (!out.tag_accepted_server) {
-      // §4: "the protocol session stops immediately on the device when
-      // the server authentication fails" — none of the heavy work ran.
-      out.tag_ledger.aborted_early = true;
-      out.tag_ledger.tx_bits = out.transcript.tag_tx_bits();
-      out.tag_ledger.rx_bits = out.transcript.tag_rx_bits();
-      return out;
-    }
-    heavy_work();
-  } else {
-    // Naive ordering: spend first, check later.
-    heavy_work();
-    verify_server();
-    if (!out.tag_accepted_server) {
-      out.tag_ledger.aborted_early = true;
-      out.tag_ledger.tx_bits = out.transcript.tag_tx_bits();
-      out.tag_ledger.rx_bits = out.transcript.tag_rx_bits();
-      return out;
-    }
-  }
-
-  // --- move 3: T -> S -------------------------------------------------------
-  auto ct = sealed.ciphertext;
-  auto mac = sealed.tag;
-  if (faults.tamper_ciphertext && !ct.empty()) ct[0] ^= 0x80;
-  if (faults.tamper_tag_mac && !tag_auth_mac.empty())
-    tag_auth_mac[0] ^= 0x80;
-  out.transcript.tag_to_reader.push_back(
-      Message{"MAC(TAG) || nonce || ct || MAC(ct)",
-              concat({tag_auth_mac, nonce, ct, mac})});
-
-  // Server verifies the tag, then the telemetry.
-  const auto tag_msg = concat({bytes_of("TAG"), ns, nt});
-  const auto expect_tag = ciphers::cmac(*srv_mac, tag_msg);
-  out.server_accepted_tag =
-      !faults.wrong_server_key &&
-      hash::constant_time_equal(expect_tag, tag_auth_mac);
-  if (out.server_accepted_tag) {
-    const auto srv_enc = make_cipher(server_keys.enc_key);
-    const auto srv_mac2 = make_cipher(server_keys.mac_key);
-    std::vector<std::uint8_t> plain;
-    if (ciphers::decrypt_then_verify(*srv_enc, *srv_mac2, nonce, ct, mac,
-                                     plain)) {
-      out.telemetry_delivered = true;
-      out.delivered_telemetry = std::move(plain);
-    }
-  }
-
+  out.tag_accepted_server = tag.accepted_server();
+  out.server_accepted_tag = !faults.wrong_server_key && server.accepted_tag();
+  out.telemetry_delivered = server.telemetry_delivered();
+  out.delivered_telemetry = server.telemetry();
+  out.tag_ledger = tag.ledger();
   out.tag_ledger.tx_bits = out.transcript.tag_tx_bits();
   out.tag_ledger.rx_bits = out.transcript.tag_rx_bits();
   return out;

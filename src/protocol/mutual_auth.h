@@ -29,6 +29,7 @@
 
 #include "ciphers/block_cipher.h"
 #include "protocol/energy_ledger.h"
+#include "protocol/session.h"
 #include "protocol/wire.h"
 #include "rng/random_source.h"
 
@@ -66,12 +67,72 @@ struct MutualAuthResult {
   EnergyLedger tag_ledger;
 };
 
-/// Run one session. `make_cipher` must construct the cipher for a given
-/// key (the tag instantiates one for encryption and one for MAC).
+/// `make_cipher` must construct the cipher for a given key (the tag
+/// instantiates one for encryption and one for MAC).
 using CipherFactory =
     std::function<std::unique_ptr<ciphers::BlockCipher>(
         std::span<const std::uint8_t> key)>;
 
+/// Tag-side state machine:
+///   start()             -> N_t
+///   on_message(N_s|MAC) -> verify server (ordering per config), then the
+///                          heavy work and move 3; kFailed + aborted_early
+///                          when server authentication fails.
+class MutualAuthTag final : public SessionMachine {
+ public:
+  MutualAuthTag(const CipherFactory& make_cipher, const SharedKeys& keys,
+                std::span<const std::uint8_t> telemetry,
+                rng::RandomSource& rng, const MutualAuthConfig& config = {});
+  StepResult start() override;
+  StepResult on_message(const Message& m) override;
+  bool accepted_server() const { return accepted_server_; }
+  const EnergyLedger& ledger() const { return ledger_; }
+  /// Wire geometry of move 3 (for taps / parsers): MAC(TAG) || nonce ||
+  /// ct || MAC(ct), with both MACs one cipher block wide.
+  std::size_t block_bytes() const;
+  std::size_t nonce_bytes() const;
+
+ private:
+  std::unique_ptr<ciphers::BlockCipher> enc_;
+  std::unique_ptr<ciphers::BlockCipher> mac_;
+  std::vector<std::uint8_t> telemetry_;
+  rng::RandomSource* rng_;
+  MutualAuthConfig config_;
+  std::vector<std::uint8_t> nt_;
+  bool started_ = false;
+  bool accepted_server_ = false;
+  EnergyLedger ledger_;
+};
+
+/// Server-side state machine:
+///   on_message(N_t)    -> N_s || CMAC_Km("SRV" || N_t || N_s)
+///   on_message(move 3) -> authenticate the tag, then verify-and-decrypt
+///                         the telemetry; kDone either way (the server
+///                         records what it accepted).
+class MutualAuthServer final : public SessionMachine {
+ public:
+  MutualAuthServer(const CipherFactory& make_cipher, const SharedKeys& keys,
+                   rng::RandomSource& rng);
+  StepResult on_message(const Message& m) override;
+  bool accepted_tag() const { return accepted_tag_; }
+  bool telemetry_delivered() const { return delivered_; }
+  const std::vector<std::uint8_t>& telemetry() const { return plain_; }
+
+ private:
+  std::unique_ptr<ciphers::BlockCipher> enc_;
+  std::unique_ptr<ciphers::BlockCipher> mac_;
+  rng::RandomSource* rng_;
+  std::vector<std::uint8_t> nt_, ns_;
+  bool have_nt_ = false;
+  bool accepted_tag_ = false;
+  bool delivered_ = false;
+  std::vector<std::uint8_t> plain_;
+};
+
+/// Run one session — a driver over the two machines. Faults are injected
+/// the way a real adversary would: wrong_server_key swaps in an
+/// impersonator server machine; the tamper flags mutate move-3 payload
+/// bytes in flight through a SessionTap.
 MutualAuthResult run_mutual_auth(const CipherFactory& make_cipher,
                                  const SharedKeys& keys,
                                  std::span<const std::uint8_t> telemetry,

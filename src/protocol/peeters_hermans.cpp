@@ -1,5 +1,7 @@
 #include "protocol/peeters_hermans.h"
 
+#include <utility>
+
 #include "ecc/fixed_base.h"
 #include "ecc/scalar_mult.h"
 
@@ -71,42 +73,74 @@ std::optional<std::size_t> ph_reader_identify(const Curve& curve,
                                               const PhTranscript& t) {
   if (t.commitment.infinity) return std::nullopt;
   if (!curve.validate_subgroup_point(t.commitment)) return std::nullopt;
-  // d' = xcoord(y·R_c); X^ = s·P - d'·P - e·R_c.
+  // d' = xcoord(y·R_c); X^ = (s − d')·P − e·R_c via Shamir's trick.
   const Point yr = ecc::scalar_mult_ld(curve, reader.y, t.commitment);
   const Scalar d = fe_to_scalar_mod_order(curve, yr.x);
-  const auto& comb = ecc::generator_comb(curve);
-  const Point sp = comb.mult(t.response);
-  const Point dp = comb.mult(d);
-  const Point er = ecc::scalar_mult_ld(curve, t.challenge, t.commitment);
+  const auto& ring = curve.scalar_ring();
   const Point x_hat =
-      curve.add(sp, curve.add(curve.negate(dp), curve.negate(er)));
+      ecc::double_scalar_mult(curve, ring.sub(t.response, d),
+                              curve.base_point(), ring.neg(t.challenge),
+                              t.commitment);
   for (std::size_t i = 0; i < reader.db.size(); ++i)
     if (reader.db[i] == x_hat) return i;
   return std::nullopt;
+}
+
+// --- state machines ----------------------------------------------------------
+
+PhTagMachine::PhTagMachine(const Curve& curve, PhTag tag,
+                           rng::RandomSource& rng)
+    : curve_(&curve), tag_(std::move(tag)), rng_(&rng) {}
+
+StepResult PhTagMachine::start() {
+  session_ = ph_tag_commit(*curve_, tag_, *rng_, ledger_);
+  committed_ = true;
+  Message m{"commitment R", encode_point(*curve_, session_.commitment)};
+  ledger_.tx_bits += m.bits();
+  return step(StepResult::wait(std::move(m)));
+}
+
+StepResult PhTagMachine::on_message(const Message& m) {
+  if (!committed_ || m.payload.size() != kFeBytes)
+    return step(StepResult::failed());
+  ledger_.rx_bits += m.bits();
+  const Scalar e = decode_scalar(m.payload);
+  const Scalar s = ph_tag_respond(*curve_, tag_, session_, e, *rng_, ledger_);
+  Message out{"response s", encode_scalar(s)};
+  ledger_.tx_bits += out.bits();
+  return step(StepResult::done(std::move(out)));
+}
+
+PhReaderMachine::PhReaderMachine(const Curve& curve, const PhReader& reader,
+                                 rng::RandomSource& rng)
+    : curve_(&curve), reader_(&reader), rng_(&rng) {}
+
+StepResult PhReaderMachine::on_message(const Message& m) {
+  if (!have_commitment_) {
+    have_commitment_ = true;
+    const auto p = decode_point(*curve_, m.payload);
+    if (!p) return step(StepResult::failed());
+    view_.commitment = *p;
+    view_.challenge = rng_->uniform_nonzero(curve_->order());
+    return step(StepResult::wait(
+        Message{"challenge e", encode_scalar(view_.challenge)}));
+  }
+  if (m.payload.size() != kFeBytes) return step(StepResult::failed());
+  view_.response = decode_scalar(m.payload);
+  identity_ = ph_reader_identify(*curve_, *reader_, view_);
+  return step(StepResult::done());
 }
 
 PhSessionResult run_ph_session(const Curve& curve, const PhTag& tag,
                                const PhReader& reader,
                                rng::RandomSource& rng) {
   PhSessionResult out;
-
-  const PhTagSession ts = ph_tag_commit(curve, tag, rng, out.tag_ledger);
-  out.transcript.tag_to_reader.push_back(
-      Message{"commitment R", encode_point(curve, ts.commitment)});
-
-  const Scalar e = rng.uniform_nonzero(curve.order());
-  out.transcript.reader_to_tag.push_back(
-      Message{"challenge e", encode_scalar(e)});
-
-  const Scalar s =
-      ph_tag_respond(curve, tag, ts, e, rng, out.tag_ledger);
-  out.transcript.tag_to_reader.push_back(
-      Message{"response s", encode_scalar(s)});
-
-  out.tag_ledger.tx_bits = out.transcript.tag_tx_bits();
-  out.tag_ledger.rx_bits = out.transcript.tag_rx_bits();
-  out.view = PhTranscript{ts.commitment, e, s};
-  out.identity = ph_reader_identify(curve, reader, out.view);
+  PhTagMachine tag_sm(curve, tag, rng);
+  PhReaderMachine reader_sm(curve, reader, rng);
+  drive_session(tag_sm, reader_sm, out.transcript);
+  out.tag_ledger = tag_sm.ledger();
+  out.view = reader_sm.view();
+  out.identity = reader_sm.identity();
   out.identified = out.identity.has_value();
   return out;
 }

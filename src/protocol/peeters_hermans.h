@@ -24,6 +24,7 @@
 
 #include "ecc/curve.h"
 #include "protocol/energy_ledger.h"
+#include "protocol/session.h"
 #include "protocol/wire.h"
 #include "rng/random_source.h"
 
@@ -76,12 +77,58 @@ ecc::Scalar ph_tag_respond(const ecc::Curve& curve, const PhTag& tag,
                            const ecc::Scalar& challenge,
                            rng::RandomSource& rng, EnergyLedger& ledger);
 
-/// Reader half: resolve a transcript against the DB.
+/// Reader half: resolve a transcript against the DB. The candidate
+/// X^ = (s − d')·P − e·R_c comes out of one interleaved double-scalar
+/// multiplication (Shamir's trick) instead of two comb multiplications,
+/// one double-and-add and two additions.
 std::optional<std::size_t> ph_reader_identify(const ecc::Curve& curve,
                                               const PhReader& reader,
                                               const PhTranscript& t);
 
-/// Full honest session.
+/// Tag-side state machine: start() -> R_c, on_message(e) -> s, kDone.
+/// Thin resumable shell over ph_tag_commit / ph_tag_respond (which stay
+/// public: the privacy game drives them directly as adversarial reader).
+/// Copies the tag's credentials: a suspended machine may outlive the
+/// statement that created it.
+class PhTagMachine final : public SessionMachine {
+ public:
+  PhTagMachine(const ecc::Curve& curve, PhTag tag, rng::RandomSource& rng);
+  StepResult start() override;
+  StepResult on_message(const Message& m) override;
+  const EnergyLedger& ledger() const { return ledger_; }
+
+ private:
+  const ecc::Curve* curve_;
+  PhTag tag_;
+  rng::RandomSource* rng_;
+  PhTagSession session_;
+  bool committed_ = false;
+  EnergyLedger ledger_;
+};
+
+/// Reader-side state machine: on_message(R_c) -> e, on_message(s) ->
+/// identify against the DB, kDone (identity() may still be nullopt — an
+/// unidentified tag completes the protocol but resolves to nothing).
+/// The reader (with its whole key DB) is held by reference and must
+/// outlive the machine — it is the long-lived server-side state.
+class PhReaderMachine final : public SessionMachine {
+ public:
+  PhReaderMachine(const ecc::Curve& curve, const PhReader& reader,
+                  rng::RandomSource& rng);
+  StepResult on_message(const Message& m) override;
+  const std::optional<std::size_t>& identity() const { return identity_; }
+  const PhTranscript& view() const { return view_; }
+
+ private:
+  const ecc::Curve* curve_;
+  const PhReader* reader_;
+  rng::RandomSource* rng_;
+  bool have_commitment_ = false;
+  std::optional<std::size_t> identity_;
+  PhTranscript view_;
+};
+
+/// Full honest session — a thin driver over the two machines above.
 PhSessionResult run_ph_session(const ecc::Curve& curve, const PhTag& tag,
                                const PhReader& reader,
                                rng::RandomSource& rng);

@@ -1,6 +1,6 @@
 #include "protocol/privacy_game.h"
 
-#include "ecc/fixed_base.h"
+#include "ecc/scalar_mult.h"
 #include "protocol/peeters_hermans.h"
 #include "protocol/schnorr.h"
 #include "rng/xoshiro.h"
@@ -56,12 +56,13 @@ PrivacyGameResult run_privacy_game(const Curve& curve, GameProtocol protocol,
       const Scalar e = rng.uniform_nonzero(curve.order());
       const Scalar s = ph_tag_respond(curve, tag, ts, e, rng, ledger);
 
-      // Same tracing test as against Schnorr: X^? = s·P - e·R_c, compare
-      // with the known public keys. The blinding term d·P makes the
-      // comparison fail for both candidates.
-      const Point sp = ecc::generator_comb(curve).mult(s);
-      const Point er = ecc::scalar_mult_ld(curve, e, ts.commitment);
-      const Point candidate = curve.add(sp, curve.negate(er));
+      // Same tracing test as against Schnorr: X^? = s·P - e·R_c (one
+      // interleaved double-scalar multiplication), compared with the known
+      // public keys. The blinding term d·P makes the comparison fail for
+      // both candidates.
+      const Point candidate = ecc::double_scalar_mult(
+          curve, s, curve.base_point(), curve.scalar_ring().neg(e),
+          ts.commitment);
       const bool links0 = candidate == reader.db[0];
       const bool links1 = candidate == reader.db[1];
       int guess;

@@ -1,6 +1,9 @@
 #include "protocol/schnorr.h"
 
+#include <utility>
+
 #include "ecc/fixed_base.h"
+#include "ecc/scalar_mult.h"
 
 namespace medsec::protocol {
 
@@ -8,6 +11,16 @@ namespace {
 using ecc::Curve;
 using ecc::Point;
 using ecc::Scalar;
+
+/// s·P − e·X == R_c, assuming R_c was already validated. One interleaved
+/// double-scalar multiplication.
+bool verify_equation(const Curve& curve, const Point& X,
+                     const SchnorrTranscript& t) {
+  const Point lhs = ecc::double_scalar_mult(
+      curve, t.response, curve.base_point(),
+      curve.scalar_ring().neg(t.challenge), X);
+  return lhs == t.commitment;
+}
 }  // namespace
 
 SchnorrKeyPair schnorr_keygen(const Curve& curve, rng::RandomSource& rng) {
@@ -17,38 +30,84 @@ SchnorrKeyPair schnorr_keygen(const Curve& curve, rng::RandomSource& rng) {
   return kp;
 }
 
+// --- prover machine ----------------------------------------------------------
+
+SchnorrProver::SchnorrProver(const Curve& curve, SchnorrKeyPair key,
+                             rng::RandomSource& rng)
+    : curve_(&curve), key_(std::move(key)), rng_(&rng) {}
+
+StepResult SchnorrProver::start() {
+  // T: commitment — a generator multiplication, so the tag runs the
+  // fixed-base comb with its key-independent double+add schedule and
+  // masked table scan instead of the general-point ladder.
+  r_ = rng_->uniform_nonzero(curve_->order());
+  ledger_.rng_bits += 163;
+  ++ledger_.ecpm;
+  const Point rc = ecc::generator_comb(*curve_).mult_ct(r_);
+  committed_ = true;
+  Message m{"commitment R", encode_point(*curve_, rc)};
+  ledger_.tx_bits += m.bits();
+  return step(StepResult::wait(std::move(m)));
+}
+
+StepResult SchnorrProver::on_message(const Message& m) {
+  if (!committed_ || m.payload.size() != kFeBytes)
+    return step(StepResult::failed());
+  ledger_.rx_bits += m.bits();
+  const Scalar e = decode_scalar(m.payload);
+  // T: response s = r + e*x mod l.
+  const auto& ring = curve_->scalar_ring();
+  const Scalar s = ring.add(r_, ring.mul(e, key_.x));
+  ++ledger_.modmul;
+  ++ledger_.modadd;
+  Message out{"response s", encode_scalar(s)};
+  ledger_.tx_bits += out.bits();
+  return step(StepResult::done(std::move(out)));
+}
+
+// --- verifier machine --------------------------------------------------------
+
+SchnorrVerifier::SchnorrVerifier(const Curve& curve, Point X,
+                                 rng::RandomSource& rng, Mode mode)
+    : curve_(&curve), X_(std::move(X)), rng_(&rng), mode_(mode) {}
+
+StepResult SchnorrVerifier::on_message(const Message& m) {
+  if (!have_commitment_) {
+    have_commitment_ = true;
+    commitment_wire_ = m.payload;
+    if (mode_ == Mode::kInline) {
+      // Trust boundary: decode + validate the commitment now. Deferred
+      // mode leaves both to the batch verifier, which amortizes the
+      // decompression inversions across the whole batch.
+      const auto p = decode_point(*curve_, m.payload);
+      if (!p) return step(StepResult::failed());
+      view_.commitment = *p;
+    }
+    view_.challenge = rng_->uniform_nonzero(curve_->order());
+    return step(StepResult::wait(
+        Message{"challenge e", encode_scalar(view_.challenge)}));
+  }
+  if (m.payload.size() != kFeBytes) return step(StepResult::failed());
+  view_.response = decode_scalar(m.payload);
+  if (mode_ == Mode::kInline) {
+    accepted_ = verify_equation(*curve_, X_, view_);
+    return step(accepted_ ? StepResult::done() : StepResult::failed());
+  }
+  return step(StepResult::done());  // acceptance decided by the batch queue
+}
+
+// --- drivers -----------------------------------------------------------------
+
 SchnorrSessionResult run_schnorr_session(const Curve& curve,
                                          const SchnorrKeyPair& key,
                                          rng::RandomSource& rng) {
   SchnorrSessionResult out;
-  const auto& ring = curve.scalar_ring();
-
-  // T: commitment — a generator multiplication, so the tag runs the
-  // fixed-base comb with its key-independent double+add schedule and
-  // masked table scan instead of the general-point ladder.
-  const Scalar r = rng.uniform_nonzero(curve.order());
-  out.tag_ledger.rng_bits += 163;
-  ++out.tag_ledger.ecpm;
-  const Point rc = ecc::generator_comb(curve).mult_ct(r);
-  out.transcript.tag_to_reader.push_back(
-      Message{"commitment R", encode_point(curve, rc)});
-
-  // R: challenge.
-  const Scalar e = rng.uniform_nonzero(curve.order());
-  out.transcript.reader_to_tag.push_back(
-      Message{"challenge e", encode_scalar(e)});
-
-  // T: response s = r + e*x mod l.
-  const Scalar s = ring.add(r, ring.mul(e, key.x));
-  ++out.tag_ledger.modmul;
-  ++out.tag_ledger.modadd;
-  out.transcript.tag_to_reader.push_back(
-      Message{"response s", encode_scalar(s)});
-
-  out.tag_ledger.tx_bits = out.transcript.tag_tx_bits();
-  out.tag_ledger.rx_bits = out.transcript.tag_rx_bits();
-  out.view = SchnorrTranscript{rc, e, s};
-  out.accepted = schnorr_verify(curve, key.X, out.view);
+  SchnorrProver prover(curve, key, rng);
+  SchnorrVerifier verifier(curve, key.X, rng);
+  drive_session(prover, verifier, out.transcript);
+  out.tag_ledger = prover.ledger();
+  out.view = verifier.view();
+  out.accepted = verifier.accepted();
   return out;
 }
 
@@ -56,13 +115,7 @@ bool schnorr_verify(const Curve& curve, const Point& X,
                     const SchnorrTranscript& t) {
   if (t.commitment.infinity) return false;
   if (!curve.validate_subgroup_point(t.commitment)) return false;
-  // s*P == R + e*X  (reader side: energy-rich, plain arithmetic — the
-  // generator term goes through the comb, the arbitrary-point term through
-  // projective double-and-add).
-  const Point lhs = ecc::generator_comb(curve).mult(t.response);
-  const Point rhs =
-      curve.add(t.commitment, ecc::scalar_mult_ld(curve, t.challenge, X));
-  return lhs == rhs;
+  return verify_equation(curve, X, t);
 }
 
 }  // namespace medsec::protocol

@@ -14,8 +14,12 @@
 // the privacy game in privacy_game.h exploits exactly this.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "ecc/curve.h"
 #include "protocol/energy_ledger.h"
+#include "protocol/session.h"
 #include "protocol/wire.h"
 #include "rng/random_source.h"
 
@@ -43,14 +47,84 @@ struct SchnorrSessionResult {
   EnergyLedger tag_ledger;
 };
 
+/// Tag-side prover state machine:
+///   start()          -> commitment R_c = r·P (fixed-base comb, ct)
+///   on_message(e)    -> response s = r + e·x, kDone
+///
+/// Machines are resumable and may long outlive the statement that created
+/// them (the engine suspends thousands across a thread pool), so they COPY
+/// their small per-session inputs (keys); only the process-lifetime curve
+/// and the caller-owned RNG are held by reference.
+class SchnorrProver final : public SessionMachine {
+ public:
+  SchnorrProver(const ecc::Curve& curve, SchnorrKeyPair key,
+                rng::RandomSource& rng);
+  StepResult start() override;
+  StepResult on_message(const Message& m) override;
+  const EnergyLedger& ledger() const { return ledger_; }
+
+ private:
+  const ecc::Curve* curve_;
+  SchnorrKeyPair key_;
+  rng::RandomSource* rng_;
+  ecc::Scalar r_;
+  bool committed_ = false;
+  EnergyLedger ledger_;
+};
+
+/// Reader-side verifier state machine:
+///   on_message(R_c) -> challenge e
+///   on_message(s)   -> kInline: decide accepted() on the spot (one
+///                      interleaved double-scalar multiplication);
+///                      kDeferred: keep the transcript — with the
+///                      commitment still wire-encoded — and finish without
+///                      verifying, so the engine's batched verifier queue
+///                      can decide acceptance for a whole batch with one
+///                      multi-scalar multiplication and one shared batch
+///                      inversion for the point decodings.
+class SchnorrVerifier final : public SessionMachine {
+ public:
+  enum class Mode { kInline, kDeferred };
+
+  SchnorrVerifier(const ecc::Curve& curve, ecc::Point X,
+                  rng::RandomSource& rng, Mode mode = Mode::kInline);
+  StepResult on_message(const Message& m) override;
+
+  /// kInline only; meaningless in deferred mode.
+  bool accepted() const { return accepted_; }
+  /// Decoded view (kInline; the commitment point is only decoded inline).
+  const SchnorrTranscript& view() const { return view_; }
+  /// Raw material for deferred batch verification.
+  const std::vector<std::uint8_t>& commitment_wire() const {
+    return commitment_wire_;
+  }
+  const ecc::Scalar& challenge() const { return view_.challenge; }
+  const ecc::Scalar& response() const { return view_.response; }
+  const ecc::Point& public_key() const { return X_; }
+
+ private:
+  const ecc::Curve* curve_;
+  ecc::Point X_;
+  rng::RandomSource* rng_;
+  Mode mode_;
+  bool have_commitment_ = false;
+  bool accepted_ = false;
+  std::vector<std::uint8_t> commitment_wire_;
+  SchnorrTranscript view_;
+};
+
 /// Run one honest session between a tag holding `key` and a verifier that
-/// knows X. The tag's point multiplications go through the constant-time
-/// ladder; its scalar arithmetic through the curve's order ring.
+/// knows X — a thin driver over the two state machines above. The tag's
+/// point multiplications go through the constant-time comb; its scalar
+/// arithmetic through the curve's order ring.
 SchnorrSessionResult run_schnorr_session(const ecc::Curve& curve,
                                          const SchnorrKeyPair& key,
                                          rng::RandomSource& rng);
 
-/// Verifier equation (also the adversary's tracing test).
+/// Verifier equation (also the adversary's tracing test): checks
+/// s·P − e·X == R_c with one interleaved double-scalar multiplication
+/// (Shamir's trick) instead of two independent scalar multiplications
+/// plus an addition.
 bool schnorr_verify(const ecc::Curve& curve, const ecc::Point& X,
                     const SchnorrTranscript& t);
 

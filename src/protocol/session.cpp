@@ -1,0 +1,39 @@
+#include "protocol/session.h"
+
+#include <deque>
+
+namespace medsec::protocol {
+
+bool drive_session(SessionMachine& tag, SessionMachine& reader,
+                   Transcript& transcript, const SessionTap& tap) {
+  struct InFlight {
+    bool from_tag;
+    Message msg;
+  };
+  std::deque<InFlight> air;
+
+  const auto enqueue = [&air](bool from_tag, std::vector<Message> msgs) {
+    for (auto& m : msgs) air.push_back(InFlight{from_tag, std::move(m)});
+  };
+
+  enqueue(true, tag.start().out);
+  enqueue(false, reader.start().out);
+
+  while (!air.empty()) {
+    InFlight f = std::move(air.front());
+    air.pop_front();
+    if (f.from_tag && tap.tag_to_reader) tap.tag_to_reader(f.msg);
+    if (!f.from_tag && tap.reader_to_tag) tap.reader_to_tag(f.msg);
+
+    SessionMachine& dst = f.from_tag ? reader : tag;
+    auto& lane = f.from_tag ? transcript.tag_to_reader
+                            : transcript.reader_to_tag;
+    lane.push_back(f.msg);
+    if (dst.state() != SessionState::kAwait) continue;  // dead endpoint
+    enqueue(!f.from_tag, dst.on_message(f.msg).out);
+  }
+  return tag.state() == SessionState::kDone &&
+         reader.state() == SessionState::kDone;
+}
+
+}  // namespace medsec::protocol

@@ -1,0 +1,99 @@
+// session.h — resumable, message-driven protocol session state machines.
+//
+// Every protocol in this directory used to execute both endpoints inline
+// inside a blocking run_* function — fine for reproducing §4's energy
+// tables, useless for serving many devices at once. Each endpoint is now a
+// SessionMachine: it is kicked off with start(), fed the peer's wire
+// messages one at a time through on_message(), and hands back the messages
+// it wants transmitted plus its new state. Machines own their per-session
+// state (nonces, ledgers, half-built transcripts), so thousands of them can
+// be suspended mid-protocol and resumed on any thread — the substrate the
+// engine/ layer multiplexes over a worker pool.
+//
+// The historical run_* entry points survive unchanged as thin drivers
+// (drive_session) pumping a tag machine against a reader machine in one
+// call, so the §4 energy-accounting benches and tests keep their exact
+// behavior.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "protocol/wire.h"
+
+namespace medsec::protocol {
+
+enum class SessionState {
+  kAwait,   ///< healthy, waiting for the peer's next message
+  kDone,    ///< this endpoint finished its role successfully
+  kFailed,  ///< aborted: malformed message, failed check, or protocol error
+};
+
+/// Outcome of one state-machine step: the endpoint's new state plus any
+/// messages it wants on the air.
+struct StepResult {
+  SessionState state = SessionState::kAwait;
+  std::vector<Message> out;
+
+  static StepResult wait() { return {}; }
+  static StepResult wait(Message m) {
+    StepResult r;
+    r.out.push_back(std::move(m));
+    return r;
+  }
+  static StepResult done() { return {SessionState::kDone, {}}; }
+  static StepResult done(Message m) {
+    StepResult r;
+    r.state = SessionState::kDone;
+    r.out.push_back(std::move(m));
+    return r;
+  }
+  static StepResult failed() { return {SessionState::kFailed, {}}; }
+};
+
+/// One protocol endpoint as a resumable state machine.
+class SessionMachine {
+ public:
+  virtual ~SessionMachine() = default;
+
+  /// Messages this endpoint sends before hearing anything. Responder-role
+  /// machines return wait() (the default).
+  virtual StepResult start() { return StepResult::wait(); }
+
+  /// Deliver one peer message. Must only be called while state() is
+  /// kAwait; a finished or failed machine has nothing more to say.
+  virtual StepResult on_message(const Message& m) = 0;
+
+  SessionState state() const { return state_; }
+
+ protected:
+  /// Record the step's resulting state before returning it.
+  StepResult step(StepResult r) {
+    state_ = r.state;
+    return r;
+  }
+
+ private:
+  SessionState state_ = SessionState::kAwait;
+};
+
+/// In-flight tamper hooks for fault injection (tests, benches, the privacy
+/// game's adversarial reader): each is called — when set — on every message
+/// in that direction before delivery and may mutate the payload.
+struct SessionTap {
+  std::function<void(Message&)> tag_to_reader;
+  std::function<void(Message&)> reader_to_tag;
+};
+
+/// Pump messages between a tag-side and a reader-side machine until both
+/// settle or neither has anything left to say. Every delivered message is
+/// appended to `transcript` (post-tamper — the adversary's view of the air
+/// interface). Messages addressed to a machine that already finished or
+/// failed are dropped, modeling a dead endpoint. Returns true iff both
+/// sides reached kDone.
+bool drive_session(SessionMachine& tag, SessionMachine& reader,
+                   Transcript& transcript, const SessionTap& tap = {});
+
+}  // namespace medsec::protocol

@@ -63,4 +63,11 @@ struct Transcript {
 /// order — the "d = xcoord(r·Y)" step of the Peeters–Hermans protocol.
 ecc::Scalar fe_to_scalar_mod_order(const ecc::Curve& curve, const ecc::Fe& v);
 
+/// CTR/CMAC nonce width for a given cipher block size — the single source
+/// of the wire-framing geometry every encryptor, parser and tap must agree
+/// on (mutual auth move 3, the ECIES blob).
+inline constexpr std::size_t cipher_nonce_bytes(std::size_t block_bytes) {
+  return block_bytes > 4 ? block_bytes - 4 : 4;
+}
+
 }  // namespace medsec::protocol

@@ -98,6 +98,33 @@ TEST(SecureProcessor, RpcChangesNothingFunctionally) {
             p2.point_mult(k, c.base_point()).result);
 }
 
+TEST(SecureProcessor, SessionsAreIndependentAndReentrant) {
+  const Curve& c = Curve::k163();
+  const SecureEccProcessor proc(c, CountermeasureConfig::protected_default());
+  Xoshiro256 rng(7);
+  const Scalar k1 = rng.uniform_nonzero(c.order());
+  const Scalar k2 = rng.uniform_nonzero(c.order());
+
+  // Two sessions interleaved: each owns its register file and telemetry,
+  // so neither perturbs the other (the old facade had one shared
+  // last_records_ buffer and register file).
+  auto s1 = proc.open_session(1);
+  auto s2 = proc.open_session(2);
+  const auto r1 = s1.point_mult(k1, c.base_point());
+  const auto r2 = s2.point_mult(k2, c.base_point());
+  const auto r1b = s1.point_mult(k1, c.base_point());
+  EXPECT_EQ(r1.result, medsec::ecc::montgomery_ladder(c, k1, c.base_point()));
+  EXPECT_EQ(r2.result, medsec::ecc::montgomery_ladder(c, k2, c.base_point()));
+  EXPECT_EQ(r1b.result, r1.result);
+  EXPECT_GT(s1.last_records().size(), 80000u);
+  EXPECT_GT(s2.last_records().size(), 80000u);
+
+  // Distinct session seeds draw distinct Z-randomizer streams, but the
+  // randomization never changes the functional result.
+  auto s3 = proc.open_session(3);
+  EXPECT_EQ(s3.point_mult(k1, c.base_point()).result, r1.result);
+}
+
 TEST(IsaAudit, ProtectedConfigurationPasses) {
   const auto rep = medsec::core::audit_isa(Curve::k163());
   EXPECT_TRUE(rep.all_pass());

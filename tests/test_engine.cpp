@@ -1,0 +1,399 @@
+// Tests for the engine layer: interleaved multi-scalar multiplication, the
+// cofactor-2 fast subgroup gate, batch point decoding, random-linear-
+// combination batch verification, and the FleetServer end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "ciphers/aes128.h"
+#include "ecc/curve.h"
+#include "ecc/scalar_mult.h"
+#include "engine/batch_verifier.h"
+#include "engine/fleet_server.h"
+#include "protocol/mutual_auth.h"
+#include "protocol/schnorr.h"
+#include "protocol/wire.h"
+#include "rng/xoshiro.h"
+
+namespace {
+
+using medsec::ecc::Curve;
+using medsec::ecc::Fe;
+using medsec::ecc::MsmTerm;
+using medsec::ecc::Point;
+using medsec::ecc::Scalar;
+using medsec::rng::Xoshiro256;
+namespace proto = medsec::protocol;
+namespace engine = medsec::engine;
+
+Point random_subgroup_point(const Curve& c, Xoshiro256& rng) {
+  return c.scalar_mult_reference(rng.uniform_nonzero(c.order()),
+                                 c.base_point());
+}
+
+// --- multi-scalar multiplication ---------------------------------------------
+
+TEST(Msm, MatchesReferenceAcrossSizes) {
+  for (const Curve* c : {&Curve::k163(), &Curve::b163()}) {
+    Xoshiro256 rng(1);
+    for (std::size_t n = 0; n <= 6; ++n) {
+      std::vector<MsmTerm> terms(n);
+      Point expect = Point::at_infinity();
+      for (auto& t : terms) {
+        t.k = rng.uniform_nonzero(c->order());
+        t.p = random_subgroup_point(*c, rng);
+        expect = c->add(expect, c->scalar_mult_reference(t.k, t.p));
+      }
+      EXPECT_EQ(medsec::ecc::multi_scalar_mult(*c, terms), expect)
+          << c->name() << " n=" << n;
+    }
+  }
+}
+
+TEST(Msm, HandlesDegenerateTerms) {
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(2);
+  const Point p = random_subgroup_point(c, rng);
+  const Scalar k = rng.uniform_nonzero(c.order());
+  // Zero scalars and infinity points contribute nothing.
+  const std::vector<MsmTerm> terms{
+      {Scalar{}, p}, {k, Point::at_infinity()}, {k, p}};
+  EXPECT_EQ(medsec::ecc::multi_scalar_mult(c, terms),
+            c.scalar_mult_reference(k, p));
+  EXPECT_TRUE(
+      medsec::ecc::multi_scalar_mult(c, std::vector<MsmTerm>{}).infinity);
+  // Scalars >= order reduce.
+  const std::vector<MsmTerm> big{{c.order() + k, p}};
+  EXPECT_EQ(medsec::ecc::multi_scalar_mult(c, big),
+            c.scalar_mult_reference(k, p));
+}
+
+TEST(Msm, DoubleScalarShamir) {
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 5; ++i) {
+    const Point p = random_subgroup_point(c, rng);
+    const Point q = random_subgroup_point(c, rng);
+    const Scalar a = rng.uniform_nonzero(c.order());
+    const Scalar b = rng.uniform_nonzero(c.order());
+    EXPECT_EQ(medsec::ecc::double_scalar_mult(c, a, p, b, q),
+              c.add(c.scalar_mult_reference(a, p),
+                    c.scalar_mult_reference(b, q)));
+  }
+}
+
+// --- fast subgroup gate ------------------------------------------------------
+
+TEST(SubgroupGate, FastPathAgreesWithExactCheck) {
+  for (const Curve* c : {&Curve::k163(), &Curve::b163()}) {
+    Xoshiro256 rng(4);
+    // Subgroup points: both accept.
+    for (int i = 0; i < 8; ++i) {
+      const Point p = random_subgroup_point(*c, rng);
+      EXPECT_TRUE(c->validate_subgroup_point(p));
+      EXPECT_TRUE(c->validate_subgroup_point_exact(p));
+    }
+    // Arbitrary decompressible x values: the two gates must agree, and
+    // both cosets must actually occur (on-curve points in and out of the
+    // prime-order subgroup).
+    int in_subgroup = 0, out_of_subgroup = 0;
+    for (int i = 0; in_subgroup + out_of_subgroup < 24 && i < 400; ++i) {
+      medsec::bigint::U192 v;
+      for (std::size_t l = 0; l < 3; ++l) v.set_limb(l, rng.next_u64());
+      const Fe x = Fe::from_bits(v);
+      if (x.is_zero()) continue;
+      const auto p = c->decompress({x, static_cast<int>(i & 1)});
+      if (!p) continue;
+      const bool fast = c->validate_subgroup_point(*p);
+      const bool exact = c->validate_subgroup_point_exact(*p);
+      EXPECT_EQ(fast, exact) << c->name() << " x=" << x.to_hex();
+      ++(fast ? in_subgroup : out_of_subgroup);
+    }
+    EXPECT_GT(in_subgroup, 0) << c->name();
+    EXPECT_GT(out_of_subgroup, 0) << c->name();
+  }
+}
+
+// --- batch point decoding ----------------------------------------------------
+
+TEST(BatchDecode, AgreesWithSingleDecode) {
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(5);
+  std::vector<std::vector<std::uint8_t>> wires;
+  // Valid points.
+  for (int i = 0; i < 6; ++i)
+    wires.push_back(proto::encode_point(c, random_subgroup_point(c, rng)));
+  // Infinity, bad prefix, truncation, garbage, order-2 point, random x.
+  wires.push_back(std::vector<std::uint8_t>(1 + proto::kFeBytes, 0x00));
+  auto bad_prefix = wires[0];
+  bad_prefix[0] = 0x07;
+  wires.push_back(bad_prefix);
+  wires.push_back({0x02, 0xab});
+  wires.push_back(std::vector<std::uint8_t>(1 + proto::kFeBytes, 0xff));
+  wires.push_back(
+      proto::encode_point(c, Point::affine(Fe::zero(), Fe::sqrt(c.b()))));
+  for (int i = 0; i < 40; ++i) {
+    std::vector<std::uint8_t> w(1 + proto::kFeBytes);
+    rng.fill(w);
+    w[0] = (i & 1) ? 0x02 : 0x03;
+    w[1] &= 0x07;  // keep the top bits plausible
+    wires.push_back(w);
+  }
+
+  const auto batch = engine::decode_points_batch(c, wires);
+  ASSERT_EQ(batch.size(), wires.size());
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    const auto single = proto::decode_point(c, wires[i]);
+    ASSERT_EQ(batch[i].has_value(), single.has_value()) << "entry " << i;
+    if (single) EXPECT_EQ(*batch[i], *single) << "entry " << i;
+  }
+}
+
+// --- batch verification ------------------------------------------------------
+
+std::pair<proto::SchnorrTranscript, Point> honest_transcript(
+    const Curve& c, Xoshiro256& rng) {
+  const auto kp = proto::schnorr_keygen(c, rng);
+  const auto session = proto::run_schnorr_session(c, kp, rng);
+  return {session.view, kp.X};
+}
+
+TEST(BatchVerify, AcceptsHonestBatchWithOneMsm) {
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(6);
+  std::vector<proto::SchnorrTranscript> ts;
+  std::vector<Point> keys;
+  for (int i = 0; i < 16; ++i) {
+    auto [t, x] = honest_transcript(c, rng);
+    ts.push_back(t);
+    keys.push_back(x);
+  }
+  const auto out = engine::schnorr_verify_batch(c, ts, keys, rng);
+  EXPECT_TRUE(out.rlc_passed);
+  for (const bool ok : out.ok) EXPECT_TRUE(ok);
+}
+
+TEST(BatchVerify, FallbackIsolatesTheForgery) {
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(7);
+  std::vector<proto::SchnorrTranscript> ts;
+  std::vector<Point> keys;
+  for (int i = 0; i < 8; ++i) {
+    auto [t, x] = honest_transcript(c, rng);
+    ts.push_back(t);
+    keys.push_back(x);
+  }
+  // Forge item 3: response for a different key.
+  ts[3].response = c.scalar_ring().add(ts[3].response, Scalar{1});
+  const auto out = engine::schnorr_verify_batch(c, ts, keys, rng);
+  EXPECT_FALSE(out.rlc_passed);
+  for (std::size_t i = 0; i < out.ok.size(); ++i)
+    EXPECT_EQ(out.ok[i], i != 3) << i;
+}
+
+TEST(BatchVerifierQueue, FlushesAtBatchSizeAndOnDemand) {
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(8);
+  engine::SchnorrBatchVerifier q(c, 4);
+  std::atomic<int> accepted{0}, rejected{0};
+  const auto submit = [&](bool forge) {
+    const auto kp = proto::schnorr_keygen(c, rng);
+    proto::SchnorrProver prover(c, kp, rng);
+    proto::SchnorrVerifier verifier(c, kp.X, rng,
+                                    proto::SchnorrVerifier::Mode::kDeferred);
+    proto::Transcript transcript;
+    ASSERT_TRUE(proto::drive_session(prover, verifier, transcript));
+    engine::PendingTranscript p;
+    p.X = forge ? proto::schnorr_keygen(c, rng).X : kp.X;
+    p.commitment_wire = verifier.commitment_wire();
+    p.challenge = verifier.challenge();
+    p.response = verifier.response();
+    p.on_result = [&](bool ok) { ++(ok ? accepted : rejected); };
+    q.enqueue(std::move(p));
+  };
+  for (int i = 0; i < 9; ++i) submit(/*forge=*/false);
+  // 9 items, batch 4: two flushes fired, one item pending.
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(accepted.load(), 8);
+  submit(/*forge=*/true);
+  q.flush();
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(accepted.load(), 9);
+  EXPECT_EQ(rejected.load(), 1);
+  const auto st = q.stats();
+  EXPECT_EQ(st.items, 10u);
+  EXPECT_EQ(st.batches, 3u);
+  EXPECT_EQ(st.accepted, 9u);
+  EXPECT_EQ(st.rejected, 1u);
+  EXPECT_EQ(st.rlc_failures, 1u);
+}
+
+// --- fleet server ------------------------------------------------------------
+
+/// Drives N tag-side provers against a FleetServer over its message API.
+struct FleetHarness {
+  const Curve& c;
+  engine::FleetServer server;
+  std::mutex mu;
+  std::map<std::uint64_t, std::unique_ptr<proto::SchnorrProver>> provers;
+  std::map<std::uint64_t, std::unique_ptr<Xoshiro256>> rngs;
+
+  explicit FleetHarness(const Curve& curve, engine::FleetConfig cfg)
+      : c(curve),
+        server(curve, cfg, [this](std::uint64_t sid, const proto::Message& m) {
+          downlink(sid, m);
+        }) {}
+
+  void downlink(std::uint64_t sid, const proto::Message& m) {
+    std::unique_ptr<proto::SchnorrProver>* prover;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      prover = &provers.at(sid);
+    }
+    const auto r = (*prover)->on_message(m);
+    for (const auto& out : r.out) server.deliver(sid, out);
+    if ((*prover)->state() == proto::SessionState::kDone)
+      server.report_tag_energy(sid, (*prover)->ledger());
+  }
+
+  /// Open a session where the tag proves knowledge of `key` against the
+  /// enrolled key of `device`.
+  std::uint64_t run_tag(std::uint32_t device,
+                        const proto::SchnorrKeyPair& key,
+                        std::uint64_t seed) {
+    const std::uint64_t sid = server.open_schnorr_session(device);
+    auto rng = std::make_unique<Xoshiro256>(seed);
+    auto prover = std::make_unique<proto::SchnorrProver>(c, key, *rng);
+    const auto r = prover->start();
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      rngs.emplace(sid, std::move(rng));
+      provers.emplace(sid, std::move(prover));
+    }
+    for (const auto& out : r.out) server.deliver(sid, out);
+    return sid;
+  }
+};
+
+TEST(FleetServer, BatchedFleetAcceptsHonestAndIsolatesForged) {
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(9);
+  engine::FleetConfig cfg;
+  cfg.worker_threads = 4;
+  cfg.verify_batch = 16;
+
+  std::vector<proto::SchnorrKeyPair> keys;
+  for (int i = 0; i < 8; ++i) keys.push_back(proto::schnorr_keygen(c, rng));
+
+  FleetHarness h(c, cfg);
+  for (const auto& kp : keys) h.server.enroll(kp.X);
+
+  std::vector<std::uint64_t> honest, forged;
+  for (int i = 0; i < 40; ++i) {
+    const auto device = static_cast<std::uint32_t>(i % keys.size());
+    if (i == 17 || i == 31) {
+      // Impersonators: prove knowledge of a key that is not the enrolled
+      // one for this device.
+      forged.push_back(
+          h.run_tag(device, proto::schnorr_keygen(c, rng), 1000u + i));
+    } else {
+      honest.push_back(h.run_tag(device, keys[device], 1000u + i));
+    }
+  }
+  h.server.drain();
+
+  for (const auto sid : honest) {
+    const auto rec = h.server.record(sid);
+    EXPECT_TRUE(rec.completed) << sid;
+    EXPECT_TRUE(rec.accepted) << sid;
+    EXPECT_EQ(rec.tag_ledger.ecpm, 1u);
+    EXPECT_GT(rec.rx_bits, 0u);
+    EXPECT_GT(rec.tx_bits, 0u);
+  }
+  for (const auto sid : forged) {
+    const auto rec = h.server.record(sid);
+    EXPECT_TRUE(rec.completed) << sid;
+    EXPECT_FALSE(rec.accepted) << sid;
+  }
+
+  const auto st = h.server.stats();
+  EXPECT_EQ(st.devices, keys.size());
+  EXPECT_EQ(st.sessions_opened, 40u);
+  EXPECT_EQ(st.sessions_completed, 40u);
+  EXPECT_EQ(st.accepted, 38u);
+  EXPECT_EQ(st.rejected, 2u);
+  EXPECT_EQ(st.verifier.items, 40u);
+  EXPECT_GE(st.verifier.rlc_failures, 1u);
+  EXPECT_EQ(st.fleet_tag_energy.ecpm, 40u);
+
+  // Records harvested; eviction reclaims every completed session and
+  // keeps long-running servers bounded.
+  EXPECT_EQ(h.server.evict_completed(), 40u);
+  EXPECT_THROW(h.server.record(honest.front()), std::out_of_range);
+  EXPECT_EQ(h.server.evict_completed(), 0u);
+}
+
+TEST(FleetServer, BatchSizeOneIsIndependentVerification) {
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(10);
+  engine::FleetConfig cfg;
+  cfg.worker_threads = 2;
+  cfg.verify_batch = 1;
+  const auto kp = proto::schnorr_keygen(c, rng);
+  FleetHarness h(c, cfg);
+  h.server.enroll(kp.X);
+  const auto sid = h.run_tag(0, kp, 99);
+  h.server.drain();
+  const auto rec = h.server.record(sid);
+  EXPECT_TRUE(rec.completed);
+  EXPECT_TRUE(rec.accepted);
+  EXPECT_EQ(h.server.stats().verifier.batches, 1u);
+}
+
+TEST(FleetServer, GenericSessionsMultiplexOtherProtocols) {
+  // A symmetric mutual-auth session through the same engine: the server
+  // machine rides the generic open_session path.
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(11);
+  proto::CipherFactory aes = [](std::span<const std::uint8_t> key) {
+    return std::unique_ptr<medsec::ciphers::BlockCipher>(
+        new medsec::ciphers::Aes128(key));
+  };
+  const auto keys = proto::derive_session_keys(
+      std::vector<std::uint8_t>(16, 7), 16);
+  const std::vector<std::uint8_t> telemetry{'o', 'k'};
+
+  engine::FleetConfig cfg;
+  cfg.worker_threads = 2;
+
+  Xoshiro256 tag_rng(12), srv_rng(13);
+  proto::MutualAuthTag tag(aes, keys, telemetry, tag_rng);
+
+  std::mutex mu;
+  std::uint64_t sid = 0;
+  engine::FleetServer server(
+      c, cfg,
+      [&](std::uint64_t s, const proto::Message& m) {
+        const std::lock_guard<std::mutex> lock(mu);
+        const auto r = tag.on_message(m);
+        for (const auto& out : r.out) server.deliver(s, out);
+      });
+  sid = server.open_session(
+      std::make_unique<proto::MutualAuthServer>(aes, keys, srv_rng),
+      [](const proto::SessionMachine& m) {
+        const auto& srv = static_cast<const proto::MutualAuthServer&>(m);
+        return srv.accepted_tag() && srv.telemetry_delivered();
+      });
+  for (const auto& out : tag.start().out) server.deliver(sid, out);
+  server.drain();
+
+  const auto rec = server.record(sid);
+  EXPECT_TRUE(rec.completed);
+  EXPECT_TRUE(rec.accepted);
+  EXPECT_TRUE(tag.accepted_server());
+}
+
+}  // namespace

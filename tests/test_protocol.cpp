@@ -289,6 +289,120 @@ TEST_F(MutualAuthFixture, WorksWithLightweightCipherToo) {
   EXPECT_EQ(r.delivered_telemetry, telemetry);
 }
 
+// --- session state machines --------------------------------------------------------
+//
+// The run_* functions above already exercise the machines (they are thin
+// drivers over them); these tests drive the message API directly:
+// step-by-step resumption, deferred verification, and in-flight tampering.
+
+TEST(SessionMachines, SchnorrStepByStep) {
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(40);
+  const auto kp = proto::schnorr_keygen(c, rng);
+  proto::SchnorrProver prover(c, kp, rng);
+  proto::SchnorrVerifier verifier(c, kp.X, rng);
+
+  // start() -> commitment; both sides suspended between every message.
+  auto r1 = prover.start();
+  ASSERT_EQ(r1.out.size(), 1u);
+  EXPECT_EQ(prover.state(), proto::SessionState::kAwait);
+  auto r2 = verifier.on_message(r1.out[0]);  // -> challenge
+  ASSERT_EQ(r2.out.size(), 1u);
+  EXPECT_EQ(verifier.state(), proto::SessionState::kAwait);
+  auto r3 = prover.on_message(r2.out[0]);  // -> response, prover done
+  ASSERT_EQ(r3.out.size(), 1u);
+  EXPECT_EQ(prover.state(), proto::SessionState::kDone);
+  auto r4 = verifier.on_message(r3.out[0]);
+  EXPECT_TRUE(r4.out.empty());
+  EXPECT_EQ(verifier.state(), proto::SessionState::kDone);
+  EXPECT_TRUE(verifier.accepted());
+  EXPECT_EQ(prover.ledger().ecpm, 1u);
+}
+
+TEST(SessionMachines, SchnorrTamperedResponseFailsVerifier) {
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(41);
+  const auto kp = proto::schnorr_keygen(c, rng);
+  proto::SchnorrProver prover(c, kp, rng);
+  proto::SchnorrVerifier verifier(c, kp.X, rng);
+  proto::Transcript transcript;
+  proto::SessionTap tap;
+  std::size_t n = 0;
+  tap.tag_to_reader = [&n](proto::Message& m) {
+    if (++n == 2) m.payload[0] ^= 0x01;  // flip a response bit in flight
+  };
+  EXPECT_FALSE(proto::drive_session(prover, verifier, transcript, tap));
+  EXPECT_EQ(verifier.state(), proto::SessionState::kFailed);
+  EXPECT_FALSE(verifier.accepted());
+}
+
+TEST(SessionMachines, SchnorrDeferredModeExposesWireTranscript) {
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(42);
+  const auto kp = proto::schnorr_keygen(c, rng);
+  proto::SchnorrProver prover(c, kp, rng);
+  proto::SchnorrVerifier verifier(c, kp.X, rng,
+                                  proto::SchnorrVerifier::Mode::kDeferred);
+  proto::Transcript transcript;
+  EXPECT_TRUE(proto::drive_session(prover, verifier, transcript));
+  // Deferred mode finishes without verifying; the raw material checks out
+  // when decoded later (what the engine's batch queue does).
+  const auto rc = proto::decode_point(c, verifier.commitment_wire());
+  ASSERT_TRUE(rc.has_value());
+  EXPECT_TRUE(proto::schnorr_verify(
+      c, kp.X,
+      proto::SchnorrTranscript{*rc, verifier.challenge(),
+                               verifier.response()}));
+}
+
+TEST(SessionMachines, PhMachinesMatchRunFunction) {
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(43);
+  proto::PhReader reader = proto::ph_setup_reader(c, rng);
+  const auto tag = proto::ph_register_tag(c, reader, rng);
+  proto::PhTagMachine tag_sm(c, tag, rng);
+  proto::PhReaderMachine reader_sm(c, reader, rng);
+  proto::Transcript transcript;
+  EXPECT_TRUE(proto::drive_session(tag_sm, reader_sm, transcript));
+  ASSERT_TRUE(reader_sm.identity().has_value());
+  EXPECT_EQ(*reader_sm.identity(), tag.registered_index);
+  EXPECT_EQ(tag_sm.ledger().ecpm, 2u);
+  EXPECT_EQ(tag_sm.ledger().modmul, 1u);
+  EXPECT_EQ(transcript.tag_to_reader.size(), 2u);
+  EXPECT_EQ(transcript.reader_to_tag.size(), 1u);
+}
+
+TEST(SessionMachines, MutualAuthMachinesStepAndAbort) {
+  proto::CipherFactory aes = [](std::span<const std::uint8_t> key) {
+    return std::unique_ptr<medsec::ciphers::BlockCipher>(
+        new medsec::ciphers::Aes128(key));
+  };
+  const auto keys = proto::derive_session_keys(
+      std::vector<std::uint8_t>(16, 3), 16);
+  const std::vector<std::uint8_t> telemetry{'t'};
+  Xoshiro256 rng(44);
+
+  // Honest run through the machines.
+  proto::MutualAuthTag tag(aes, keys, telemetry, rng);
+  proto::MutualAuthServer server(aes, keys, rng);
+  proto::Transcript transcript;
+  EXPECT_TRUE(proto::drive_session(tag, server, transcript));
+  EXPECT_TRUE(tag.accepted_server());
+  EXPECT_TRUE(server.accepted_tag());
+  EXPECT_EQ(server.telemetry(), telemetry);
+
+  // An impersonator server machine: the tag aborts before the heavy work.
+  auto bad_keys = keys;
+  for (auto& b : bad_keys.mac_key) b ^= 0xFF;
+  proto::MutualAuthTag tag2(aes, keys, telemetry, rng);
+  proto::MutualAuthServer impostor(aes, bad_keys, rng);
+  proto::Transcript t2;
+  EXPECT_FALSE(proto::drive_session(tag2, impostor, t2));
+  EXPECT_FALSE(tag2.accepted_server());
+  EXPECT_TRUE(tag2.ledger().aborted_early);
+  EXPECT_EQ(tag2.state(), proto::SessionState::kFailed);
+}
+
 // --- energy accounting -------------------------------------------------------------
 
 TEST(EnergyLedger, SessionEnergyComposition) {
