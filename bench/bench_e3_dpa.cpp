@@ -1,4 +1,5 @@
-// E3 — the §7 DPA evaluation, the paper's headline security result.
+// E3 — the §7 DPA evaluation, the paper's headline security result, plus
+// the campaign-engine throughput comparison.
 //
 // Paper: "When the countermeasure is disabled, a DPA attack succeeds with
 // as low as 200 traces. When the countermeasure is enabled, but the
@@ -6,9 +7,22 @@
 // countermeasure is enabled, and the randomness is unknown, the attack
 // does not succeed. Even 20000 traces are not enough to reveal a single
 // key bit, using the same DPA attack."
+//
+// Engine comparison: the 20 000-trace known-input campaign (generation +
+// 16-bit CPA attack) through three paths —
+//   * the PR 2 serial path (ladder-generated base points, one scalar
+//     montgomery_ladder + recovery per trace, per-trace attack loop),
+//   * the wide-lane engine pinned to 1 thread / 1 lane, and
+//   * the wide-lane engine at full fan-out (all threads, auto lanes) —
+// asserting the recovered bits agree, and emitting every figure to
+// BENCH_dpa_campaign.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+
 #include "bench_util.h"
+#include "core/thread_pool.h"
 #include "sidechannel/dpa.h"
 
 namespace {
@@ -16,16 +30,33 @@ namespace {
 using namespace medsec;
 namespace sc = sidechannel;
 
+constexpr std::size_t kCampaignTraces = 20000;
+constexpr std::uint64_t kCampaignSeed = 9;
+
+ecc::Scalar campaign_secret() {
+  rng::Xoshiro256 rng(2013);
+  return rng.uniform_nonzero(ecc::Curve::k163().order());
+}
+
+sc::DpaConfig campaign_attack_config(std::size_t threads, std::size_t lanes) {
+  sc::DpaConfig cfg;
+  cfg.bits_to_attack = 16;
+  cfg.threads = threads;
+  cfg.lanes = lanes;
+  return cfg;
+}
+
 void print_table() {
   bench::banner("E3: DPA vs randomized projective coordinates",
                 "Section 7 (200 traces vs 20000 traces)");
 
   const ecc::Curve& curve = ecc::Curve::k163();
-  rng::Xoshiro256 rng(2013);
-  const ecc::Scalar secret = rng.uniform_nonzero(curve.order());
+  const ecc::Scalar secret = campaign_secret();
 
   sc::DpaConfig cfg;
   cfg.bits_to_attack = 16;
+  sc::AlgorithmicSimConfig sim;
+  sim.seed = 2;  // fixed campaign seed (benches are deterministic)
 
   struct Plan {
     sc::RpcScenario scenario;
@@ -42,7 +73,8 @@ void print_table() {
   for (const auto& plan : plans) {
     for (const std::size_t n : plan.counts) {
       const auto rows = sc::dpa_trace_count_sweep(curve, secret,
-                                                  plan.scenario, {n}, cfg);
+                                                  plan.scenario, {n}, cfg,
+                                                  sim);
       std::printf("%-46s %8zu %6.1f/16 %9s\n",
                   sc::rpc_scenario_name(plan.scenario), n,
                   rows[0].accuracy * 16, rows[0].success ? "BROKEN" : "safe");
@@ -56,6 +88,116 @@ void print_table() {
               "    coin flipping; \"not a single key bit\" in the paper's\n"
               "    stronger per-bit-confidence sense)\n");
 }
+
+/// One-shot wall-clock comparison printed before the google-benchmark
+/// timers (which re-measure the same three paths for the JSON artifact).
+void print_campaign_comparison() {
+  bench::banner("E3b: 20k-trace campaign — PR 2 serial path vs wide engine",
+                "acceptance: >= 4x at 4 cores, bit-identical outcomes");
+  const ecc::Curve& curve = ecc::Curve::k163();
+  const ecc::Scalar secret = campaign_secret();
+  sc::AlgorithmicSimConfig sim;
+  sim.seed = kCampaignSeed;
+
+  using clock = std::chrono::steady_clock;
+  const auto secs = [](clock::time_point a, clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+
+  const auto t0 = clock::now();
+  const auto exp_serial = sc::generate_dpa_traces_serial(
+      curve, secret, kCampaignTraces, sc::RpcScenario::kDisabled, sim);
+  const auto r_serial = sc::ladder_dpa_attack_reference(
+      curve, exp_serial, campaign_attack_config(1, 1));
+  const auto t1 = clock::now();
+
+  sc::AlgorithmicSimConfig sim1 = sim;
+  sim1.threads = 1;
+  sim1.lanes = 1;
+  const auto exp1 = sc::generate_dpa_traces(
+      curve, secret, kCampaignTraces, sc::RpcScenario::kDisabled, sim1);
+  const auto r1 =
+      sc::ladder_dpa_attack(curve, exp1, campaign_attack_config(1, 1));
+  const auto t2 = clock::now();
+
+  const auto expw = sc::generate_dpa_traces(
+      curve, secret, kCampaignTraces, sc::RpcScenario::kDisabled, sim);
+  const auto rw =
+      sc::ladder_dpa_attack(curve, expw, campaign_attack_config(0, 0));
+  const auto t3 = clock::now();
+
+  const double s_serial = secs(t0, t1);
+  const double s_one = secs(t1, t2);
+  const double s_wide = secs(t2, t3);
+  std::printf("workers available: %zu hardware thread(s)\n",
+              core::ThreadPool::shared().size());
+  std::printf("PR 2 serial path          : %6.2f s\n", s_serial);
+  std::printf("engine, 1 thread / 1 lane : %6.2f s (%.2fx)\n", s_one,
+              s_serial / s_one);
+  std::printf("engine, full fan-out      : %6.2f s (%.2fx)\n", s_wide,
+              s_serial / s_wide);
+  const bool same_1 = r1.recovered_bits == rw.recovered_bits &&
+                      r1.stat_correct_hyp == rw.stat_correct_hyp;
+  const bool same_serial = r_serial.recovered_bits == rw.recovered_bits;
+  std::printf("engine 1-lane vs wide outcomes bit-identical: %s\n",
+              same_1 ? "yes" : "NO (BUG)");
+  std::printf("serial vs engine recovered bits identical:    %s (%zu/16 vs "
+              "%zu/16)\n",
+              same_serial ? "yes" : "NO", r_serial.bits_correct,
+              rw.bits_correct);
+  if (!same_1 || !same_serial) std::exit(1);
+}
+
+void BM_Campaign20k_SerialPR2(benchmark::State& state) {
+  const ecc::Curve& curve = ecc::Curve::k163();
+  const ecc::Scalar secret = campaign_secret();
+  sc::AlgorithmicSimConfig sim;
+  sim.seed = kCampaignSeed;
+  for (auto _ : state) {
+    auto exp = sc::generate_dpa_traces_serial(
+        curve, secret, kCampaignTraces, sc::RpcScenario::kDisabled, sim);
+    auto r = sc::ladder_dpa_attack_reference(curve, exp,
+                                             campaign_attack_config(1, 1));
+    benchmark::DoNotOptimize(r.bits_correct);
+  }
+  state.SetItemsProcessed(state.iterations() * kCampaignTraces);
+  state.SetLabel("PR 2 path: serial gen + per-trace CPA, 20k traces");
+}
+BENCHMARK(BM_Campaign20k_SerialPR2)->Unit(benchmark::kMillisecond);
+
+void BM_Campaign20k_Engine1T1L(benchmark::State& state) {
+  const ecc::Curve& curve = ecc::Curve::k163();
+  const ecc::Scalar secret = campaign_secret();
+  sc::AlgorithmicSimConfig sim;
+  sim.seed = kCampaignSeed;
+  sim.threads = 1;
+  sim.lanes = 1;
+  for (auto _ : state) {
+    auto exp = sc::generate_dpa_traces(curve, secret, kCampaignTraces,
+                                       sc::RpcScenario::kDisabled, sim);
+    auto r = sc::ladder_dpa_attack(curve, exp, campaign_attack_config(1, 1));
+    benchmark::DoNotOptimize(r.bits_correct);
+  }
+  state.SetItemsProcessed(state.iterations() * kCampaignTraces);
+  state.SetLabel("wide engine pinned to 1 thread / 1 lane");
+}
+BENCHMARK(BM_Campaign20k_Engine1T1L)->Unit(benchmark::kMillisecond);
+
+void BM_Campaign20k_EngineWide(benchmark::State& state) {
+  const ecc::Curve& curve = ecc::Curve::k163();
+  const ecc::Scalar secret = campaign_secret();
+  sc::AlgorithmicSimConfig sim;
+  sim.seed = kCampaignSeed;
+  for (auto _ : state) {
+    auto exp = sc::generate_dpa_traces(curve, secret, kCampaignTraces,
+                                       sc::RpcScenario::kDisabled, sim);
+    auto r = sc::ladder_dpa_attack(curve, exp, campaign_attack_config(0, 0));
+    benchmark::DoNotOptimize(r.bits_correct);
+  }
+  state.SetItemsProcessed(state.iterations() * kCampaignTraces);
+  state.SetLabel("wide engine, all threads / auto lanes");
+}
+BENCHMARK(BM_Campaign20k_EngineWide)->Unit(benchmark::kMillisecond);
 
 void BM_TraceGeneration(benchmark::State& state) {
   const ecc::Curve& curve = ecc::Curve::k163();
@@ -90,7 +232,7 @@ BENCHMARK(BM_DpaAttack200)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  print_campaign_comparison();
+  return medsec::bench::run_benchmarks_with_json(argc, argv,
+                                                 "BENCH_dpa_campaign.json");
 }

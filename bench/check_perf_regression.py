@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate.
+
+Compares freshly generated google-benchmark JSON files against the
+curated baselines in bench/baselines/ and fails (exit 1) when any
+benchmark regresses beyond the tolerance band, or when a baselined
+benchmark is missing from the fresh run (coverage loss counts as a
+regression).
+
+Baselines are matched by file name: bench/baselines/<name>.json is
+compared against <fresh-dir>/<name>.json, benchmark entry by benchmark
+entry (the "name" field of the google-benchmark schema).
+
+CI machines are noisy and heterogeneous, so the default tolerance is a
+wide band meant to catch *large* regressions (an accidental fallback to
+the portable backend, a serialized hot loop), not nanosecond drift.
+Refresh baselines with --update after an intentional perf change.
+
+Usage:
+  python3 bench/check_perf_regression.py [--fresh build]
+      [--baselines bench/baselines] [--tolerance 3.0] [--update]
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+
+def load_benchmarks(path):
+    """name -> real_time in ns (aggregates skipped, means kept)."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip non-mean aggregate rows (median/stddev/cv) if present.
+        if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "mean":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
+        out[b["name"]] = float(b["real_time"]) * scale
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fresh", default="build",
+                    help="directory containing fresh BENCH_*.json files")
+    ap.add_argument("--baselines", default="bench/baselines",
+                    help="directory of curated baseline JSON files")
+    ap.add_argument("--tolerance", type=float, default=3.0,
+                    help="fail when fresh_time > tolerance * baseline_time")
+    ap.add_argument("--update", action="store_true",
+                    help="copy fresh files over the baselines instead of "
+                         "checking")
+    args = ap.parse_args()
+
+    baseline_files = sorted(
+        f for f in os.listdir(args.baselines) if f.endswith(".json"))
+    if not baseline_files:
+        print(f"no baselines in {args.baselines}; nothing to check")
+        return 0
+
+    if args.update:
+        for name in baseline_files:
+            src = os.path.join(args.fresh, name)
+            if not os.path.exists(src):
+                print(f"UPDATE SKIP {name}: no fresh file in {args.fresh}")
+                continue
+            shutil.copyfile(src, os.path.join(args.baselines, name))
+            print(f"updated baseline {name}")
+        return 0
+
+    failures = []
+    for name in baseline_files:
+        fresh_path = os.path.join(args.fresh, name)
+        if not os.path.exists(fresh_path):
+            failures.append(f"{name}: fresh run missing (bench not executed?)")
+            continue
+        try:
+            base = load_benchmarks(os.path.join(args.baselines, name))
+            fresh = load_benchmarks(fresh_path)
+        except (json.JSONDecodeError, OSError, KeyError, ValueError) as e:
+            failures.append(f"{name}: unreadable benchmark JSON ({e})")
+            continue
+        for bench, base_ns in sorted(base.items()):
+            if bench not in fresh:
+                failures.append(f"{name}:{bench}: missing from fresh run")
+                continue
+            ratio = fresh[bench] / base_ns if base_ns > 0 else float("inf")
+            verdict = "FAIL" if ratio > args.tolerance else "ok"
+            print(f"{verdict:4s} {name}:{bench}: "
+                  f"{base_ns:12.0f} ns -> {fresh[bench]:12.0f} ns "
+                  f"({ratio:.2f}x, tolerance {args.tolerance:.1f}x)")
+            if ratio > args.tolerance:
+                failures.append(
+                    f"{name}:{bench}: {ratio:.2f}x slower than baseline")
+
+    if failures:
+        print("\nPERF REGRESSION GATE FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nperf gate: all benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,21 +48,10 @@ FleetServer::FleetServer(const ecc::Curve& curve, const FleetConfig& config,
       config_(resolve_config(config)),
       downlink_(std::move(downlink)),
       on_complete_(std::move(on_complete)),
-      verifier_(curve, config_.verify_batch, mix_seed(config_.seed, 0)) {
-  const std::size_t n = config_.worker_threads ? config_.worker_threads : 1;
-  workers_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
-}
+      verifier_(curve, config_.verify_batch, mix_seed(config_.seed, 0)),
+      pool_(config_.worker_threads ? config_.worker_threads : 1) {}
 
-FleetServer::~FleetServer() {
-  {
-    const std::lock_guard<std::mutex> lock(queue_mu_);
-    stop_ = true;
-  }
-  queue_cv_.notify_all();
-  for (auto& w : workers_) w.join();
-}
+FleetServer::~FleetServer() = default;  // pool_ joins; queued work abandoned
 
 std::uint32_t FleetServer::enroll(const ecc::Point& X) {
   if (!curve_->validate_subgroup_point(X))
@@ -125,12 +114,7 @@ std::uint64_t FleetServer::open_session(
 }
 
 void FleetServer::deliver(std::uint64_t session, Message m) {
-  {
-    const std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stop_) return;
-    queue_.emplace_back(session, std::move(m));
-  }
-  queue_cv_.notify_one();
+  pool_.submit([this, session, m = std::move(m)] { process(session, m); });
 }
 
 void FleetServer::report_tag_energy(std::uint64_t session,
@@ -167,26 +151,6 @@ FleetStats FleetServer::stats() const {
   }
   out.verifier = verifier_.stats();
   return out;
-}
-
-void FleetServer::worker_loop() {
-  for (;;) {
-    std::pair<std::uint64_t, Message> job;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_) return;
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      ++in_flight_;
-    }
-    process(job.first, job.second);
-    {
-      const std::lock_guard<std::mutex> lock(queue_mu_);
-      --in_flight_;
-    }
-    idle_cv_.notify_all();
-  }
 }
 
 void FleetServer::finalize(Session& s, bool accepted) {
@@ -288,17 +252,16 @@ void FleetServer::process(std::uint64_t id, const Message& m) {
 
 void FleetServer::drain() {
   for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      idle_cv_.wait(lock,
-                    [this] { return queue_.empty() && in_flight_ == 0; });
-    }
+    pool_.wait_idle();
     if (verifier_.pending() > 0) {
       verifier_.flush();
       continue;  // callbacks ran; re-check for follow-on work
     }
-    std::unique_lock<std::mutex> lock(queue_mu_);
-    if (queue_.empty() && in_flight_ == 0) return;
+    // A task that ran between wait_idle() and the pending() check may
+    // have enqueued a transcript: wait out any such stragglers and only
+    // return once idle and pending()==0 are observed back to back.
+    pool_.wait_idle();
+    if (verifier_.pending() == 0) return;
   }
 }
 

@@ -28,14 +28,13 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "core/thread_pool.h"
 #include "ecc/curve.h"
 #include "engine/batch_verifier.h"
 #include "protocol/energy_ledger.h"
@@ -151,7 +150,6 @@ class FleetServer {
   std::uint64_t register_session(
       std::shared_ptr<Session> s,
       const std::function<void(Session&, std::uint64_t)>& init_with_id = {});
-  void worker_loop();
   void process(std::uint64_t id, const protocol::Message& m);
   void finalize(Session& s, bool accepted);  // session mutex held
 
@@ -169,14 +167,10 @@ class FleetServer {
   mutable std::mutex stats_mu_;
   FleetStats stats_;
 
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;   ///< workers: work available / stop
-  std::condition_variable idle_cv_;    ///< drain(): queue empty + idle
-  std::deque<std::pair<std::uint64_t, protocol::Message>> queue_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
-
-  std::vector<std::thread> workers_;
+  /// The worker pool (extracted to core::ThreadPool so the campaign
+  /// engine shares the same substrate). Declared last: destroyed first,
+  /// so no worker can touch the members above during teardown.
+  core::ThreadPool pool_;
 };
 
 }  // namespace medsec::engine

@@ -7,24 +7,7 @@
 #include <string_view>
 
 #include "gf2m/clmul.h"
-
-// The hardware paths use GCC/Clang-only constructs (target attributes,
-// __builtin_cpu_supports), so the gates require those compilers too; other
-// compilers fall back to the portable/karatsuba backends.
-#if (defined(__x86_64__) || defined(_M_X64)) && \
-    (defined(__GNUC__) || defined(__clang__))
-#define MEDSEC_ARCH_X86_64 1
-#include <immintrin.h>
-#endif
-
-#if defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
-#define MEDSEC_ARCH_AARCH64 1
-#include <arm_neon.h>
-#if __has_include(<sys/auxv.h>)
-#include <sys/auxv.h>
-#define MEDSEC_HAVE_AUXV 1
-#endif
-#endif
+#include "gf2m/clmul_hw.h"
 
 namespace medsec::gf2m {
 
@@ -85,122 +68,16 @@ void mul326_karatsuba(const std::uint64_t a[3], const std::uint64_t b[3],
   p[5] = d2h;
 }
 
-// --- x86-64 PCLMULQDQ path --------------------------------------------------
+// --- hardware carry-less multiply (kernels shared via clmul_hw.h) -----------
 
-#if MEDSEC_ARCH_X86_64
-
-__attribute__((target("pclmul,sse4.1"))) void mul326_clmul(
-    const std::uint64_t a[3], const std::uint64_t b[3], std::uint64_t p[6]) {
-  const __m128i a01 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a));
-  const __m128i b01 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
-  const __m128i a2 = _mm_cvtsi64_si128(static_cast<long long>(a[2]));
-  const __m128i b2 = _mm_cvtsi64_si128(static_cast<long long>(b[2]));
-
-  const __m128i d0 = _mm_clmulepi64_si128(a01, b01, 0x00);
-  const __m128i d1 = _mm_clmulepi64_si128(a01, b01, 0x11);
-  const __m128i d2 = _mm_clmulepi64_si128(a2, b2, 0x00);
-
-  const __m128i a1x = _mm_srli_si128(a01, 8);  // a1 in the low lane
-  const __m128i b1x = _mm_srli_si128(b01, 8);
-  const __m128i e01 = _mm_clmulepi64_si128(_mm_xor_si128(a01, a1x),
-                                           _mm_xor_si128(b01, b1x), 0x00);
-  const __m128i e02 = _mm_clmulepi64_si128(_mm_xor_si128(a01, a2),
-                                           _mm_xor_si128(b01, b2), 0x00);
-  const __m128i e12 = _mm_clmulepi64_si128(_mm_xor_si128(a1x, a2),
-                                           _mm_xor_si128(b1x, b2), 0x00);
-
-  const __m128i d01 = _mm_xor_si128(d0, d1);
-  const __m128i c1 = _mm_xor_si128(e01, d01);
-  const __m128i c2 = _mm_xor_si128(e02, _mm_xor_si128(d01, d2));
-  const __m128i c3 = _mm_xor_si128(e12, _mm_xor_si128(d1, d2));
-
-  p[0] = static_cast<std::uint64_t>(_mm_cvtsi128_si64(d0));
-  p[1] = static_cast<std::uint64_t>(_mm_extract_epi64(d0, 1)) ^
-         static_cast<std::uint64_t>(_mm_cvtsi128_si64(c1));
-  p[2] = static_cast<std::uint64_t>(_mm_extract_epi64(c1, 1)) ^
-         static_cast<std::uint64_t>(_mm_cvtsi128_si64(c2));
-  p[3] = static_cast<std::uint64_t>(_mm_extract_epi64(c2, 1)) ^
-         static_cast<std::uint64_t>(_mm_cvtsi128_si64(c3));
-  p[4] = static_cast<std::uint64_t>(_mm_extract_epi64(c3, 1)) ^
-         static_cast<std::uint64_t>(_mm_cvtsi128_si64(d2));
-  p[5] = static_cast<std::uint64_t>(_mm_extract_epi64(d2, 1));
+#if MEDSEC_ARCH_X86_64 || MEDSEC_ARCH_AARCH64
+void mul326_clmul(const std::uint64_t a[3], const std::uint64_t b[3],
+                  std::uint64_t p[6]) {
+  hwclmul::mul326_clmul(a, b, p);
 }
-
-__attribute__((target("pclmul,sse4.1"))) void sqr326_clmul(
-    const std::uint64_t a[3], std::uint64_t p[6]) {
-  for (std::size_t i = 0; i < 3; ++i) {
-    const __m128i v = _mm_cvtsi64_si128(static_cast<long long>(a[i]));
-    const __m128i s = _mm_clmulepi64_si128(v, v, 0x00);
-    p[2 * i] = static_cast<std::uint64_t>(_mm_cvtsi128_si64(s));
-    p[2 * i + 1] = static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
-  }
+void sqr326_clmul(const std::uint64_t a[3], std::uint64_t p[6]) {
+  hwclmul::sqr326_clmul(a, p);
 }
-
-bool clmul_supported() { return __builtin_cpu_supports("pclmul") != 0; }
-
-#elif MEDSEC_ARCH_AARCH64
-
-// The same 3-limb Karatsuba schedule as the x86 path, on PMULL. The six
-// 128-bit products and the XOR folding stay in NEON registers; only the
-// final five cross-product recombinations touch general registers (the
-// (lo, hi) lane splits straddle product boundaries, as on x86).
-
-__attribute__((target("+crypto"))) inline uint64x2_t pmull128(
-    std::uint64_t a, std::uint64_t b) {
-  return vreinterpretq_u64_p128(
-      vmull_p64(static_cast<poly64_t>(a), static_cast<poly64_t>(b)));
-}
-
-__attribute__((target("+crypto"))) void mul326_clmul(const std::uint64_t a[3],
-                                                     const std::uint64_t b[3],
-                                                     std::uint64_t p[6]) {
-  const uint64x2_t d0 = pmull128(a[0], b[0]);
-  const uint64x2_t d1 = pmull128(a[1], b[1]);
-  const uint64x2_t d2 = pmull128(a[2], b[2]);
-  const uint64x2_t e01 = pmull128(a[0] ^ a[1], b[0] ^ b[1]);
-  const uint64x2_t e02 = pmull128(a[0] ^ a[2], b[0] ^ b[2]);
-  const uint64x2_t e12 = pmull128(a[1] ^ a[2], b[1] ^ b[2]);
-
-  const uint64x2_t d01 = veorq_u64(d0, d1);
-  const uint64x2_t c1 = veorq_u64(e01, d01);
-  const uint64x2_t c2 = veorq_u64(e02, veorq_u64(d01, d2));
-  const uint64x2_t c3 = veorq_u64(e12, veorq_u64(d1, d2));
-
-  p[0] = vgetq_lane_u64(d0, 0);
-  p[1] = vgetq_lane_u64(d0, 1) ^ vgetq_lane_u64(c1, 0);
-  p[2] = vgetq_lane_u64(c1, 1) ^ vgetq_lane_u64(c2, 0);
-  p[3] = vgetq_lane_u64(c2, 1) ^ vgetq_lane_u64(c3, 0);
-  p[4] = vgetq_lane_u64(c3, 1) ^ vgetq_lane_u64(d2, 0);
-  p[5] = vgetq_lane_u64(d2, 1);
-}
-
-__attribute__((target("+crypto"))) void sqr326_clmul(const std::uint64_t a[3],
-                                                     std::uint64_t p[6]) {
-  for (std::size_t i = 0; i < 3; ++i) {
-    const uint64x2_t s = pmull128(a[i], a[i]);
-    p[2 * i] = vgetq_lane_u64(s, 0);
-    p[2 * i + 1] = vgetq_lane_u64(s, 1);
-  }
-}
-
-bool clmul_supported() {
-#if defined(__ARM_FEATURE_AES) || defined(__ARM_FEATURE_CRYPTO)
-  // The crypto extensions are part of the build target: every CPU this
-  // binary may legally run on has PMULL.
-  return true;
-#elif defined(__APPLE__)
-  return true;  // every Apple aarch64 core implements PMULL
-#elif defined(MEDSEC_HAVE_AUXV) && defined(HWCAP_PMULL)
-  return (getauxval(AT_HWCAP) & HWCAP_PMULL) != 0;
-#else
-  return false;  // no detection channel: stay on the portable paths
-#endif
-}
-
-#else
-
-bool clmul_supported() { return false; }
-
 #endif
 
 // --- vtables and dispatch ---------------------------------------------------
@@ -222,7 +99,7 @@ const BackendVTable* vtable_for(Backend b) {
       return &kKaratsubaVTable;
     case Backend::kClmul:
 #if MEDSEC_ARCH_X86_64 || MEDSEC_ARCH_AARCH64
-      if (clmul_supported()) return &kClmulVTable;
+      if (hwclmul::clmul_supported()) return &kClmulVTable;
 #endif
       return nullptr;
   }
@@ -254,6 +131,39 @@ const BackendVTable* default_vtable() {
 
 std::atomic<const BackendVTable*>& dispatch_slot() {
   static std::atomic<const BackendVTable*> slot{default_vtable()};
+  return slot;
+}
+
+// --- lane dispatch ----------------------------------------------------------
+//
+// The lane vtables themselves live in lanes.cpp (they pull in the bitsliced
+// and interleaved-clmul kernels); this translation unit owns the selection
+// policy so the scalar and wide registries stay one subsystem.
+
+/// Lane backend pinned by set_lane_backend / MEDSEC_GF2M_LANES, or null
+/// for automatic (follow the scalar backend).
+std::atomic<const LaneVTable*>& lane_override_slot() {
+  static std::atomic<const LaneVTable*> slot{[]() -> const LaneVTable* {
+    if (const char* env = std::getenv("MEDSEC_GF2M_LANES")) {
+      const std::string_view v{env};
+      if (v == "scalar") return lane_vtable(LaneBackend::kLaneScalar);
+      if (v == "bitsliced") return lane_vtable(LaneBackend::kLaneBitsliced);
+      if (v == "clmul" || v == "clmulwide" || v == "wide") {
+        if (const LaneVTable* t = lane_vtable(LaneBackend::kLaneClmulWide))
+          return t;
+        std::fprintf(stderr,
+                     "medsec: MEDSEC_GF2M_LANES=%s requested but hardware "
+                     "carry-less multiply is unavailable; using auto\n",
+                     env);
+      } else if (v != "auto" && !v.empty()) {
+        std::fprintf(stderr,
+                     "medsec: unknown MEDSEC_GF2M_LANES=%s "
+                     "(want scalar|bitsliced|clmul|auto); using auto\n",
+                     env);
+      }
+    }
+    return nullptr;
+  }()};
   return slot;
 }
 
@@ -293,5 +203,58 @@ std::vector<Backend> known_backends() {
 }
 
 const BackendVTable* backend_vtable(Backend b) { return vtable_for(b); }
+
+const char* lane_backend_name(LaneBackend b) {
+  switch (b) {
+    case LaneBackend::kLaneScalar:
+      return "scalar";
+    case LaneBackend::kLaneBitsliced:
+      return "bitsliced";
+    case LaneBackend::kLaneClmulWide:
+      return "clmulwide";
+  }
+  return "?";
+}
+
+bool lane_backend_available(LaneBackend b) { return lane_vtable(b) != nullptr; }
+
+const LaneVTable* active_lane_vtable() {
+  if (const LaneVTable* t =
+          lane_override_slot().load(std::memory_order_relaxed))
+    return t;
+  // Automatic: follow the scalar backend. Hardware clmul gets the
+  // interleaved wide kernel; the portable reference path gets the
+  // bitsliced one; karatsuba (a tuning variant of the scalar emulation)
+  // keeps the plain per-lane loop.
+  switch (active_backend()) {
+    case Backend::kClmul:
+      if (const LaneVTable* t = lane_vtable(LaneBackend::kLaneClmulWide))
+        return t;
+      break;
+    case Backend::kPortable:
+      return lane_vtable(LaneBackend::kLaneBitsliced);
+    case Backend::kKaratsuba:
+      break;
+  }
+  return lane_vtable(LaneBackend::kLaneScalar);
+}
+
+LaneBackend active_lane_backend() { return active_lane_vtable()->id; }
+
+bool set_lane_backend(LaneBackend b) {
+  const LaneVTable* t = lane_vtable(b);
+  if (t == nullptr) return false;
+  lane_override_slot().store(t, std::memory_order_relaxed);
+  return true;
+}
+
+void reset_lane_backend() {
+  lane_override_slot().store(nullptr, std::memory_order_relaxed);
+}
+
+std::vector<LaneBackend> known_lane_backends() {
+  return {LaneBackend::kLaneClmulWide, LaneBackend::kLaneBitsliced,
+          LaneBackend::kLaneScalar};
+}
 
 }  // namespace medsec::gf2m

@@ -71,4 +71,86 @@ namespace detail {
 const BackendVTable* active_vtable();
 }  // namespace detail
 
+// --- wide-lane backends -----------------------------------------------------
+//
+// The batch field layer (gf163_lanes.h) computes N independent field
+// operations per call over structure-of-arrays operands. Three
+// implementations of that contract:
+//
+//   kLaneScalar    — per-lane loop over the active scalar backend.
+//                    Reference path, always available.
+//   kLaneBitsliced — portable 64-lane bitslicing: lanes are transposed
+//                    into 163 bit-planes, multiplied as one plane-wise
+//                    Karatsuba, shift-reduced in the plane domain and
+//                    transposed back. Branch-free and constant-time by
+//                    construction; no hardware assumptions.
+//   kLaneClmulWide — hardware carry-less multiply with 2–4 independent
+//                    products interleaved per iteration to hide PCLMULQDQ
+//                    latency (x86-64 only; the scalar ladder is latency-
+//                    bound, the wide ladder is throughput-bound).
+//
+// Selection follows the scalar registry: set_backend() / the
+// MEDSEC_GF2M_BACKEND override pick the matching lane backend (clmul →
+// kLaneClmulWide where available, portable → kLaneBitsliced, karatsuba →
+// kLaneScalar). MEDSEC_GF2M_LANES (scalar | bitsliced | clmul | auto) or
+// set_lane_backend() force a specific one regardless.
+
+enum class LaneBackend {
+  kLaneScalar,
+  kLaneBitsliced,
+  kLaneClmulWide,
+};
+
+/// Structure-of-arrays views over N field elements: limb l of lane i is
+/// l<n>[i]. Outputs are fully reduced. `out` may alias any input view
+/// (the kernels read a lane's operands before writing its result).
+struct LaneView {
+  const std::uint64_t* l0;
+  const std::uint64_t* l1;
+  const std::uint64_t* l2;
+};
+struct LaneSpan {
+  std::uint64_t* l0;
+  std::uint64_t* l1;
+  std::uint64_t* l2;
+};
+
+using LaneMulFn = void (*)(LaneView a, LaneView b, LaneSpan out,
+                           std::size_t n);
+using LaneSqrFn = void (*)(LaneView a, LaneSpan out, std::size_t n);
+/// out[i] = a[i]·b[i] + c[i]·d[i], one reduction per lane (lazy fold).
+using LaneMulAddMulFn = void (*)(LaneView a, LaneView b, LaneView c,
+                                 LaneView d, LaneSpan out, std::size_t n);
+/// out[i] = a[i]^2 + b[i]·c[i], one reduction per lane.
+using LaneSqrAddMulFn = void (*)(LaneView a, LaneView b, LaneView c,
+                                 LaneSpan out, std::size_t n);
+
+struct LaneVTable {
+  LaneBackend id;
+  const char* name;
+  /// Natural lane granularity (the width at which the backend hits full
+  /// throughput): 64 for bitsliced, a few for interleaved clmul. Campaign
+  /// code sizes its trace blocks as a multiple of this.
+  std::size_t preferred_width;
+  LaneMulFn mul;
+  LaneSqrFn sqr;
+  LaneMulAddMulFn mul_add_mul;
+  LaneSqrAddMulFn sqr_add_mul;
+};
+
+const char* lane_backend_name(LaneBackend b);
+bool lane_backend_available(LaneBackend b);
+/// The lane vtable the batch layer currently dispatches to (never null).
+const LaneVTable* active_lane_vtable();
+LaneBackend active_lane_backend();
+/// Pin the lane dispatch to one backend (returns false if unavailable).
+bool set_lane_backend(LaneBackend b);
+/// Back to automatic selection (follow the scalar backend). Discards any
+/// pin, including one installed at startup from MEDSEC_GF2M_LANES.
+void reset_lane_backend();
+/// Direct vtable access for cross-check tests (nullptr if unavailable).
+const LaneVTable* lane_vtable(LaneBackend b);
+/// All lane backends this build knows about, in preference order.
+std::vector<LaneBackend> known_lane_backends();
+
 }  // namespace medsec::gf2m

@@ -7,6 +7,7 @@
 
 #include "gf2m/backend.h"
 #include "gf2m/clmul.h"
+#include "gf2m/reduce_163.h"
 
 namespace medsec::gf2m {
 
@@ -33,22 +34,9 @@ bigint::U192 Gf163::to_bits() const {
 }
 
 Gf163 Gf163::reduce_product(const std::array<std::uint64_t, 6>& prod) {
-  std::array<std::uint64_t, 6> p = prod;
-  // Fold words 5..3 (bits >= 192). Bit 64*i + j reduces to exponent
-  // e = 64*i + j - 163 = 64*(i-3) + (j + 29), contributing at offsets
-  // {0, 3, 6, 7} from e (since x^163 = x^7 + x^6 + x^3 + 1).
-  for (std::size_t i = 5; i >= 3; --i) {
-    const std::uint64_t t = p[i];
-    if (t == 0) continue;
-    p[i] = 0;
-    p[i - 3] ^= (t << 29) ^ (t << 32) ^ (t << 35) ^ (t << 36);
-    p[i - 2] ^= (t >> 35) ^ (t >> 32) ^ (t >> 29) ^ (t >> 28);
-  }
-  // Fold the residual bits 163..191 living in word 2 above bit 35.
-  const std::uint64_t t = p[2] >> 35;
-  p[0] ^= t ^ (t << 3) ^ (t << 6) ^ (t << 7);
-  p[2] &= kTopMask;
-  return Gf163{p[0], p[1], p[2]};
+  std::uint64_t out[3];
+  reduce326(prod.data(), out);  // shared shift-reduce fold (reduce_163.h)
+  return Gf163{out[0], out[1], out[2]};
 }
 
 Gf163 Gf163::mul(const Gf163& a, const Gf163& b) {

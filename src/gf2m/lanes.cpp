@@ -1,0 +1,493 @@
+// lanes.cpp — wide-lane kernels for the batch field layer.
+//
+// Three implementations of the LaneVTable contract (see backend.h):
+//
+//   * scalar loop — per-lane calls into the active scalar backend. The
+//     reference every other lane backend is cross-checked against.
+//
+//   * bitsliced — 64 lanes are transposed into 163 bit-planes (one
+//     machine word per polynomial coefficient, one bit per lane), the
+//     product is a plane-wise Karatsuba over GF(2), the 325-plane result
+//     is shift-reduced in the plane domain, and the 163 output planes are
+//     transposed back. Branch-free from end to end: the instruction
+//     stream never depends on lane values, so the batch is constant-time
+//     by construction (the property the paper's co-processor gets from
+//     hardware, recovered here in portable C++).
+//
+//   * interleaved clmul — the 3-limb Karatsuba schedule on hardware
+//     carry-less multiplies, two independent lanes per loop iteration
+//     (plus the fused two-product forms: up to four independent 128-bit
+//     products in flight). The scalar ladder is PCLMULQDQ-*latency*
+//     bound; feeding the unit independent products converts it to
+//     *throughput* bound, which is where the wide campaign engine gets
+//     its single-core speedup.
+#include <bit>
+#include <cstring>
+
+#include "gf2m/backend.h"
+#include "gf2m/clmul_hw.h"
+#include "gf2m/gf163_lanes.h"
+#include "gf2m/reduce_163.h"
+
+namespace medsec::gf2m {
+
+namespace {
+
+// --- scalar-loop lane kernels -----------------------------------------------
+
+void lane_mul_scalar(LaneView a, LaneView b, LaneSpan out, std::size_t n) {
+  const BackendVTable* vt = detail::active_vtable();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t av[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    const std::uint64_t bv[3] = {b.l0[i], b.l1[i], b.l2[i]};
+    std::uint64_t p[6], r[3];
+    vt->mul(av, bv, p);
+    reduce326(p, r);
+    out.l0[i] = r[0];
+    out.l1[i] = r[1];
+    out.l2[i] = r[2];
+  }
+}
+
+void lane_sqr_scalar(LaneView a, LaneSpan out, std::size_t n) {
+  const BackendVTable* vt = detail::active_vtable();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t av[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    std::uint64_t p[6], r[3];
+    vt->sqr(av, p);
+    reduce326(p, r);
+    out.l0[i] = r[0];
+    out.l1[i] = r[1];
+    out.l2[i] = r[2];
+  }
+}
+
+void lane_mul_add_mul_scalar(LaneView a, LaneView b, LaneView c, LaneView d,
+                             LaneSpan out, std::size_t n) {
+  const BackendVTable* vt = detail::active_vtable();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t av[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    const std::uint64_t bv[3] = {b.l0[i], b.l1[i], b.l2[i]};
+    const std::uint64_t cv[3] = {c.l0[i], c.l1[i], c.l2[i]};
+    const std::uint64_t dv[3] = {d.l0[i], d.l1[i], d.l2[i]};
+    std::uint64_t p[6], q[6], r[3];
+    vt->mul(av, bv, p);
+    vt->mul(cv, dv, q);
+    for (std::size_t w = 0; w < 6; ++w) p[w] ^= q[w];
+    reduce326(p, r);
+    out.l0[i] = r[0];
+    out.l1[i] = r[1];
+    out.l2[i] = r[2];
+  }
+}
+
+void lane_sqr_add_mul_scalar(LaneView a, LaneView b, LaneView c, LaneSpan out,
+                             std::size_t n) {
+  const BackendVTable* vt = detail::active_vtable();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t av[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    const std::uint64_t bv[3] = {b.l0[i], b.l1[i], b.l2[i]};
+    const std::uint64_t cv[3] = {c.l0[i], c.l1[i], c.l2[i]};
+    std::uint64_t p[6], q[6], r[3];
+    vt->sqr(av, p);
+    vt->mul(bv, cv, q);
+    for (std::size_t w = 0; w < 6; ++w) p[w] ^= q[w];
+    reduce326(p, r);
+    out.l0[i] = r[0];
+    out.l1[i] = r[1];
+    out.l2[i] = r[2];
+  }
+}
+
+constexpr LaneVTable kLaneScalarVTable{
+    LaneBackend::kLaneScalar, "scalar", 4,
+    &lane_mul_scalar, &lane_sqr_scalar,
+    &lane_mul_add_mul_scalar, &lane_sqr_add_mul_scalar};
+
+// --- bitsliced lane kernels -------------------------------------------------
+
+constexpr std::size_t kBsWidth = 64;    ///< lanes per bitsliced block
+constexpr std::size_t kBits = 163;      ///< planes per operand
+constexpr std::size_t kProdBits = 325;  ///< planes per unreduced product
+
+/// In-place 64x64 bit-matrix transpose, LSB convention: after the call,
+/// bit i of word j is the old bit j of word i.
+void transpose64(std::uint64_t a[64]) {
+  std::uint64_t m = 0x00000000FFFFFFFFULL;
+  for (unsigned j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((a[k] >> j) ^ a[k + j]) & m;
+      a[k] ^= t << j;
+      a[k + j] ^= t;
+    }
+  }
+}
+
+/// Lanes [base, base+count) of v -> bit planes (count <= 64; missing
+/// lanes read as zero). planes[p] bit i = bit p of lane base+i.
+void gather_planes(LaneView v, std::size_t base, std::size_t count,
+                   std::uint64_t planes[192]) {
+  const std::uint64_t* limbs[3] = {v.l0, v.l1, v.l2};
+  for (std::size_t l = 0; l < 3; ++l) {
+    std::uint64_t* m = planes + 64 * l;
+    for (std::size_t i = 0; i < kBsWidth; ++i)
+      m[i] = i < count ? limbs[l][base + i] : 0;
+    transpose64(m);
+  }
+}
+
+/// Bit planes -> lanes [base, base+count) of out (inverse of
+/// gather_planes; planes above index 162 must be zero).
+void scatter_planes(const std::uint64_t planes[192], LaneSpan out,
+                    std::size_t base, std::size_t count) {
+  std::uint64_t* limbs[3] = {out.l0, out.l1, out.l2};
+  std::uint64_t m[64];
+  for (std::size_t l = 0; l < 3; ++l) {
+    std::memcpy(m, planes + 64 * l, sizeof m);
+    transpose64(m);
+    for (std::size_t i = 0; i < count; ++i) limbs[l][base + i] = m[i];
+  }
+}
+
+/// Schoolbook plane product: c[0..na+nb-2] ^= a (x) b. Branch-free on
+/// plane values (no zero-skipping: a skip would leak that all 64 lanes
+/// share a zero coefficient).
+void bs_mul_schoolbook(const std::uint64_t* a, std::size_t na,
+                       const std::uint64_t* b, std::size_t nb,
+                       std::uint64_t* c) {
+  for (std::size_t i = 0; i < na; ++i) {
+    const std::uint64_t ai = a[i];
+    std::uint64_t* ci = c + i;
+    for (std::size_t j = 0; j < nb; ++j) ci[j] ^= ai & b[j];
+  }
+}
+
+/// Recursive plane-domain Karatsuba: c[0..2n-2] ^= a (x) b. `scratch`
+/// must hold >= 6n words and is consumed front-to-back per level (child
+/// calls reuse the space beyond this level's slices).
+void bs_mul_rec(const std::uint64_t* a, const std::uint64_t* b, std::size_t n,
+                std::uint64_t* c, std::uint64_t* scratch) {
+  if (n <= 24) {
+    bs_mul_schoolbook(a, n, b, n, c);
+    return;
+  }
+  const std::size_t h = n / 2;   // low part
+  const std::size_t w = n - h;   // high part (w >= h)
+
+  std::uint64_t* sa = scratch;                  // w
+  std::uint64_t* sb = sa + w;                   // w
+  std::uint64_t* p0 = sb + w;                   // 2h-1
+  std::uint64_t* p2 = p0 + (2 * h - 1);         // 2w-1
+  std::uint64_t* pm = p2 + (2 * w - 1);         // 2w-1
+  std::uint64_t* next = pm + (2 * w - 1);
+
+  for (std::size_t i = 0; i < w; ++i) {
+    sa[i] = (i < h ? a[i] : 0) ^ a[h + i];
+    sb[i] = (i < h ? b[i] : 0) ^ b[h + i];
+  }
+  std::memset(p0, 0, (2 * h - 1) * sizeof(std::uint64_t));
+  std::memset(p2, 0, (2 * w - 1) * sizeof(std::uint64_t));
+  std::memset(pm, 0, (2 * w - 1) * sizeof(std::uint64_t));
+  bs_mul_rec(a, b, h, p0, next);
+  bs_mul_rec(a + h, b + h, w, p2, next);
+  bs_mul_rec(sa, sb, w, pm, next);
+
+  // c += P0 + x^h (Pm + P0 + P2) + x^2h P2.
+  for (std::size_t i = 0; i < 2 * h - 1; ++i) c[i] ^= p0[i];
+  for (std::size_t i = 0; i < 2 * w - 1; ++i) c[2 * h + i] ^= p2[i];
+  for (std::size_t i = 0; i < 2 * h - 1; ++i) c[h + i] ^= p0[i];
+  for (std::size_t i = 0; i < 2 * w - 1; ++i) c[h + i] ^= pm[i] ^ p2[i];
+}
+
+/// Shift-reduce in the plane domain: fold planes 324..163 down onto
+/// {e-163, e-160, e-157, e-156} (x^163 = x^7 + x^6 + x^3 + 1). Iterating
+/// downward handles the cascade (a fold target >= 163 is itself folded
+/// later in the loop).
+void bs_reduce(std::uint64_t c[kProdBits]) {
+  for (std::size_t e = kProdBits - 1; e >= kBits; --e) {
+    const std::uint64_t t = c[e];
+    c[e - 163] ^= t;
+    c[e - 160] ^= t;
+    c[e - 157] ^= t;
+    c[e - 156] ^= t;
+    c[e] = 0;
+  }
+}
+
+/// Karatsuba scratch: 6n at the top level + 6(n/2) + ... < 12n. 2048
+/// words is comfortably above 12*163.
+struct BsScratch {
+  std::uint64_t prod[kProdBits];
+  std::uint64_t karat[2048];
+};
+
+void bs_mul_block(const std::uint64_t a[192], const std::uint64_t b[192],
+                  std::uint64_t prod[kProdBits], std::uint64_t* karat) {
+  std::memset(prod, 0, kProdBits * sizeof(std::uint64_t));
+  bs_mul_rec(a, b, kBits, prod, karat);
+}
+
+/// Squaring in the plane domain is a zero-interleave: coefficient i of
+/// the square is coefficient 2i of the input.
+void bs_sqr_block(const std::uint64_t a[192], std::uint64_t prod[kProdBits]) {
+  std::memset(prod, 0, kProdBits * sizeof(std::uint64_t));
+  for (std::size_t i = 0; i < kBits; ++i) prod[2 * i] = a[i];
+}
+
+void lane_mul_bitsliced(LaneView a, LaneView b, LaneSpan out, std::size_t n) {
+  BsScratch s;
+  std::uint64_t pa[192], pb[192];
+  for (std::size_t base = 0; base < n; base += kBsWidth) {
+    const std::size_t count = n - base < kBsWidth ? n - base : kBsWidth;
+    gather_planes(a, base, count, pa);
+    gather_planes(b, base, count, pb);
+    bs_mul_block(pa, pb, s.prod, s.karat);
+    bs_reduce(s.prod);
+    scatter_planes(s.prod, out, base, count);
+  }
+}
+
+void lane_sqr_bitsliced(LaneView a, LaneSpan out, std::size_t n) {
+  BsScratch s;
+  std::uint64_t pa[192];
+  for (std::size_t base = 0; base < n; base += kBsWidth) {
+    const std::size_t count = n - base < kBsWidth ? n - base : kBsWidth;
+    gather_planes(a, base, count, pa);
+    bs_sqr_block(pa, s.prod);
+    bs_reduce(s.prod);
+    scatter_planes(s.prod, out, base, count);
+  }
+}
+
+void lane_mul_add_mul_bitsliced(LaneView a, LaneView b, LaneView c, LaneView d,
+                                LaneSpan out, std::size_t n) {
+  BsScratch s;
+  std::uint64_t pa[192], pb[192];
+  std::uint64_t acc[kProdBits];
+  for (std::size_t base = 0; base < n; base += kBsWidth) {
+    const std::size_t count = n - base < kBsWidth ? n - base : kBsWidth;
+    gather_planes(a, base, count, pa);
+    gather_planes(b, base, count, pb);
+    bs_mul_block(pa, pb, acc, s.karat);
+    gather_planes(c, base, count, pa);
+    gather_planes(d, base, count, pb);
+    // Accumulate the second product into the first before the single
+    // shift-reduce (the lane-domain form of the scalar lazy reduction).
+    bs_mul_rec(pa, pb, kBits, acc, s.karat);
+    bs_reduce(acc);
+    scatter_planes(acc, out, base, count);
+  }
+}
+
+void lane_sqr_add_mul_bitsliced(LaneView a, LaneView b, LaneView c,
+                                LaneSpan out, std::size_t n) {
+  BsScratch s;
+  std::uint64_t pa[192], pb[192];
+  std::uint64_t acc[kProdBits];
+  for (std::size_t base = 0; base < n; base += kBsWidth) {
+    const std::size_t count = n - base < kBsWidth ? n - base : kBsWidth;
+    gather_planes(a, base, count, pa);
+    bs_sqr_block(pa, acc);
+    gather_planes(b, base, count, pa);
+    gather_planes(c, base, count, pb);
+    bs_mul_rec(pa, pb, kBits, acc, s.karat);
+    bs_reduce(acc);
+    scatter_planes(acc, out, base, count);
+  }
+}
+
+constexpr LaneVTable kLaneBitslicedVTable{
+    LaneBackend::kLaneBitsliced, "bitsliced", kBsWidth,
+    &lane_mul_bitsliced, &lane_sqr_bitsliced,
+    &lane_mul_add_mul_bitsliced, &lane_sqr_add_mul_bitsliced};
+
+// --- interleaved hardware-clmul lane kernels (x86-64) -----------------------
+//
+// The AArch64 PMULL unit is also pipelined, but the scalar-loop fallback
+// over the PMULL scalar backend already keeps it reasonably fed; the
+// explicit interleave is implemented for x86-64 where PCLMULQDQ latency
+// (4-7 cycles) vs throughput (1/cycle) leaves the largest gap.
+
+#if MEDSEC_ARCH_X86_64
+
+__attribute__((target("pclmul,sse4.1"))) inline void load_reduce_store(
+    const std::uint64_t p[6], LaneSpan out, std::size_t i) {
+  std::uint64_t r[3];
+  reduce326(p, r);
+  out.l0[i] = r[0];
+  out.l1[i] = r[1];
+  out.l2[i] = r[2];
+}
+
+__attribute__((target("pclmul,sse4.1"))) void lane_mul_clmulwide(
+    LaneView a, LaneView b, LaneSpan out, std::size_t n) {
+  std::size_t i = 0;
+  // Two lanes per iteration: the twelve PCLMULQDQs of the pair are
+  // mutually independent, so the multiplier pipeline stays full.
+  for (; i + 2 <= n; i += 2) {
+    const std::uint64_t aA[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    const std::uint64_t bA[3] = {b.l0[i], b.l1[i], b.l2[i]};
+    const std::uint64_t aB[3] = {a.l0[i + 1], a.l1[i + 1], a.l2[i + 1]};
+    const std::uint64_t bB[3] = {b.l0[i + 1], b.l1[i + 1], b.l2[i + 1]};
+    std::uint64_t pA[6], pB[6];
+    hwclmul::mul326_clmul(aA, bA, pA);
+    hwclmul::mul326_clmul(aB, bB, pB);
+    load_reduce_store(pA, out, i);
+    load_reduce_store(pB, out, i + 1);
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t av[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    const std::uint64_t bv[3] = {b.l0[i], b.l1[i], b.l2[i]};
+    std::uint64_t p[6];
+    hwclmul::mul326_clmul(av, bv, p);
+    load_reduce_store(p, out, i);
+  }
+}
+
+__attribute__((target("pclmul,sse4.1"))) void lane_sqr_clmulwide(
+    LaneView a, LaneSpan out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const std::uint64_t aA[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    const std::uint64_t aB[3] = {a.l0[i + 1], a.l1[i + 1], a.l2[i + 1]};
+    std::uint64_t pA[6], pB[6];
+    hwclmul::sqr326_clmul(aA, pA);
+    hwclmul::sqr326_clmul(aB, pB);
+    load_reduce_store(pA, out, i);
+    load_reduce_store(pB, out, i + 1);
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t av[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    std::uint64_t p[6];
+    hwclmul::sqr326_clmul(av, p);
+    load_reduce_store(p, out, i);
+  }
+}
+
+__attribute__((target("pclmul,sse4.1"))) void lane_mul_add_mul_clmulwide(
+    LaneView a, LaneView b, LaneView c, LaneView d, LaneSpan out,
+    std::size_t n) {
+  // Two lanes x two products = four independent 128-bit product chains
+  // in flight per iteration.
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const std::uint64_t aA[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    const std::uint64_t bA[3] = {b.l0[i], b.l1[i], b.l2[i]};
+    const std::uint64_t cA[3] = {c.l0[i], c.l1[i], c.l2[i]};
+    const std::uint64_t dA[3] = {d.l0[i], d.l1[i], d.l2[i]};
+    const std::uint64_t aB[3] = {a.l0[i + 1], a.l1[i + 1], a.l2[i + 1]};
+    const std::uint64_t bB[3] = {b.l0[i + 1], b.l1[i + 1], b.l2[i + 1]};
+    const std::uint64_t cB[3] = {c.l0[i + 1], c.l1[i + 1], c.l2[i + 1]};
+    const std::uint64_t dB[3] = {d.l0[i + 1], d.l1[i + 1], d.l2[i + 1]};
+    std::uint64_t pA[6], qA[6], pB[6], qB[6];
+    hwclmul::mul326_clmul(aA, bA, pA);
+    hwclmul::mul326_clmul(aB, bB, pB);
+    hwclmul::mul326_clmul(cA, dA, qA);
+    hwclmul::mul326_clmul(cB, dB, qB);
+    for (std::size_t w = 0; w < 6; ++w) pA[w] ^= qA[w];
+    for (std::size_t w = 0; w < 6; ++w) pB[w] ^= qB[w];
+    load_reduce_store(pA, out, i);
+    load_reduce_store(pB, out, i + 1);
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t av[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    const std::uint64_t bv[3] = {b.l0[i], b.l1[i], b.l2[i]};
+    const std::uint64_t cv[3] = {c.l0[i], c.l1[i], c.l2[i]};
+    const std::uint64_t dv[3] = {d.l0[i], d.l1[i], d.l2[i]};
+    std::uint64_t p[6], q[6];
+    hwclmul::mul326_clmul(av, bv, p);
+    hwclmul::mul326_clmul(cv, dv, q);
+    for (std::size_t w = 0; w < 6; ++w) p[w] ^= q[w];
+    load_reduce_store(p, out, i);
+  }
+}
+
+__attribute__((target("pclmul,sse4.1"))) void lane_sqr_add_mul_clmulwide(
+    LaneView a, LaneView b, LaneView c, LaneSpan out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const std::uint64_t aA[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    const std::uint64_t bA[3] = {b.l0[i], b.l1[i], b.l2[i]};
+    const std::uint64_t cA[3] = {c.l0[i], c.l1[i], c.l2[i]};
+    const std::uint64_t aB[3] = {a.l0[i + 1], a.l1[i + 1], a.l2[i + 1]};
+    const std::uint64_t bB[3] = {b.l0[i + 1], b.l1[i + 1], b.l2[i + 1]};
+    const std::uint64_t cB[3] = {c.l0[i + 1], c.l1[i + 1], c.l2[i + 1]};
+    std::uint64_t pA[6], qA[6], pB[6], qB[6];
+    hwclmul::sqr326_clmul(aA, pA);
+    hwclmul::sqr326_clmul(aB, pB);
+    hwclmul::mul326_clmul(bA, cA, qA);
+    hwclmul::mul326_clmul(bB, cB, qB);
+    for (std::size_t w = 0; w < 6; ++w) pA[w] ^= qA[w];
+    for (std::size_t w = 0; w < 6; ++w) pB[w] ^= qB[w];
+    load_reduce_store(pA, out, i);
+    load_reduce_store(pB, out, i + 1);
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t av[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    const std::uint64_t bv[3] = {b.l0[i], b.l1[i], b.l2[i]};
+    const std::uint64_t cv[3] = {c.l0[i], c.l1[i], c.l2[i]};
+    std::uint64_t p[6], q[6];
+    hwclmul::sqr326_clmul(av, p);
+    hwclmul::mul326_clmul(bv, cv, q);
+    for (std::size_t w = 0; w < 6; ++w) p[w] ^= q[w];
+    load_reduce_store(p, out, i);
+  }
+}
+
+constexpr LaneVTable kLaneClmulWideVTable{
+    LaneBackend::kLaneClmulWide, "clmulwide", 8,
+    &lane_mul_clmulwide, &lane_sqr_clmulwide,
+    &lane_mul_add_mul_clmulwide, &lane_sqr_add_mul_clmulwide};
+
+#endif  // MEDSEC_ARCH_X86_64
+
+}  // namespace
+
+const LaneVTable* lane_vtable(LaneBackend b) {
+  switch (b) {
+    case LaneBackend::kLaneScalar:
+      return &kLaneScalarVTable;
+    case LaneBackend::kLaneBitsliced:
+      return &kLaneBitslicedVTable;
+    case LaneBackend::kLaneClmulWide:
+#if MEDSEC_ARCH_X86_64
+      if (hwclmul::clmul_supported()) return &kLaneClmulWideVTable;
+#endif
+      return nullptr;
+  }
+  return nullptr;
+}
+
+// --- Gf163xN dispatch -------------------------------------------------------
+
+void Gf163xN::mul(const Gf163xN& a, const Gf163xN& b, Gf163xN& out) {
+  active_lane_vtable()->mul(a.view(), b.view(), out.span(), out.lanes());
+}
+
+void Gf163xN::sqr(const Gf163xN& a, Gf163xN& out) {
+  active_lane_vtable()->sqr(a.view(), out.span(), out.lanes());
+}
+
+void Gf163xN::mul_add_mul(const Gf163xN& a, const Gf163xN& b, const Gf163xN& c,
+                          const Gf163xN& d, Gf163xN& out) {
+  active_lane_vtable()->mul_add_mul(a.view(), b.view(), c.view(), d.view(),
+                                    out.span(), out.lanes());
+}
+
+void Gf163xN::sqr_add_mul(const Gf163xN& a, const Gf163xN& b, const Gf163xN& c,
+                          Gf163xN& out) {
+  active_lane_vtable()->sqr_add_mul(a.view(), b.view(), c.view(), out.span(),
+                                    out.lanes());
+}
+
+int Gf163xN::hamming_weight(std::size_t i) const {
+  return std::popcount(l0_[i]) + std::popcount(l1_[i]) + std::popcount(l2_[i]);
+}
+
+void Gf163xN::hamming_weights_add(int* out) const {
+  for (std::size_t i = 0; i < n_; ++i) out[i] += std::popcount(l0_[i]);
+  for (std::size_t i = 0; i < n_; ++i) out[i] += std::popcount(l1_[i]);
+  for (std::size_t i = 0; i < n_; ++i) out[i] += std::popcount(l2_[i]);
+}
+
+}  // namespace medsec::gf2m

@@ -1,0 +1,35 @@
+// reduce_163.h — the shift-reduce fold modulo x^163 + x^7 + x^6 + x^3 + 1.
+//
+// Shared by the scalar field element (gf2_163.cpp) and the wide-lane
+// kernels (lanes.cpp): every backend produces the same unreduced 326-bit
+// carry-less product layout, and this is the one place that knows how to
+// fold it back into 163 bits.
+#pragma once
+
+#include <cstdint>
+
+namespace medsec::gf2m {
+
+/// Reduce a 326-bit polynomial product p[0..5] modulo the field
+/// polynomial into out[0..2] (bit 162 is the top bit of out[2]).
+/// out may alias p[0..2].
+inline void reduce326(const std::uint64_t p_in[6], std::uint64_t out[3]) {
+  constexpr std::uint64_t kTopMask = 0x7FFFFFFFFULL;  // low 35 bits of limb 2
+  std::uint64_t p[6] = {p_in[0], p_in[1], p_in[2], p_in[3], p_in[4], p_in[5]};
+  // Fold words 5..3 (bits >= 192). Bit 64*i + j reduces to exponent
+  // e = 64*i + j - 163 = 64*(i-3) + (j + 29), contributing at offsets
+  // {0, 3, 6, 7} from e (since x^163 = x^7 + x^6 + x^3 + 1).
+  for (std::size_t i = 5; i >= 3; --i) {
+    const std::uint64_t t = p[i];
+    if (t == 0) continue;
+    p[i - 3] ^= (t << 29) ^ (t << 32) ^ (t << 35) ^ (t << 36);
+    p[i - 2] ^= (t >> 35) ^ (t >> 32) ^ (t >> 29) ^ (t >> 28);
+  }
+  // Fold the residual bits 163..191 living in word 2 above bit 35.
+  const std::uint64_t t = p[2] >> 35;
+  out[0] = p[0] ^ t ^ (t << 3) ^ (t << 6) ^ (t << 7);
+  out[1] = p[1];
+  out[2] = p[2] & kTopMask;
+}
+
+}  // namespace medsec::gf2m

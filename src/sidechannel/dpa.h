@@ -39,6 +39,15 @@ struct DpaConfig {
   /// Minimum |correlation margin| for a bit to count as *confidently*
   /// recovered (used for reporting; the decision itself is argmax).
   double confidence_margin = 0.05;
+  /// Attack-engine fan-out: worker threads (0 = every hardware thread,
+  /// 1 = the calling thread only, k >= 2 = exactly k runners) and ladder
+  /// lanes per hypothesis-extension group (0 = auto: a small multiple —
+  /// currently 4x — of the lane backend's preferred width). Results
+  /// (recovered bits *and* statistic values) are bit-identical for every
+  /// combination: traces are reduced in fixed 256-trace blocks merged in
+  /// block order, and the lane arithmetic is exact.
+  std::size_t threads = 0;
+  std::size_t lanes = 0;
 };
 
 struct DpaResult {
@@ -55,9 +64,25 @@ struct DpaResult {
 /// Run the ladder CPA/DoM attack against a captured experiment.
 /// The attack consumes only traces + base points (+ randomizers when the
 /// scenario is white-box); true_bits are used only to score the result.
+///
+/// This is the streaming engine: per target bit, the two hypothesis
+/// extensions share their differential add (the add is swap-symmetric,
+/// so hyp 0 and hyp 1 differ only in which accumulator gets doubled —
+/// one add + two doublings instead of two full iterations), trace blocks
+/// extend state through the wide lane layer reusing scratch ladder
+/// state, and predictions correlate against the measured column through
+/// mergeable single-pass co-moment accumulators.
 DpaResult ladder_dpa_attack(const ecc::Curve& curve,
                             const DpaExperiment& experiment,
                             const DpaConfig& config = {});
+
+/// The PR 2 attack loop (per-trace scalar ladder_iteration under both
+/// hypotheses, two-pass Pearson over materialized columns), kept as the
+/// baseline for the campaign bench and as a cross-check oracle: it must
+/// recover exactly the same bits as the engine on the same experiment.
+DpaResult ladder_dpa_attack_reference(const ecc::Curve& curve,
+                                      const DpaExperiment& experiment,
+                                      const DpaConfig& config = {});
 
 /// The paper's headline experiment: sweep the number of traces and report
 /// whether the attack succeeds at each count. Returns one row per entry

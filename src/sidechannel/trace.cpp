@@ -25,13 +25,24 @@ double pearson(const std::vector<double>& a, const std::vector<double>& b) {
   return sab / std::sqrt(saa * sbb);
 }
 
-double welch_t(const RunningStats& a, const RunningStats& b) {
-  if (a.count() < 2 || b.count() < 2) return 0.0;
-  const double va = a.variance() / static_cast<double>(a.count());
-  const double vb = b.variance() / static_cast<double>(b.count());
+double welch_t(std::size_t na, double mean_a, double var_a, std::size_t nb,
+               double mean_b, double var_b) {
+  if (na < 2 || nb < 2) return 0.0;
+  const double va = var_a / static_cast<double>(na);
+  const double vb = var_b / static_cast<double>(nb);
   const double denom = std::sqrt(va + vb);
   if (denom <= 0.0) return 0.0;
-  return (a.mean() - b.mean()) / denom;
+  return (mean_a - mean_b) / denom;
+}
+
+double welch_t(const RunningStats& a, const RunningStats& b) {
+  return welch_t(a.count(), a.mean(), a.variance(), b.count(), b.mean(),
+                 b.variance());
+}
+
+double PearsonAcc::correlation() const {
+  if (n_ < 2 || cxx_ <= 0.0 || cyy_ <= 0.0) return 0.0;
+  return cxy_ / std::sqrt(cxx_ * cyy_);
 }
 
 double dom_z(const RunningStats& g0, const RunningStats& g1) {

@@ -25,6 +25,9 @@ struct TraceSet {
 };
 
 /// Running mean/variance (Welford). Numerically stable for long traces.
+/// Mergeable (Chan et al. pairwise update), so trace blocks can be
+/// accumulated on different threads and combined in a fixed order — the
+/// streaming analysis path's determinism contract.
 class RunningStats {
  public:
   void add(double x) {
@@ -32,6 +35,21 @@ class RunningStats {
     const double d = x - mean_;
     mean_ += d / static_cast<double>(n_);
     m2_ += d * (x - mean_);
+  }
+  /// Fold another accumulator into this one (this := this ∪ o).
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(o.n_);
+    const double nt = na + nb;
+    const double d = o.mean_ - mean_;
+    m2_ += o.m2_ + d * d * na * nb / nt;
+    mean_ += d * nb / nt;
+    n_ += o.n_;
   }
   std::size_t count() const { return n_; }
   double mean() const { return mean_; }
@@ -45,11 +63,61 @@ class RunningStats {
   double m2_ = 0.0;
 };
 
+/// Single-pass Pearson accumulator: Welford means plus running central
+/// co-moments (Cxx, Cyy, Cxy). The CPA engine feeds it one
+/// (prediction, sample) pair at a time — no column vectors, no second
+/// pass — and merges per-block accumulators in block order, which keeps
+/// the correlation bit-identical regardless of thread count.
+class PearsonAcc {
+ public:
+  void add(double x, double y) {
+    ++n_;
+    const double inv_n = 1.0 / static_cast<double>(n_);
+    const double dx = x - mx_;
+    const double dy = y - my_;
+    mx_ += dx * inv_n;
+    my_ += dy * inv_n;
+    cxx_ += dx * (x - mx_);
+    cyy_ += dy * (y - my_);
+    cxy_ += dx * (y - my_);
+  }
+  void merge(const PearsonAcc& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(o.n_);
+    const double nt = na + nb;
+    const double dx = o.mx_ - mx_;
+    const double dy = o.my_ - my_;
+    const double w = na * nb / nt;
+    cxx_ += o.cxx_ + dx * dx * w;
+    cyy_ += o.cyy_ + dy * dy * w;
+    cxy_ += o.cxy_ + dx * dy * w;
+    mx_ += dx * nb / nt;
+    my_ += dy * nb / nt;
+    n_ += o.n_;
+  }
+  std::size_t count() const { return n_; }
+  /// Pearson r; 0 if degenerate (constant series or n < 2).
+  double correlation() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mx_ = 0.0, my_ = 0.0;
+  double cxx_ = 0.0, cyy_ = 0.0, cxy_ = 0.0;
+};
+
 /// Pearson correlation between two equal-length series; 0 if degenerate.
 double pearson(const std::vector<double>& a, const std::vector<double>& b);
 
 /// Welch's t statistic between two sample groups; 0 if degenerate.
 double welch_t(const RunningStats& a, const RunningStats& b);
+/// Welch's t from already-reduced moments (the streaming TVLA path).
+double welch_t(std::size_t na, double mean_a, double var_a, std::size_t nb,
+               double mean_b, double var_b);
 
 /// Difference-of-means DPA statistic: |mean(group1) - mean(group0)|
 /// normalized by the pooled standard error (a z-score).

@@ -1,8 +1,11 @@
 #include "sidechannel/trace_sim.h"
 
 #include <bit>
+#include <memory>
 #include <stdexcept>
 
+#include "core/thread_pool.h"
+#include "ecc/ladder_many.h"
 #include "hw/activity.h"
 #include "rng/xoshiro.h"
 
@@ -29,14 +32,51 @@ Fe nonzero_fe(rng::RandomSource& rng) {
   }
 }
 
-/// Random points of the prime-order subgroup with nonzero x (the inputs
-/// the adversary feeds / observes). Uses the projective ladder raw and
-/// converts all outputs to affine with one shared batch inversion
-/// (Montgomery's trick): the dominant per-point cost beyond the ladder
-/// itself disappears when generating the paper's 20 000-trace campaigns.
-std::vector<Point> random_subgroup_points(const Curve& c,
-                                          rng::RandomSource& rng,
-                                          std::size_t n) {
+/// Counter-based per-trace seeding: trace j's randomness is a pure
+/// function of (seed, j), so the campaign's output cannot depend on how
+/// traces are grouped into lanes or scheduled onto threads.
+std::uint64_t trace_seed(std::uint64_t seed, std::uint64_t j) {
+  std::uint64_t s = seed ^ (0x9E3779B97F4A7C15ULL * (j + 1));
+  return rng::splitmix64(s);
+}
+constexpr std::uint64_t kNoiseSalt = 0xA5A5'5A5A'C0DE'F00Dull;
+
+/// One random point of the prime-order subgroup with x != 0, drawn from
+/// this trace's private RNG. Decompression + one doubling: pick a random
+/// x, solve the curve equation via the half-trace (succeeds for half the
+/// field), then double the point — the doubling image 2E *is* the
+/// prime-order subgroup for these cofactor-2 curves. Two inversions per
+/// candidate instead of the full 162-iteration ladder the serial path
+/// pays per base point.
+Point random_subgroup_point(const Curve& c, rng::RandomSource& rng) {
+  for (;;) {
+    bigint::U192 v;
+    for (std::size_t i = 0; i < 3; ++i) v.set_limb(i, rng.next_u64());
+    const Fe x = Fe::from_bits(v);
+    if (x.is_zero()) continue;
+    const int y_bit = static_cast<int>(rng.next_u64() & 1);
+    const auto p = c.decompress({x, y_bit});
+    if (!p) continue;
+    const Point q = c.dbl(*p);
+    if (q.infinity || q.x.is_zero()) continue;
+    return q;
+  }
+}
+
+std::vector<int> padded_bits_of(const Curve& c, const Scalar& k) {
+  const Scalar padded = ecc::constant_length_scalar(c, k);
+  std::vector<int> bits;
+  bits.reserve(padded.bit_length());
+  for (std::size_t i = padded.bit_length(); i-- > 0;)
+    bits.push_back(padded.bit(i) ? 1 : 0);
+  return bits;
+}
+
+/// Random points via the ladder (the PR 2 path, kept for the serial
+/// baseline): projective ladder raw + one shared batch inversion.
+std::vector<Point> random_subgroup_points_ladder(const Curve& c,
+                                                 rng::RandomSource& rng,
+                                                 std::size_t n) {
   std::vector<Point> out;
   out.reserve(n);
   while (out.size() < n) {
@@ -51,15 +91,6 @@ std::vector<Point> random_subgroup_points(const Curve& c,
       if (!p.infinity && !p.x.is_zero()) out.push_back(p);
   }
   return out;
-}
-
-std::vector<int> padded_bits_of(const Curve& c, const Scalar& k) {
-  const Scalar padded = ecc::constant_length_scalar(c, k);
-  std::vector<int> bits;
-  bits.reserve(padded.bit_length());
-  for (std::size_t i = padded.bit_length(); i-- > 0;)
-    bits.push_back(padded.bit(i) ? 1 : 0);
-  return bits;
 }
 
 }  // namespace
@@ -83,6 +114,111 @@ DpaExperiment generate_dpa_traces(const Curve& curve, const Scalar& k,
   DpaExperiment out;
   out.scenario = scenario;
   out.true_bits = padded_bits_of(curve, k);
+  const std::size_t trace_len = out.true_bits.size() - 1;  // iterations
+  const bool white_box = scenario == RpcScenario::kEnabledKnownRandomness;
+  const bool randomize = scenario != RpcScenario::kDisabled;
+
+  // All campaign storage up front: no allocation happens inside the
+  // per-trace loop (satellite contract; also what makes the block tasks
+  // free of shared mutable state beyond their own rows).
+  out.traces.traces.assign(num_traces, Trace(trace_len));
+  out.base_points.assign(num_traces, Point::at_infinity());
+  if (white_box)
+    out.known_randomizers.assign(num_traces, {Fe::one(), Fe::one()});
+
+  // Auto lane width: several times the backend's natural granularity —
+  // wider blocks amortize the per-block scalar work (seed derivation,
+  // point generation, workspace fill) without hurting cache residency.
+  const std::size_t lanes =
+      config.lanes ? config.lanes
+                   : 4 * gf2m::active_lane_vtable()->preferred_width;
+  const double area_ge = hw::ecc_coprocessor_ge(163, 4);
+
+  // Every lane of a block shares the victim scalar k.
+  auto process_block = [&](std::size_t j0, std::size_t j1) {
+    // Per-worker scratch, reused across every block this thread runs.
+    thread_local ecc::LadderManyWorkspace ws;
+    thread_local std::vector<Scalar> ks;
+    thread_local std::vector<Point> ps;
+    thread_local std::vector<std::pair<Fe, Fe>> rands;
+    thread_local std::vector<ecc::LadderState> states;
+    const std::size_t n = j1 - j0;
+    ks.assign(n, k);
+    ps.resize(n);
+    rands.resize(n);
+    states.resize(n);
+
+    // Phase 1: per-trace inputs from each trace's private RNG. Draw
+    // order (base point, then randomizers) is part of the determinism
+    // contract.
+    for (std::size_t j = j0; j < j1; ++j) {
+      rng::Xoshiro256 rng(trace_seed(config.seed, j));
+      const Point p = config.fixed_base_point
+                          ? *config.fixed_base_point
+                          : random_subgroup_point(curve, rng);
+      out.base_points[j] = p;
+      ps[j - j0] = p;
+      if (randomize) {
+        const Fe l1 = nonzero_fe(rng);
+        const Fe l2 = nonzero_fe(rng);
+        rands[j - j0] = {l1, l2};
+        if (white_box) out.known_randomizers[j] = {l1, l2};
+      }
+    }
+
+    // Phase 2: the victim ladders, `n` lanes in lockstep. The leakage
+    // tap writes the noiseless register-transfer sample straight into
+    // each lane's preallocated trace row. No affine recovery: the
+    // campaign consumes leakage, not points.
+    ecc::BatchLadderOptions bo;
+    if (randomize) bo.randomizers = rands.data();
+    const std::size_t top = trace_len - 1;  // first iteration's bit index
+    thread_local std::vector<int> hw_buf;
+    hw_buf.resize(n);
+    bo.observer = [&](std::size_t bit_index, const ecc::LadderLanes& s) {
+      const std::size_t sample = top - bit_index;
+      s.hamming_weights(hw_buf.data());
+      for (std::size_t lane = 0; lane < n; ++lane) {
+        const double data = hw::ActivityWeights::kRegisterBit *
+                            static_cast<double>(hw_buf[lane]);
+        out.traces.traces[j0 + lane][sample] =
+            style_power(config.leakage, data, /*baseline_ge=*/2200.0,
+                        area_ge);
+      }
+    };
+    ecc::ladder_many_into(curve, ks.data(), ps.data(), n, bo, ws,
+                          states.data());
+
+    // Phase 3: measurement noise, one private stream per trace (drawn in
+    // sample order, so the values match any other lane/thread geometry).
+    for (std::size_t j = j0; j < j1; ++j) {
+      rng::Xoshiro256 noise_rng(trace_seed(config.seed ^ kNoiseSalt, j));
+      Trace& t = out.traces.traces[j];
+      for (std::size_t i = 0; i < trace_len; ++i)
+        t[i] += gaussian(noise_rng, config.leakage.noise_sigma);
+    }
+  };
+
+  std::unique_ptr<core::ThreadPool> own;
+  core::ThreadPool* pool =
+      num_traces > lanes ? core::ThreadPool::for_config(config.threads, own)
+                         : nullptr;
+  if (pool == nullptr) {
+    for (std::size_t j0 = 0; j0 < num_traces; j0 += lanes)
+      process_block(j0, std::min(num_traces, j0 + lanes));
+  } else {
+    pool->parallel_for(num_traces, lanes, process_block);
+  }
+  return out;
+}
+
+DpaExperiment generate_dpa_traces_serial(const Curve& curve, const Scalar& k,
+                                         std::size_t num_traces,
+                                         RpcScenario scenario,
+                                         const AlgorithmicSimConfig& config) {
+  DpaExperiment out;
+  out.scenario = scenario;
+  out.true_bits = padded_bits_of(curve, k);
   out.traces.traces.reserve(num_traces);
   out.base_points.reserve(num_traces);
 
@@ -93,7 +229,7 @@ DpaExperiment generate_dpa_traces(const Curve& curve, const Scalar& k,
   // inversion for the whole campaign instead of two per trace).
   std::vector<Point> points;
   if (!config.fixed_base_point)
-    points = random_subgroup_points(curve, rng, num_traces);
+    points = random_subgroup_points_ladder(curve, rng, num_traces);
 
   for (std::size_t j = 0; j < num_traces; ++j) {
     const Point p =
@@ -162,14 +298,27 @@ CycleTrace capture_averaged_cycle_trace(const Curve& curve, const Scalar& k,
                                         std::size_t num_captures) {
   if (num_captures == 0)
     throw std::invalid_argument("capture_averaged_cycle_trace: 0 captures");
-  CycleTrace acc = capture_cycle_trace(curve, k, p, config);
-  for (std::size_t j = 1; j < num_captures; ++j) {
-    CycleSimConfig c2 = config;
-    c2.seed = config.seed + 0x1000 * j;  // fresh noise, fresh randomizers
-    const CycleTrace t = capture_cycle_trace(curve, k, p, c2);
+
+  // Cycle-accurate captures are independent (each gets its own derived
+  // seed), so they fan out across the pool; the fold below runs in
+  // capture order, making the average bit-identical to the serial loop.
+  CycleTrace acc;
+  std::vector<Trace> extra(num_captures > 1 ? num_captures - 1 : 0);
+  core::ThreadPool::shared().parallel_for(
+      num_captures, 1, [&](std::size_t b, std::size_t e) {
+        for (std::size_t j = b; j < e; ++j) {
+          if (j == 0) {
+            acc = capture_cycle_trace(curve, k, p, config);
+          } else {
+            CycleSimConfig c2 = config;
+            c2.seed = config.seed + 0x1000 * j;  // fresh noise + randomizers
+            extra[j - 1] = capture_cycle_trace(curve, k, p, c2).samples;
+          }
+        }
+      });
+  for (std::size_t j = 0; j < extra.size(); ++j)
     for (std::size_t i = 0; i < acc.samples.size(); ++i)
-      acc.samples[i] += t.samples[i];
-  }
+      acc.samples[i] += extra[j][i];
   for (double& s : acc.samples) s /= static_cast<double>(num_captures);
   return acc;
 }

@@ -60,15 +60,41 @@ struct AlgorithmicSimConfig {
   /// TVLA-style fixed-input campaigns: use this base point for every
   /// trace instead of drawing a fresh random point per trace.
   std::optional<ecc::Point> fixed_base_point;
+  /// Campaign-engine fan-out. `threads`: 0 = every hardware thread (the
+  /// shared core::ThreadPool), 1 = run entirely on the calling thread,
+  /// k >= 2 = exactly k runners. `lanes`: ladder lanes per trace block;
+  /// 0 = auto (a small multiple — currently 4x — of the active lane
+  /// backend's preferred width). Campaign output is bit-identical for
+  /// every (threads, lanes) combination: trace j's randomness is derived
+  /// from (seed, j) alone — counter-based seeding, not a shared stream.
+  std::size_t threads = 0;
+  std::size_t lanes = 0;
 };
 
 /// Generate `num_traces` ladder executions of secret k on random base
-/// points of the curve's prime-order subgroup.
+/// points of the curve's prime-order subgroup. This is the wide-lane
+/// campaign engine: base points come from per-trace counter-seeded
+/// decompression (one inversion-cheap square-root solve instead of a full
+/// ladder per point), victim ladders run `lanes` at a time through
+/// ladder_many with per-lane leakage taps, trace blocks fan out across
+/// the thread pool, and all TraceSet storage is allocated up front.
 DpaExperiment generate_dpa_traces(const ecc::Curve& curve,
                                   const ecc::Scalar& k,
                                   std::size_t num_traces,
                                   RpcScenario scenario,
                                   const AlgorithmicSimConfig& config = {});
+
+/// The PR 2 serial path, kept verbatim as the campaign bench's baseline
+/// and as a structural reference: one shared RNG stream, ladder-generated
+/// base points, one scalar montgomery_ladder (with affine recovery and a
+/// per-iteration observer callback) per trace. Statistically equivalent
+/// to the engine but not bit-identical (different seeding discipline).
+DpaExperiment generate_dpa_traces_serial(const ecc::Curve& curve,
+                                         const ecc::Scalar& k,
+                                         std::size_t num_traces,
+                                         RpcScenario scenario,
+                                         const AlgorithmicSimConfig& config =
+                                             {});
 
 /// One cycle-accurate trace of a co-processor point multiplication,
 /// together with the ground-truth records (for scoring and profiling).
@@ -92,7 +118,10 @@ CycleTrace capture_cycle_trace(const ecc::Curve& curve, const ecc::Scalar& k,
                                const CycleSimConfig& config);
 
 /// Average several captures of the same (k, P): the attacker's standard
-/// noise-reduction step before SPA.
+/// noise-reduction step before SPA. Captures are independent (seed + j
+/// derived) and fan out across the shared thread pool; the average is
+/// folded in capture order, so the result is bit-identical to a serial
+/// run at any thread count.
 CycleTrace capture_averaged_cycle_trace(const ecc::Curve& curve,
                                         const ecc::Scalar& k,
                                         const ecc::Point& p,

@@ -5,22 +5,105 @@
 
 namespace medsec::sidechannel {
 
-TvlaReport tvla_fixed_vs_random(const TraceSet& fixed, const TraceSet& random,
-                                double threshold) {
+void TvlaAccumulator::reset(std::size_t length) {
+  len_ = length;
+  fixed_.n = random_.n = 0;
+  fixed_.mean.assign(length, 0.0);
+  fixed_.m2.assign(length, 0.0);
+  random_.mean.assign(length, 0.0);
+  random_.m2.assign(length, 0.0);
+}
+
+void TvlaAccumulator::Group::add(const Trace& t, std::size_t len) {
+  ++n;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < len; ++i) {
+    const double d = t[i] - mean[i];
+    mean[i] += d * inv_n;
+    m2[i] += d * (t[i] - mean[i]);
+  }
+}
+
+void TvlaAccumulator::Group::merge(const Group& o, std::size_t len) {
+  if (o.n == 0) return;
+  if (n == 0) {
+    n = o.n;
+    mean = o.mean;
+    m2 = o.m2;
+    return;
+  }
+  const double na = static_cast<double>(n);
+  const double nb = static_cast<double>(o.n);
+  const double nt = na + nb;
+  const double w = na * nb / nt;
+  for (std::size_t i = 0; i < len; ++i) {
+    const double d = o.mean[i] - mean[i];
+    m2[i] += o.m2[i] + d * d * w;
+    mean[i] += d * nb / nt;
+  }
+  n += o.n;
+}
+
+void TvlaAccumulator::merge(const TvlaAccumulator& o) {
+  fixed_.merge(o.fixed_, len_);
+  random_.merge(o.random_, len_);
+}
+
+TvlaReport TvlaAccumulator::report(double threshold) const {
   TvlaReport rep;
   rep.threshold = threshold;
-  const std::size_t len = std::min(fixed.length(), random.length());
-  rep.t_values.reserve(len);
-  for (std::size_t i = 0; i < len; ++i) {
-    RunningStats f, r;
-    for (const Trace& t : fixed.traces) f.add(t[i]);
-    for (const Trace& t : random.traces) r.add(t[i]);
-    const double t = welch_t(f, r);
+  rep.t_values.reserve(len_);
+  const double nf = static_cast<double>(fixed_.n);
+  const double nr = static_cast<double>(random_.n);
+  for (std::size_t i = 0; i < len_; ++i) {
+    const double var_f = fixed_.n > 1 ? fixed_.m2[i] / (nf - 1.0) : 0.0;
+    const double var_r = random_.n > 1 ? random_.m2[i] / (nr - 1.0) : 0.0;
+    const double t = welch_t(fixed_.n, fixed_.mean[i], var_f, random_.n,
+                             random_.mean[i], var_r);
     rep.t_values.push_back(t);
     rep.max_abs_t = std::max(rep.max_abs_t, std::abs(t));
     if (std::abs(t) > threshold) ++rep.points_over_threshold;
   }
   return rep;
+}
+
+TvlaReport tvla_fixed_vs_random(const TraceSet& fixed, const TraceSet& random,
+                                double threshold, core::ThreadPool* pool) {
+  const std::size_t len = std::min(fixed.length(), random.length());
+
+  // Fixed block geometry: traces of both groups are interleaved into
+  // blocks of kBlock, each block accumulated independently, then merged
+  // in block order. The partition does not depend on the pool, so the
+  // report is bit-identical at any thread count (and the serial path is
+  // just "someone runs every block").
+  constexpr std::size_t kBlock = 64;
+  const std::size_t nf = fixed.traces.size();
+  const std::size_t nr = random.traces.size();
+  const std::size_t total = nf + nr;
+  const std::size_t blocks = total == 0 ? 0 : (total + kBlock - 1) / kBlock;
+
+  std::vector<TvlaAccumulator> acc(blocks);
+  auto run_block = [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      acc[b].reset(len);
+      const std::size_t lo = b * kBlock;
+      const std::size_t hi = std::min(total, lo + kBlock);
+      for (std::size_t j = lo; j < hi; ++j) {
+        if (j < nf)
+          acc[b].add_fixed(fixed.traces[j]);
+        else
+          acc[b].add_random(random.traces[j - nf]);
+      }
+    }
+  };
+  if (pool != nullptr)
+    pool->parallel_for(blocks, 1, run_block);
+  else
+    run_block(0, blocks);
+
+  TvlaAccumulator merged(len);
+  for (const TvlaAccumulator& a : acc) merged.merge(a);
+  return merged.report(threshold);
 }
 
 }  // namespace medsec::sidechannel

@@ -194,7 +194,7 @@ TEST(Dpa, DomStatisticRunsAndIsWeakerThanCpa) {
   const Curve& c = Curve::k163();
   Xoshiro256 rng(7);
   const Scalar k = rng.uniform_nonzero(c.order());
-  const auto exp = sc::generate_dpa_traces(c, k, 300,
+  const auto exp = sc::generate_dpa_traces(c, k, 400,
                                            sc::RpcScenario::kDisabled);
   sc::DpaConfig dom;
   dom.bits_to_attack = 12;
