@@ -249,6 +249,30 @@ class BigUInt {
     return out;
   }
 
+  /// a + r·b, widened by one limb so it can never overflow: the substrate
+  /// of the scalar-blinding countermeasure k' = k + r·n (Coron), where the
+  /// 64-bit blind r pushes the sum past the Bits-bit working width.
+  friend constexpr BigUInt<Bits + 64> add_scaled(const BigUInt& a,
+                                                 std::uint64_t r,
+                                                 const BigUInt& b) {
+    BigUInt<Bits + 64> out = a.template resize<Bits + 64>();
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < kLimbs; ++i) {
+      const unsigned __int128 cur =
+          static_cast<unsigned __int128>(b.limb_[i]) * r + out.limb(i) + carry;
+      out.set_limb(i, static_cast<std::uint64_t>(cur));
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    for (std::size_t i = kLimbs; carry != 0 && i < BigUInt<Bits + 64>::kLimbs;
+         ++i) {
+      const unsigned __int128 cur =
+          static_cast<unsigned __int128>(out.limb(i)) + carry;
+      out.set_limb(i, static_cast<std::uint64_t>(cur));
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    return out;
+  }
+
   /// Truncate/zero-extend to another width.
   template <std::size_t OtherBits>
   constexpr BigUInt<OtherBits> resize() const {

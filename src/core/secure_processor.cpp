@@ -29,25 +29,22 @@ hw::CoprocessorConfig to_hw_config(const CountermeasureConfig& c) {
   return hc;
 }
 
-Fe nonzero_fe(rng::RandomSource& rng) {
-  for (;;) {
-    bigint::U192 v;
-    for (std::size_t i = 0; i < 3; ++i) v.set_limb(i, rng.next_u64());
-    const Fe fe = Fe::from_bits(v);
-    if (!fe.is_zero()) return fe;
-  }
-}
-
 }  // namespace
 
 CountermeasureConfig CountermeasureConfig::unprotected() {
   CountermeasureConfig c;
   c.constant_time_ladder = true;  // the schedule stays MPL; see below
-  c.randomize_projective = false;
+  c.ladder = LadderCountermeasures::none();
   c.zeroize_after_use = false;
   c.circuit.balanced_mux_encoding = false;
   c.circuit.uniform_clock_gating = false;
   c.circuit.isolate_datapath_inputs = false;
+  return c;
+}
+
+CountermeasureConfig CountermeasureConfig::hardened() {
+  CountermeasureConfig c;
+  c.ladder = LadderCountermeasures::full();
   return c;
 }
 
@@ -84,18 +81,16 @@ PointMultOutcome SecureEccProcessor::Session::point_mult(const Scalar& k,
     throw std::invalid_argument(
         "SecureEccProcessor::point_mult: invalid input point");
 
-  // Constant-length recoding (algorithm-level timing countermeasure).
-  const Scalar padded = ecc::constant_length_scalar(*curve_, k);
-  std::vector<int> bits;
-  bits.reserve(padded.bit_length());
-  for (std::size_t i = padded.bit_length(); i-- > 0;)
-    bits.push_back(padded.bit(i) ? 1 : 0);
+  // The countermeasure-dependent inputs — masked base, (possibly
+  // blinded) key bits, microcode options — come from the shared planner,
+  // so this victim and the trace simulator's cycle-accurate victim can
+  // never drift apart in draw order or encoding.
+  const sidechannel::HardenedCoprocPlan plan =
+      sidechannel::plan_hardened_coproc_mult(*curve_, config_.ladder, k, p,
+                                             drbg_, blinding_pair_,
+                                             blinding_key_);
 
-  hw::PointMultOptions opt;
-  if (config_.randomize_projective)
-    opt.z_randomizers = {nonzero_fe(drbg_), nonzero_fe(drbg_)};
-
-  auto r = coproc_.point_mult(bits, p.x, opt);
+  auto r = coproc_.point_mult(plan.key_bits, plan.base.x, plan.options);
 
   PointMultOutcome out;
   out.cycles = r.exec.cycles;
@@ -108,8 +103,14 @@ PointMultOutcome SecureEccProcessor::Session::point_mult(const Scalar& k,
   // canary) and throws std::logic_error on mismatch.
   out.result = r.result_is_infinity
                    ? Point::at_infinity()
-                   : ecc::recover_from_ladder(*curve_, p, r.x1, r.z1, r.x2,
-                                              r.z2);
+                   : ecc::recover_from_ladder(*curve_, plan.base, r.x1, r.z1,
+                                              r.x2, r.z2);
+
+  if (config_.ladder.base_point_blinding) {
+    out.result =
+        curve_->add(out.result, curve_->negate(blinding_pair_->correction()));
+    blinding_pair_->update(*curve_);
+  }
 
   last_records_ = std::move(r.exec.records);
 

@@ -21,15 +21,23 @@
 #include "ecc/curve.h"
 #include "hw/coprocessor.h"
 #include "rng/hmac_drbg.h"
+#include "sidechannel/countermeasures.h"
 
 namespace medsec::core {
+
+/// The algorithm-level ladder defenses (RPC, scalar blinding, base-point
+/// blinding, shuffled scheduling) live in one unified config shared with
+/// the trace simulator and the evaluation matrix.
+using LadderCountermeasures = sidechannel::CountermeasureConfig;
 
 /// Every countermeasure the paper discusses, one switch each, grouped by
 /// the abstraction level that owns it (the "security pyramid" of §3).
 struct CountermeasureConfig {
-  // Algorithm level (§4).
+  // Algorithm level (§4/§7): the unified ladder-countermeasure set. The
+  // paper's shipped chip enables exactly RPC; the other switches are the
+  // evaluation matrix's extensions.
   bool constant_time_ladder = true;   ///< MPL with padded scalar (vs D&A)
-  bool randomize_projective = true;   ///< §7 DPA countermeasure
+  LadderCountermeasures ladder = LadderCountermeasures::rpc_only();
   // Architecture level (§5).
   std::size_t digit_size = 4;         ///< the 163x4 MALU choice
   bool zeroize_after_use = true;      ///< no key-derived residue in regs
@@ -40,6 +48,8 @@ struct CountermeasureConfig {
   static CountermeasureConfig protected_default() { return {}; }
   /// Everything off: the DPA/SPA-vulnerable strawman the benches attack.
   static CountermeasureConfig unprotected();
+  /// The paper's chip plus every ladder-level defense this layer adds.
+  static CountermeasureConfig hardened();
 };
 
 /// One point multiplication's outcome + telemetry.
@@ -83,6 +93,10 @@ class SecureEccProcessor {
     hw::Coprocessor coproc_;
     rng::HmacDrbg drbg_;
     std::vector<hw::CycleRecord> last_records_;
+    /// Base-point-blinding state: the (R, S = k·R) update pair, rebuilt
+    /// when the session multiplies under a different key.
+    std::optional<sidechannel::BaseBlindingPair> blinding_pair_;
+    ecc::Scalar blinding_key_{};
   };
 
   /// `seed` initializes the device DRBG (models the provisioning-time

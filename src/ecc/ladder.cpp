@@ -19,9 +19,7 @@ void ladder_double(const Fe& b, const Fe& x, const Fe& z, Fe& x3, Fe& z3) {
   x3 = Fe::sqr_add_mul(x2, b, Fe::sqr(z2));  // x2^2 + b·z2^2, one reduction
 }
 
-namespace {
-
-Fe nonzero_randomizer(rng::RandomSource& rng) {
+Fe random_nonzero_fe(rng::RandomSource& rng) {
   for (;;) {
     bigint::U192 v;
     v.set_limb(0, rng.next_u64());
@@ -31,8 +29,6 @@ Fe nonzero_randomizer(rng::RandomSource& rng) {
     if (!fe.is_zero()) return fe;
   }
 }
-
-}  // namespace
 
 namespace {
 
@@ -125,6 +121,18 @@ LadderState ladder_initial_state(const Fe& b, const Fe& x) {
   return LadderState{x, Fe::one(), Fe::sqr(Fe::sqr(x)) + b, Fe::sqr(x)};
 }
 
+LadderState ladder_zero_state(const Fe& x) {
+  // lo = O = (1 : 0), hi = P = (x : 1).
+  return LadderState{Fe::one(), Fe::zero(), x, Fe::one()};
+}
+
+void randomize_ladder_state(LadderState& s, const Fe& l1, const Fe& l2) {
+  s.x1 = Fe::mul(s.x1, l1);
+  s.z1 = Fe::mul(s.z1, l1);
+  s.x2 = Fe::mul(s.x2, l2);
+  s.z2 = Fe::mul(s.z2, l2);
+}
+
 void ladder_iteration(const Fe& b, const Fe& x_base, LadderState& s,
                       std::uint64_t bit) {
   // Constant-time role swap: after the swap, (x1, z1) is the accumulator
@@ -144,13 +152,84 @@ void ladder_iteration(const Fe& b, const Fe& x_base, LadderState& s,
   Fe::cswap(bit, s.z1, s.z2);
 }
 
-LadderState montgomery_ladder_raw(const Curve& curve, const Scalar& k0,
-                                  const Point& p,
-                                  const LadderOptions& options) {
+namespace {
+
+/// §7 projective randomization of a fresh ladder state: (x1, z1) *= l1,
+/// (x2, z2) *= l2 with the randomizers drawn from the RNG or, in the
+/// white-box scenario, taken from options.known_randomizers. Shared by
+/// the classic and the fixed-length (blinded) entries.
+void randomize_state(LadderState& s, const LadderOptions& options) {
+  if (!options.randomize_z && !options.known_randomizers) return;
+  Fe l1, l2;
+  if (options.known_randomizers) {
+    l1 = options.known_randomizers->first;
+    l2 = options.known_randomizers->second;
+    if (l1.is_zero() || l2.is_zero())
+      throw std::invalid_argument("montgomery_ladder: zero randomizer");
+  } else {
+    if (options.rng == nullptr)
+      throw std::invalid_argument(
+          "montgomery_ladder: randomize_z requires an RNG");
+    l1 = random_nonzero_fe(*options.rng);
+    l2 = random_nonzero_fe(*options.rng);
+  }
+  randomize_ladder_state(s, l1, l2);
+}
+
+void check_base_point(const Point& p) {
   if (p.infinity)
     throw std::invalid_argument("montgomery_ladder_raw: P is infinity");
   if (p.x.is_zero())
     throw std::invalid_argument("montgomery_ladder: x(P) = 0 (order-2 point)");
+}
+
+}  // namespace
+
+LadderState montgomery_ladder_fixed_raw(const Curve& curve,
+                                        const WideScalar& k,
+                                        std::size_t iterations, const Point& p,
+                                        const LadderOptions& options) {
+  check_base_point(p);
+  if (iterations < k.bit_length() || iterations > WideScalar::kBits)
+    throw std::invalid_argument(
+        "montgomery_ladder_fixed_raw: iteration count does not cover k");
+
+  const Fe x = p.x;
+  const Fe b = curve.b();
+  LadderState s = ladder_zero_state(x);
+  randomize_state(s, options);
+
+  const bool has_observer = static_cast<bool>(options.observer);
+  for (std::size_t i = iterations; i-- > 0;) {
+    const std::uint64_t bit = k.bit(i) ? 1 : 0;
+    ladder_iteration(b, x, s, bit);
+    if (has_observer) {
+      options.observer(LadderObservation{
+          .bit_index = i,
+          .key_bit = static_cast<int>(bit),
+          .x1 = s.x1,
+          .z1 = s.z1,
+          .x2 = s.x2,
+          .z2 = s.z2,
+      });
+    }
+  }
+  return s;
+}
+
+Point montgomery_ladder_fixed(const Curve& curve, const WideScalar& k,
+                              std::size_t iterations, const Point& p,
+                              const LadderOptions& options) {
+  if (p.infinity) return Point::at_infinity();
+  const LadderState s =
+      montgomery_ladder_fixed_raw(curve, k, iterations, p, options);
+  return recover_from_ladder(curve, p, s.x1, s.z1, s.x2, s.z2);
+}
+
+LadderState montgomery_ladder_raw(const Curve& curve, const Scalar& k0,
+                                  const Point& p,
+                                  const LadderOptions& options) {
+  check_base_point(p);
 
   // Constant-length recoding: k + r (or k + 2r) acts identically on P but
   // has a fixed, key-independent bit length, so the iteration count is a
@@ -161,26 +240,7 @@ LadderState montgomery_ladder_raw(const Curve& curve, const Scalar& k0,
   const Fe b = curve.b();
 
   LadderState s = ladder_initial_state(b, x);
-
-  if (options.randomize_z || options.known_randomizers) {
-    Fe l1, l2;
-    if (options.known_randomizers) {
-      l1 = options.known_randomizers->first;
-      l2 = options.known_randomizers->second;
-      if (l1.is_zero() || l2.is_zero())
-        throw std::invalid_argument("montgomery_ladder: zero randomizer");
-    } else {
-      if (options.rng == nullptr)
-        throw std::invalid_argument(
-            "montgomery_ladder: randomize_z requires an RNG");
-      l1 = nonzero_randomizer(*options.rng);
-      l2 = nonzero_randomizer(*options.rng);
-    }
-    s.x1 = Fe::mul(s.x1, l1);
-    s.z1 = Fe::mul(s.z1, l1);
-    s.x2 = Fe::mul(s.x2, l2);
-    s.z2 = Fe::mul(s.z2, l2);
-  }
+  randomize_state(s, options);
 
   // Hoist the std::function emptiness test out of the hot loop: when no
   // observer is installed the iteration body is pure field arithmetic and

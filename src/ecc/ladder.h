@@ -21,6 +21,10 @@
 
 namespace medsec::ecc {
 
+/// Widened scalar for the blinded ladder: k' = k + r·n does not fit the
+/// 192-bit Scalar once the 32/64-bit blind r is folded in.
+using WideScalar = bigint::U256;
+
 /// Snapshot of the ladder state after one iteration, delivered to an
 /// observer. This is what the (modeled) adversary's probe sees of the
 /// internal data flow; the trace simulator leaks Hamming distances of
@@ -47,6 +51,12 @@ struct LadderOptions {
   std::optional<std::pair<Fe, Fe>> known_randomizers;
 };
 
+/// Fresh uniformly random nonzero field element — the Z-randomizer /
+/// blinding-mask sampling discipline (three raw limbs, reject zero),
+/// shared by every countermeasure layer so the fixed-draw-order
+/// determinism contract has exactly one implementation.
+Fe random_nonzero_fe(rng::RandomSource& rng);
+
 /// x-only differential addition: returns (X3, Z3) with
 /// Z3 = (X1 Z2 + X2 Z1)^2, X3 = x_diff * Z3 + (X1 Z2)(X2 Z1).
 void ladder_add(const Fe& xd, const Fe& x1, const Fe& z1, const Fe& x2,
@@ -62,6 +72,19 @@ struct LadderState {
 
 /// Unrandomized initial state for base-point x (projective 1-coordinates).
 LadderState ladder_initial_state(const Fe& b, const Fe& x);
+
+/// §7 projective randomization of a ladder state: (x1, z1) *= l1,
+/// (x2, z2) *= l2. The one implementation of this arithmetic — victim
+/// paths and the white-box attacker's state reconstruction must match it
+/// exactly, so nobody re-inlines the four multiplications.
+void randomize_ladder_state(LadderState& s, const Fe& l1, const Fe& l2);
+
+/// Neutral start state (lo, hi) = (O, P) = ((1 : 0), (x : 1)): the ladder
+/// invariant hi − lo = P holds with prefix value 0, so a ladder started
+/// here correctly processes scalars with *leading zero bits*. This is what
+/// lets the blinded ladder run a fixed, key-independent iteration count
+/// even though bitlen(k + r·n) varies with r.
+LadderState ladder_zero_state(const Fe& x);
 
 /// One ladder iteration for key bit `bit` (cswap / add+double / cswap).
 /// This exact function is shared by the victim (montgomery_ladder) and by
@@ -86,6 +109,27 @@ Point montgomery_ladder(const Curve& curve, const Scalar& k, const Point& p,
 LadderState montgomery_ladder_raw(const Curve& curve, const Scalar& k,
                                   const Point& p,
                                   const LadderOptions& options = {});
+
+/// Fixed-length wide-scalar ladder (the widened entry behind the
+/// scalar-blinding countermeasure): starts from ladder_zero_state and
+/// processes exactly `iterations` bits of k, MSB (bit iterations-1) first,
+/// leading zeros included. Correct for any k < 2^iterations; the result
+/// equals (k mod order)·P. The iteration count — and therefore the trace
+/// length an adversary sees — is a configuration constant, never a
+/// function of the key or the blind. Supports the same LadderOptions
+/// (randomization, observer) as montgomery_ladder_raw; observations are
+/// delivered with bit_index == the processed bit position.
+/// Precondition: p is affine (not infinity) with x != 0.
+LadderState montgomery_ladder_fixed_raw(const Curve& curve,
+                                        const WideScalar& k,
+                                        std::size_t iterations, const Point& p,
+                                        const LadderOptions& options = {});
+
+/// Affine form of the fixed-length ladder (recover_from_ladder applied to
+/// the raw accumulators).
+Point montgomery_ladder_fixed(const Curve& curve, const WideScalar& k,
+                              std::size_t iterations, const Point& p,
+                              const LadderOptions& options = {});
 
 /// y-recovery after an x-only ladder (López–Dahab): from the affine input
 /// point P and the two projective accumulators (X1 : Z1) = kP and

@@ -39,11 +39,19 @@ void LadderManyWorkspace::resize(std::size_t n) {
   choices.resize(n);
 }
 
-void ladder_many_into(const Curve& curve, const Scalar* ks, const Point* ps,
-                      std::size_t n, const BatchLadderOptions& options,
-                      LadderManyWorkspace& ws, LadderState* out) {
-  if (n == 0) return;
+namespace {
 
+/// Shared lockstep engine: validates bases, builds per-lane start states,
+/// applies the optional projective randomization and runs `iterations`
+/// batched ladder iterations, taking lane j's bit for iteration index i
+/// from bit_of(j, i). Both public entries funnel here so the classic and
+/// the wide (blinded) ladders cannot drift apart by implementation
+/// detail.
+template <typename BitFn>
+void run_lockstep(const Curve& curve, const Point* ps, std::size_t n,
+                  const BatchLadderOptions& options, LadderManyWorkspace& ws,
+                  LadderState* out, std::size_t iterations, bool zero_start,
+                  BitFn&& bit_of) {
   for (std::size_t i = 0; i < n; ++i) {
     if (ps[i].infinity)
       throw std::invalid_argument("ladder_many: P is infinity");
@@ -54,21 +62,16 @@ void ladder_many_into(const Curve& curve, const Scalar* ks, const Point* ps,
   ws.resize(n);
   LadderLanes& s = ws.s;
 
-  // Constant-length recoding makes every lane's iteration count the same
-  // curve constant — the property that lets N ladders run in lockstep at
-  // all (and the paper's timing-attack countermeasure).
-  for (std::size_t i = 0; i < n; ++i)
-    ws.padded[i] = constant_length_scalar(curve, ks[i]);
-  const std::size_t t = curve.order().bit_length() + 1;
-
   const Fe b = curve.b();
   ws.b_lanes.fill(b);
   for (std::size_t i = 0; i < n; ++i) ws.xd.set(i, ps[i].x);
 
-  // Initial state per lane: lo = (x : 1), hi = (x^4 + b : x^2), computed
-  // with the same formulas as ladder_initial_state.
+  // Start state per lane: the classic entry consumes the scalar's leading
+  // 1 as (P, 2P); the wide entry starts from the neutral (O, P) so leading
+  // zeros are processed correctly.
   for (std::size_t i = 0; i < n; ++i) {
-    const LadderState init = ladder_initial_state(b, ps[i].x);
+    const LadderState init = zero_start ? ladder_zero_state(ps[i].x)
+                                        : ladder_initial_state(b, ps[i].x);
     s.x1.set(i, init.x1);
     s.z1.set(i, init.z1);
     s.x2.set(i, init.x2);
@@ -93,9 +96,8 @@ void ladder_many_into(const Curve& curve, const Scalar* ks, const Point* ps,
 
   const bool has_observer = static_cast<bool>(options.observer);
 
-  for (std::size_t i = t - 1; i-- > 0;) {
-    for (std::size_t j = 0; j < n; ++j)
-      ws.choices[j] = ws.padded[j].bit(i) ? 1 : 0;
+  for (std::size_t i = iterations; i-- > 0;) {
+    for (std::size_t j = 0; j < n; ++j) ws.choices[j] = bit_of(j, i);
 
     // One lockstep ladder_iteration: cswap / add+double / cswap, every
     // field op batched across the n lanes.
@@ -114,6 +116,46 @@ void ladder_many_into(const Curve& curve, const Scalar* ks, const Point* ps,
   }
 
   for (std::size_t i = 0; i < n; ++i) out[i] = s.lane_state(i);
+}
+
+}  // namespace
+
+void ladder_many_into(const Curve& curve, const Scalar* ks, const Point* ps,
+                      std::size_t n, const BatchLadderOptions& options,
+                      LadderManyWorkspace& ws, LadderState* out) {
+  if (n == 0) return;
+
+  // Constant-length recoding makes every lane's iteration count the same
+  // curve constant — the property that lets N ladders run in lockstep at
+  // all (and the paper's timing-attack countermeasure).
+  ws.padded.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    ws.padded[i] = constant_length_scalar(curve, ks[i]);
+  const std::size_t t = curve.order().bit_length() + 1;
+
+  run_lockstep(curve, ps, n, options, ws, out, t - 1, /*zero_start=*/false,
+               [&ws](std::size_t j, std::size_t i) -> std::uint8_t {
+                 return ws.padded[j].bit(i) ? 1 : 0;
+               });
+}
+
+void ladder_many_wide_into(const Curve& curve, const WideScalar* ks,
+                           std::size_t iterations, const Point* ps,
+                           std::size_t n, const BatchLadderOptions& options,
+                           LadderManyWorkspace& ws, LadderState* out) {
+  if (n == 0) return;
+  for (std::size_t i = 0; i < n; ++i)
+    if (iterations < ks[i].bit_length())
+      throw std::invalid_argument(
+          "ladder_many_wide: iteration count does not cover a lane scalar");
+  if (iterations > WideScalar::kBits)
+    throw std::invalid_argument("ladder_many_wide: iteration count too wide");
+
+  run_lockstep(curve, ps, n, options, ws, out, iterations,
+               /*zero_start=*/true,
+               [ks](std::size_t j, std::size_t i) -> std::uint8_t {
+                 return ks[j].bit(i) ? 1 : 0;
+               });
 }
 
 std::vector<LadderState> ladder_many(const Curve& curve, const Scalar* ks,

@@ -125,4 +125,15 @@ void ladder_many_into(const Curve& curve, const Scalar* ks, const Point* ps,
                       std::size_t n, const BatchLadderOptions& options,
                       LadderManyWorkspace& ws, LadderState* out);
 
+/// Wide fixed-length form (the lane face of the scalar-blinding
+/// countermeasure): every lane starts from ladder_zero_state and steps
+/// exactly `iterations` bits of its WideScalar, leading zeros included —
+/// the lockstep mirror of montgomery_ladder_fixed_raw, bit-identical to
+/// it lane by lane (observations included). Preconditions per lane:
+/// ks[i] < 2^iterations, ps[i] affine with x != 0.
+void ladder_many_wide_into(const Curve& curve, const WideScalar* ks,
+                           std::size_t iterations, const Point* ps,
+                           std::size_t n, const BatchLadderOptions& options,
+                           LadderManyWorkspace& ws, LadderState* out);
+
 }  // namespace medsec::ecc

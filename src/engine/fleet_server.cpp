@@ -57,6 +57,12 @@ std::uint32_t FleetServer::enroll(const ecc::Point& X) {
   if (!curve_->validate_subgroup_point(X))
     throw std::invalid_argument("FleetServer::enroll: invalid device key");
   const std::lock_guard<std::mutex> lock(registry_mu_);
+  // Double-enroll rejection: one identity, one registry slot. A repeated
+  // key is a provisioning error (or a cloning attempt) — refusing here
+  // keeps "device index" and "public key" in bijection.
+  for (const ecc::Point& existing : devices_)
+    if (existing == X)
+      throw std::invalid_argument("FleetServer::enroll: key already enrolled");
   devices_.push_back(X);
   {
     const std::lock_guard<std::mutex> slock(stats_mu_);

@@ -102,7 +102,9 @@ class FleetServer {
   FleetServer& operator=(const FleetServer&) = delete;
 
   /// Register a device public key (validated once, here — per-session
-  /// traffic never re-validates it). Returns the device index.
+  /// traffic never re-validates it). Returns the device index. Throws
+  /// std::invalid_argument for an invalid point *and* for a key that is
+  /// already enrolled (double-enroll rejection).
   std::uint32_t enroll(const ecc::Point& X);
   ecc::Point device_key(std::uint32_t device) const;
 

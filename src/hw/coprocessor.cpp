@@ -282,6 +282,31 @@ std::vector<Instruction> ladder_init(
   return p;
 }
 
+std::vector<Instruction> ladder_init_neutral(
+    const std::optional<std::pair<Gf163, Gf163>>& randomizers) {
+  std::vector<Instruction> p;
+  p.push_back(ldi(Reg::kZ1, Gf163::zero()));  // lo = O = (l1 : 0)
+  if (randomizers) {
+    p.push_back(ldi(Reg::kX1, randomizers->first));
+    p.push_back(ldi(Reg::kT, randomizers->second));
+    p.push_back(mul(Reg::kX2, Reg::kXP, Reg::kT));  // hi = (x·l2 : l2)
+    p.push_back(mov(Reg::kZ2, Reg::kT));
+  } else {
+    p.push_back(ldi(Reg::kX1, Gf163::one()));
+    p.push_back(mov(Reg::kX2, Reg::kXP));  // hi = P = (x : 1)
+    p.push_back(ldi(Reg::kZ2, Gf163::one()));
+  }
+  return p;
+}
+
+std::vector<Instruction> dummy_unit(int select) {
+  // A decoy SELSET (jitters both the select-net spike train and the real
+  // spikes' positions) plus one scratch-register ADD (jitters the gated-
+  // write schedule). T is dead between iterations — ladder_step and
+  // affine_conversion both write it before reading.
+  return {selset(select), add(Reg::kT, Reg::kT, Reg::kXP)};
+}
+
 std::vector<Instruction> affine_conversion() {
   // Itoh–Tsujii inversion of Z1 (addition chain 1,2,4,5,10,20,40,80,81,162:
   // 9 MUL + 162 SQR), then X1 <- X1 · Z1^{-1}.
@@ -329,16 +354,36 @@ std::vector<Instruction> zeroize(bool keep_result) {
 PointMultResult Coprocessor::point_mult(const std::vector<int>& key_bits,
                                         const gf2m::Gf163& x,
                                         const PointMultOptions& options) {
-  if (key_bits.size() < 2 || key_bits.front() != 1)
+  if (!options.neutral_init && (key_bits.size() < 2 || key_bits.front() != 1))
     throw std::invalid_argument(
         "Coprocessor::point_mult: key_bits must be a padded scalar with a "
         "leading 1 (see ecc::constant_length_scalar)");
+  if (options.neutral_init && key_bits.empty())
+    throw std::invalid_argument("Coprocessor::point_mult: empty key");
   if (x.is_zero())
     throw std::invalid_argument("Coprocessor::point_mult: x(P) = 0");
   if (options.z_randomizers &&
       (options.z_randomizers->first.is_zero() ||
        options.z_randomizers->second.is_zero()))
     throw std::invalid_argument("Coprocessor::point_mult: zero randomizer");
+
+  // Pre-bucket the schedule-jitter units by iteration boundary. The
+  // boundary range is [0, iterations] — trailing units run between the
+  // last iteration and the affine conversion.
+  const std::size_t first_idx = options.neutral_init ? 0 : 1;
+  const std::size_t iterations = key_bits.size() - first_idx;
+  std::vector<std::vector<int>> jitter(iterations + 1);
+  for (const PointMultOptions::DummyOp& d : options.dummy_ops) {
+    if (d.before_iteration > iterations)
+      throw std::invalid_argument(
+          "Coprocessor::point_mult: dummy op beyond the schedule");
+    jitter[d.before_iteration].push_back(d.select & 1);
+  }
+  auto run_jitter = [&](std::size_t boundary, ExecResult& total) {
+    for (const int sel : jitter[boundary])
+      for (const auto& ins : microcode::dummy_unit(sel))
+        run_instruction(ins, total);
+  };
 
   PointMultResult r;
   regs_ = {};
@@ -352,18 +397,25 @@ PointMultResult Coprocessor::point_mult(const std::vector<int>& key_bits,
   ExecResult total;
 
   // Load + init phase.
-  for (const auto& ins : microcode::ladder_init(options.z_randomizers))
+  for (const auto& ins :
+       options.neutral_init
+           ? microcode::ladder_init_neutral(options.z_randomizers)
+           : microcode::ladder_init(options.z_randomizers))
     run_instruction(ins, total);
 
-  // Ladder: key_bits.size()-1 iterations, MSB-1 downwards.
-  for (std::size_t i = 1; i < key_bits.size(); ++i) {
+  // Ladder: one iteration per remaining key bit, MSB first. Jitter units
+  // (ground truth iteration = 0xffff: they are not ladder iterations)
+  // interleave at their drawn boundaries.
+  for (std::size_t i = first_idx; i < key_bits.size(); ++i) {
+    run_jitter(i - first_idx, total);
     current_key_bit_ = static_cast<std::int8_t>(key_bits[i]);
-    current_iteration_ = static_cast<std::uint16_t>(i - 1);
+    current_iteration_ = static_cast<std::uint16_t>(i - first_idx);
     for (const auto& ins : microcode::ladder_step(key_bits[i]))
       run_instruction(ins, total);
+    current_key_bit_ = -1;
+    current_iteration_ = 0xffff;
   }
-  current_key_bit_ = -1;
-  current_iteration_ = 0xffff;
+  run_jitter(iterations, total);
 
   // Projective outputs, read by the controller before conversion (the
   // key-independent y-recovery runs in the insecure zone, §5).

@@ -130,6 +130,25 @@ struct PointMultOptions {
   /// nonzero field elements from the device RNG. nullopt = countermeasure
   /// disabled (initial Z values are 1 and x^2, fully predictable).
   std::optional<std::pair<gf2m::Gf163, gf2m::Gf163>> z_randomizers;
+
+  /// Start from the neutral ladder state (O, P) = ((1 : 0), (x : 1)) and
+  /// process *every* entry of key_bits, leading zeros included. Required
+  /// for blinded scalars k + r·n, whose bit length varies with the blind
+  /// while the iteration count must stay a configuration constant.
+  bool neutral_init = false;
+
+  /// One unit of schedule jitter (the SPA-shuffle countermeasure): a
+  /// SELSET with an RNG-chosen select plus one ADD on the scratch
+  /// register, inserted at the iteration boundary `before_iteration`
+  /// (0..iterations; `iterations` = after the last one). The *number* of
+  /// units is a constant-time budget; only their placement and selects
+  /// are random per execution, so a profiled cycle schedule no longer
+  /// names fixed key bits.
+  struct DummyOp {
+    std::uint16_t before_iteration;
+    std::uint8_t select;
+  };
+  std::vector<DummyOp> dummy_ops;
 };
 
 /// The co-processor model.
@@ -152,7 +171,9 @@ class Coprocessor {
   /// key_bits: the *padded* scalar, MSB first, key_bits.front() == 1
   /// (see ecc::constant_length_scalar). x: affine x of the base point,
   /// nonzero. Runs key_bits.size()-1 ladder iterations — a constant for a
-  /// given curve — then converts to affine on-chip.
+  /// given curve — then converts to affine on-chip. With
+  /// options.neutral_init the leading-1 requirement disappears and all
+  /// key_bits.size() iterations run from the neutral (O, P) start.
   PointMultResult point_mult(const std::vector<int>& key_bits,
                              const gf2m::Gf163& x,
                              const PointMultOptions& options = {});
@@ -190,6 +211,16 @@ std::vector<Instruction> ladder_step(int bit);
 /// (X1, Z1) *= l1, (X2, Z2) *= l2.
 std::vector<Instruction> ladder_init(
     const std::optional<std::pair<gf2m::Gf163, gf2m::Gf163>>& randomizers);
+
+/// Neutral-state initialisation (the blinded ladder's start):
+///   X1 = 1, Z1 = 0, X2 = x, Z2 = 1
+/// randomized to (l1 : 0) and (x·l2 : l2) when randomizers are given.
+std::vector<Instruction> ladder_init_neutral(
+    const std::optional<std::pair<gf2m::Gf163, gf2m::Gf163>>& randomizers);
+
+/// One schedule-jitter unit (see PointMultOptions::DummyOp): SELSET with
+/// the given select, then ADD T <- T + XP on the scratch register.
+std::vector<Instruction> dummy_unit(int select);
 
 /// Itoh–Tsujii inversion of Z1 (9 MUL + 162 SQR), then X1 <- X1 * Z1^-1:
 /// leaves affine x in X1. Clobbers X2, Z2, T.

@@ -59,14 +59,17 @@ EciesCiphertext ecies_encrypt(const Curve& curve, const Point& Y,
                               std::span<const std::uint8_t> plaintext,
                               const CipherFactory& make_cipher,
                               std::size_t key_bytes, rng::RandomSource& rng,
-                              EnergyLedger* ledger) {
+                              EnergyLedger* ledger,
+                              sidechannel::HardenedLadder* hardened) {
   if (!curve.validate_subgroup_point(Y))
     throw std::invalid_argument("ecies_encrypt: invalid recipient key");
 
   // Ephemeral point R = r·P on the fixed-base comb (constant schedule,
   // masked table scan); shared secret Z = r·Y on the RPC ladder, whose
   // output conversion shares one joint inversion across its two
-  // denominators (Montgomery's trick inside recover_from_ladder).
+  // denominators (Montgomery's trick inside recover_from_ladder). With a
+  // countermeasure engine installed, both multiplications ride the
+  // hardened ladder instead.
   ecc::LadderOptions lo;
   lo.randomize_z = true;
   lo.rng = &rng;
@@ -75,10 +78,26 @@ EciesCiphertext ecies_encrypt(const Curve& curve, const Point& Y,
   Scalar r;
   do {
     r = rng.uniform_nonzero(curve.order());
-    if (ledger) ledger->rng_bits += 163 + 2 * 163;
-    R = comb.mult_ct(r);
+    // Scalar draw + the per-mult countermeasure draws: the comb consumes
+    // none, the plain RPC ladder two randomizers, the hardened engine
+    // whatever its config says (2 mults here).
+    if (ledger)
+      ledger->rng_bits +=
+          163 + (hardened ? 2 * hardened->rng_bits_per_mult() : 2 * 163);
+    const auto charge_provisioning = [&] {
+      // Base-blinding pair provisioning: two hidden ladders + a draw.
+      if (ledger && hardened && hardened->last_mult_provisioned_pair()) {
+        ledger->ecpm += 2;
+        ledger->rng_bits += 163;
+      }
+    };
+    R = hardened ? hardened->mult(r, curve.base_point(), rng)
+                 : comb.mult_ct(r);
+    charge_provisioning();
     if (ledger) ++ledger->ecpm;
-    Z = ecc::montgomery_ladder(curve, r, Y, lo);
+    Z = hardened ? hardened->mult(r, Y, rng)
+                 : ecc::montgomery_ladder(curve, r, Y, lo);
+    charge_provisioning();
     if (ledger) ++ledger->ecpm;
   } while (R.infinity || Z.infinity);
 
@@ -139,18 +158,20 @@ std::optional<EciesCiphertext> decode_ecies(
 EciesUploader::EciesUploader(const Curve& curve, Point recipient,
                              std::span<const std::uint8_t> telemetry,
                              const CipherFactory& make_cipher,
-                             std::size_t key_bytes, rng::RandomSource& rng)
+                             std::size_t key_bytes, rng::RandomSource& rng,
+                             sidechannel::HardenedLadder* hardened)
     : curve_(&curve),
       recipient_(std::move(recipient)),
       telemetry_(telemetry.begin(), telemetry.end()),
       make_cipher_(&make_cipher),
       key_bytes_(key_bytes),
-      rng_(&rng) {}
+      rng_(&rng),
+      hardened_(hardened) {}
 
 StepResult EciesUploader::start() {
   const EciesCiphertext ct = ecies_encrypt(*curve_, recipient_, telemetry_,
                                            *make_cipher_, key_bytes_, *rng_,
-                                           &ledger_);
+                                           &ledger_, hardened_);
   return step(
       StepResult::done(Message{"ECIES blob", encode_ecies(*curve_, ct)}));
 }

@@ -27,6 +27,7 @@
 #include "protocol/mutual_auth.h"  // CipherFactory
 #include "protocol/session.h"
 #include "rng/random_source.h"
+#include "sidechannel/countermeasures.h"
 
 namespace medsec::protocol {
 
@@ -48,11 +49,14 @@ EciesKeyPair ecies_keygen(const ecc::Curve& curve, rng::RandomSource& rng);
 
 /// Device-side encryption to public key Y. `key_bytes` sizes the derived
 /// cipher keys (16 for AES-128 / PRESENT-128, 10 for PRESENT-80).
+/// `hardened`: optional countermeasure engine carrying both encapsulation
+/// point multiplications (defense-evaluation wiring).
 EciesCiphertext ecies_encrypt(const ecc::Curve& curve, const ecc::Point& Y,
                               std::span<const std::uint8_t> plaintext,
                               const CipherFactory& make_cipher,
                               std::size_t key_bytes, rng::RandomSource& rng,
-                              EnergyLedger* ledger = nullptr);
+                              EnergyLedger* ledger = nullptr,
+                              sidechannel::HardenedLadder* hardened = nullptr);
 
 /// Recipient-side decryption. Returns nullopt on any authentication or
 /// validation failure (including an invalid ephemeral point — the
@@ -79,7 +83,8 @@ class EciesUploader final : public SessionMachine {
   EciesUploader(const ecc::Curve& curve, ecc::Point recipient,
                 std::span<const std::uint8_t> telemetry,
                 const CipherFactory& make_cipher, std::size_t key_bytes,
-                rng::RandomSource& rng);
+                rng::RandomSource& rng,
+                sidechannel::HardenedLadder* hardened = nullptr);
   StepResult start() override;
   StepResult on_message(const Message& m) override;
   const EnergyLedger& ledger() const { return ledger_; }
@@ -91,6 +96,7 @@ class EciesUploader final : public SessionMachine {
   const CipherFactory* make_cipher_;
   std::size_t key_bytes_;
   rng::RandomSource* rng_;
+  sidechannel::HardenedLadder* hardened_;
   EnergyLedger ledger_;
 };
 

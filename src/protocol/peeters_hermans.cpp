@@ -42,22 +42,43 @@ PhTag ph_register_tag(const Curve& curve, PhReader& reader,
 
 PhTagSession ph_tag_commit(const Curve& curve,
                            [[maybe_unused]] const PhTag& tag,
-                           rng::RandomSource& rng, EnergyLedger& ledger) {
+                           rng::RandomSource& rng, EnergyLedger& ledger,
+                           sidechannel::HardenedLadder* hardened) {
   PhTagSession s;
   s.r = rng.uniform_nonzero(curve.order());
   ledger.rng_bits += 163;
-  // Generator multiplication: fixed-base comb, constant schedule.
+  if (hardened) ledger.rng_bits += hardened->rng_bits_per_mult();
+  // Generator multiplication: fixed-base comb, constant schedule — or
+  // the countermeasure engine when one is installed.
   ++ledger.ecpm;
-  s.commitment = ecc::generator_comb(curve).mult_ct(s.r);
+  s.commitment = hardened ? hardened->mult(s.r, curve.base_point(), rng)
+                          : ecc::generator_comb(curve).mult_ct(s.r);
+  if (hardened && hardened->last_mult_provisioned_pair()) {
+    // Base-blinding pair provisioning: two hidden ladders + a scalar draw.
+    ledger.ecpm += 2;
+    ledger.rng_bits += 163;
+  }
   return s;
 }
 
 Scalar ph_tag_respond(const Curve& curve, const PhTag& tag,
                       const PhTagSession& session, const Scalar& challenge,
-                      rng::RandomSource& rng, EnergyLedger& ledger) {
+                      rng::RandomSource& rng, EnergyLedger& ledger,
+                      sidechannel::HardenedLadder* hardened) {
   const auto& ring = curve.scalar_ring();
   // d = xcoord(r·Y): the second (and last) heavy operation on the tag.
-  const Point ry = tag_pm(curve, session.r, tag.Y, rng, ledger);
+  const Point ry = [&] {
+    if (hardened == nullptr)
+      return tag_pm(curve, session.r, tag.Y, rng, ledger);
+    ++ledger.ecpm;
+    ledger.rng_bits += hardened->rng_bits_per_mult();
+    const Point out = hardened->mult(session.r, tag.Y, rng);
+    if (hardened->last_mult_provisioned_pair()) {
+      ledger.ecpm += 2;
+      ledger.rng_bits += 163;
+    }
+    return out;
+  }();
   const Scalar d = fe_to_scalar_mod_order(curve, ry.x);
   // s = d + x + e·r — one modular multiplication, two additions (§4's
   // "two point multiplications and one modular multiplication").
@@ -89,11 +110,13 @@ std::optional<std::size_t> ph_reader_identify(const Curve& curve,
 // --- state machines ----------------------------------------------------------
 
 PhTagMachine::PhTagMachine(const Curve& curve, PhTag tag,
-                           rng::RandomSource& rng)
-    : curve_(&curve), tag_(std::move(tag)), rng_(&rng) {}
+                           rng::RandomSource& rng,
+                           sidechannel::HardenedLadder* hardened)
+    : curve_(&curve), tag_(std::move(tag)), rng_(&rng),
+      hardened_(hardened) {}
 
 StepResult PhTagMachine::start() {
-  session_ = ph_tag_commit(*curve_, tag_, *rng_, ledger_);
+  session_ = ph_tag_commit(*curve_, tag_, *rng_, ledger_, hardened_);
   committed_ = true;
   Message m{"commitment R", encode_point(*curve_, session_.commitment)};
   ledger_.tx_bits += m.bits();
@@ -105,7 +128,8 @@ StepResult PhTagMachine::on_message(const Message& m) {
     return step(StepResult::failed());
   ledger_.rx_bits += m.bits();
   const Scalar e = decode_scalar(m.payload);
-  const Scalar s = ph_tag_respond(*curve_, tag_, session_, e, *rng_, ledger_);
+  const Scalar s =
+      ph_tag_respond(*curve_, tag_, session_, e, *rng_, ledger_, hardened_);
   Message out{"response s", encode_scalar(s)};
   ledger_.tx_bits += out.bits();
   return step(StepResult::done(std::move(out)));

@@ -27,6 +27,7 @@
 #include "protocol/session.h"
 #include "protocol/wire.h"
 #include "rng/random_source.h"
+#include "sidechannel/countermeasures.h"
 
 namespace medsec::protocol {
 
@@ -70,12 +71,17 @@ struct PhTagSession {
   ecc::Scalar r;
   ecc::Point commitment;
 };
+/// `hardened` (optional, both functions): route the tag's two point
+/// multiplications through the countermeasure engine instead of the
+/// comb / RPC ladder (defense-evaluation wiring).
 PhTagSession ph_tag_commit(const ecc::Curve& curve, const PhTag& tag,
-                           rng::RandomSource& rng, EnergyLedger& ledger);
+                           rng::RandomSource& rng, EnergyLedger& ledger,
+                           sidechannel::HardenedLadder* hardened = nullptr);
 ecc::Scalar ph_tag_respond(const ecc::Curve& curve, const PhTag& tag,
                            const PhTagSession& session,
                            const ecc::Scalar& challenge,
-                           rng::RandomSource& rng, EnergyLedger& ledger);
+                           rng::RandomSource& rng, EnergyLedger& ledger,
+                           sidechannel::HardenedLadder* hardened = nullptr);
 
 /// Reader half: resolve a transcript against the DB. The candidate
 /// X^ = (s − d')·P − e·R_c comes out of one interleaved double-scalar
@@ -92,7 +98,8 @@ std::optional<std::size_t> ph_reader_identify(const ecc::Curve& curve,
 /// statement that created it.
 class PhTagMachine final : public SessionMachine {
  public:
-  PhTagMachine(const ecc::Curve& curve, PhTag tag, rng::RandomSource& rng);
+  PhTagMachine(const ecc::Curve& curve, PhTag tag, rng::RandomSource& rng,
+               sidechannel::HardenedLadder* hardened = nullptr);
   StepResult start() override;
   StepResult on_message(const Message& m) override;
   const EnergyLedger& ledger() const { return ledger_; }
@@ -101,6 +108,7 @@ class PhTagMachine final : public SessionMachine {
   const ecc::Curve* curve_;
   PhTag tag_;
   rng::RandomSource* rng_;
+  sidechannel::HardenedLadder* hardened_;
   PhTagSession session_;
   bool committed_ = false;
   EnergyLedger ledger_;

@@ -33,17 +33,28 @@ SchnorrKeyPair schnorr_keygen(const Curve& curve, rng::RandomSource& rng) {
 // --- prover machine ----------------------------------------------------------
 
 SchnorrProver::SchnorrProver(const Curve& curve, SchnorrKeyPair key,
-                             rng::RandomSource& rng)
-    : curve_(&curve), key_(std::move(key)), rng_(&rng) {}
+                             rng::RandomSource& rng,
+                             sidechannel::HardenedLadder* hardened)
+    : curve_(&curve), key_(std::move(key)), rng_(&rng), hardened_(hardened) {}
 
 StepResult SchnorrProver::start() {
   // T: commitment — a generator multiplication, so the tag runs the
   // fixed-base comb with its key-independent double+add schedule and
-  // masked table scan instead of the general-point ladder.
+  // masked table scan instead of the general-point ladder — unless a
+  // countermeasure engine is installed, in which case the hardened
+  // ladder carries the multiplication (defense-evaluation wiring).
   r_ = rng_->uniform_nonzero(curve_->order());
   ledger_.rng_bits += 163;
+  if (hardened_) ledger_.rng_bits += hardened_->rng_bits_per_mult();
   ++ledger_.ecpm;
-  const Point rc = ecc::generator_comb(*curve_).mult_ct(r_);
+  const Point rc = hardened_
+                       ? hardened_->mult(r_, curve_->base_point(), *rng_)
+                       : ecc::generator_comb(*curve_).mult_ct(r_);
+  if (hardened_ && hardened_->last_mult_provisioned_pair()) {
+    // Base-blinding pair provisioning: two hidden ladders + a scalar draw.
+    ledger_.ecpm += 2;
+    ledger_.rng_bits += 163;
+  }
   committed_ = true;
   Message m{"commitment R", encode_point(*curve_, rc)};
   ledger_.tx_bits += m.bits();

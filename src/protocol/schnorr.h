@@ -22,6 +22,7 @@
 #include "protocol/session.h"
 #include "protocol/wire.h"
 #include "rng/random_source.h"
+#include "sidechannel/countermeasures.h"
 
 namespace medsec::protocol {
 
@@ -57,8 +58,14 @@ struct SchnorrSessionResult {
 /// and the caller-owned RNG are held by reference.
 class SchnorrProver final : public SessionMachine {
  public:
+  /// `hardened`: optional countermeasure engine for the commitment's
+  /// point multiplication (a device under defense evaluation runs its
+  /// protocol flows through the hardened ladder instead of the comb).
+  /// Caller-owned, must outlive the machine; one engine per session —
+  /// HardenedLadder is not thread-safe.
   SchnorrProver(const ecc::Curve& curve, SchnorrKeyPair key,
-                rng::RandomSource& rng);
+                rng::RandomSource& rng,
+                sidechannel::HardenedLadder* hardened = nullptr);
   StepResult start() override;
   StepResult on_message(const Message& m) override;
   const EnergyLedger& ledger() const { return ledger_; }
@@ -67,6 +74,7 @@ class SchnorrProver final : public SessionMachine {
   const ecc::Curve* curve_;
   SchnorrKeyPair key_;
   rng::RandomSource* rng_;
+  sidechannel::HardenedLadder* hardened_;
   ecc::Scalar r_;
   bool committed_ = false;
   EnergyLedger ledger_;

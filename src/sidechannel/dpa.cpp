@@ -35,6 +35,10 @@ std::vector<LadderState> attacker_initial_states(const Curve& curve,
   if (n < 4) throw std::invalid_argument("ladder_dpa_attack: too few traces");
   if (exp.base_points.size() != n)
     throw std::invalid_argument("ladder_dpa_attack: base point count");
+  if (exp.true_bits.empty())
+    throw std::invalid_argument(
+        "ladder_dpa_attack: experiment has no ground truth to score "
+        "against (randomize_scalar campaigns are TVLA material)");
   const bool white_box = exp.scenario == RpcScenario::kEnabledKnownRandomness;
   if (white_box && exp.known_randomizers.size() != n)
     throw std::invalid_argument("ladder_dpa_attack: randomizer count");
@@ -45,10 +49,7 @@ std::vector<LadderState> attacker_initial_states(const Curve& curve,
     state[j] = ecc::ladder_initial_state(b, exp.base_points[j].x);
     if (white_box) {
       const auto& [l1, l2] = exp.known_randomizers[j];
-      state[j].x1 = Fe::mul(state[j].x1, l1);
-      state[j].z1 = Fe::mul(state[j].z1, l1);
-      state[j].x2 = Fe::mul(state[j].x2, l2);
-      state[j].z2 = Fe::mul(state[j].z2, l2);
+      ecc::randomize_ladder_state(state[j], l1, l2);
     }
   }
   return state;

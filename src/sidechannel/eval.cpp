@@ -1,0 +1,269 @@
+#include "sidechannel/eval.h"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "gf2m/backend.h"
+#include "sidechannel/dpa.h"
+#include "sidechannel/trace_sim.h"
+#include "sidechannel/tvla.h"
+
+namespace medsec::sidechannel {
+
+namespace {
+
+using ecc::Curve;
+using ecc::Scalar;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Attacker knowledge per attack: the white-box CPA sees the
+/// Z-randomizers; everything else attacks the victim's actual config.
+RpcScenario scenario_for(EvalAttack attack, const CountermeasureConfig& cm) {
+  if (attack == EvalAttack::kCpaWhiteBox)
+    return RpcScenario::kEnabledKnownRandomness;
+  return cm.randomize_projective ? RpcScenario::kEnabledSecretRandomness
+                                 : RpcScenario::kDisabled;
+}
+
+/// Per-countermeasure-row campaign cache: CPA and DoM attack the same
+/// scenario's experiment, and the break sweep revisits the same budgets
+/// per attack — generation (the dominant cost) runs once per
+/// (scenario, trace count) instead of once per cell probe.
+class CampaignCache {
+ public:
+  CampaignCache(const Curve& curve, const Scalar& k,
+                const CountermeasureConfig& cm, const EvalConfig& cfg)
+      : curve_(&curve), k_(&k), cm_(&cm), cfg_(&cfg) {}
+
+  const DpaExperiment& get(RpcScenario scenario, std::size_t traces) {
+    const auto key = std::make_pair(static_cast<int>(scenario), traces);
+    auto it = campaigns_.find(key);
+    if (it == campaigns_.end()) {
+      AlgorithmicSimConfig simc;
+      // The cache owns seed derivation so a budget can never be generated
+      // under two different seeds: the main budget runs at config.seed,
+      // every other budget at config.seed + traces (the historical sweep
+      // discipline of dpa_trace_count_sweep).
+      simc.seed = traces == cfg_->traces ? cfg_->seed : cfg_->seed + traces;
+      simc.threads = cfg_->threads;
+      simc.countermeasures = *cm_;
+      it = campaigns_
+               .emplace(key, generate_dpa_traces(*curve_, *k_, traces,
+                                                 scenario, simc))
+               .first;
+    }
+    return it->second;
+  }
+
+ private:
+  const Curve* curve_;
+  const Scalar* k_;
+  const CountermeasureConfig* cm_;
+  const EvalConfig* cfg_;
+  std::map<std::pair<int, std::size_t>, DpaExperiment> campaigns_;
+};
+
+DpaResult run_recovery(const Curve& curve, CampaignCache& cache,
+                       const CountermeasureConfig& cm, EvalAttack attack,
+                       std::size_t traces, const EvalConfig& cfg) {
+  const DpaExperiment& exp = cache.get(scenario_for(attack, cm), traces);
+  DpaConfig dc;
+  dc.bits_to_attack = cfg.bits_to_attack;
+  dc.threads = cfg.threads;
+  dc.statistic =
+      attack == EvalAttack::kDom ? DpaStatistic::kDom : DpaStatistic::kCpa;
+  return ladder_dpa_attack(curve, exp, dc);
+}
+
+TvlaReport run_tvla(const Curve& curve, const Scalar& k,
+                    const CountermeasureConfig& cm, const EvalConfig& cfg) {
+  const auto group = [&](bool fixed, std::uint64_t seed) {
+    AlgorithmicSimConfig simc;
+    simc.seed = seed;
+    simc.threads = cfg.threads;
+    simc.countermeasures = cm;
+    simc.fixed_base_point = curve.base_point();
+    simc.randomize_scalar = !fixed;
+    return generate_dpa_traces(curve, k, cfg.tvla_traces_per_group,
+                               cm.randomize_projective
+                                   ? RpcScenario::kEnabledSecretRandomness
+                                   : RpcScenario::kDisabled,
+                               simc)
+        .traces;
+  };
+  return tvla_fixed_vs_random(group(true, cfg.seed ^ 0xF1DE'F1DEull),
+                              group(false, cfg.seed ^ 0x5EED'5EEDull));
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+const char* eval_attack_name(EvalAttack a) {
+  switch (a) {
+    case EvalAttack::kCpaKnownInput: return "cpa";
+    case EvalAttack::kCpaWhiteBox: return "cpa-whitebox";
+    case EvalAttack::kDom: return "dom";
+    case EvalAttack::kTvla: return "tvla";
+  }
+  return "?";
+}
+
+EvalConfig EvalConfig::standard() {
+  EvalConfig cfg;
+  cfg.countermeasures.push_back(CountermeasureConfig::none());
+  cfg.countermeasures.push_back(CountermeasureConfig::rpc_only());
+  cfg.countermeasures.push_back(CountermeasureConfig::scalar_blinded());
+  CountermeasureConfig base;
+  base.base_point_blinding = true;
+  cfg.countermeasures.push_back(base);
+  CountermeasureConfig shuffle;
+  shuffle.shuffle_schedule = true;
+  cfg.countermeasures.push_back(shuffle);
+  cfg.countermeasures.push_back(CountermeasureConfig::full());
+  cfg.attacks = {EvalAttack::kCpaKnownInput, EvalAttack::kCpaWhiteBox,
+                 EvalAttack::kDom, EvalAttack::kTvla};
+  cfg.traces = 400;
+  cfg.bits_to_attack = 12;
+  cfg.seed = 2024;
+  return cfg;
+}
+
+EvalMatrix run_eval_matrix(const Curve& curve, const Scalar& k,
+                           const EvalConfig& config) {
+  if (config.countermeasures.empty() || config.attacks.empty())
+    throw std::invalid_argument("run_eval_matrix: empty grid");
+
+  // Resolve the lane-backend sweep: named backends that are actually
+  // available, or the single active one.
+  struct LaneChoice {
+    gf2m::LaneBackend backend;
+    std::string name;
+  };
+  std::vector<LaneChoice> lanes;
+  if (config.lane_backends.empty()) {
+    lanes.push_back({gf2m::active_lane_backend(),
+                     gf2m::lane_backend_name(gf2m::active_lane_backend())});
+  } else {
+    for (const std::string& name : config.lane_backends) {
+      gf2m::LaneBackend b;
+      if (name == "scalar") b = gf2m::LaneBackend::kLaneScalar;
+      else if (name == "bitsliced") b = gf2m::LaneBackend::kLaneBitsliced;
+      else if (name == "clmul") b = gf2m::LaneBackend::kLaneClmulWide;
+      else throw std::invalid_argument("run_eval_matrix: unknown lane backend "
+                                       + name);
+      if (gf2m::lane_backend_available(b)) lanes.push_back({b, name});
+    }
+    if (lanes.empty())
+      throw std::invalid_argument(
+          "run_eval_matrix: no requested lane backend is available");
+  }
+
+  // Restore the process-global lane dispatch even if a cell throws —
+  // otherwise every later field-lane operation in the process silently
+  // runs on whichever backend the grid died on.
+  struct LaneRestore {
+    gf2m::LaneBackend backend;
+    ~LaneRestore() { gf2m::set_lane_backend(backend); }
+  } restore{gf2m::active_lane_backend()};
+
+  EvalMatrix out;
+  out.cells.reserve(lanes.size() * config.countermeasures.size() *
+                    config.attacks.size());
+
+  for (const LaneChoice& lane : lanes) {
+    gf2m::set_lane_backend(lane.backend);
+    for (const CountermeasureConfig& cm : config.countermeasures) {
+      CampaignCache cache(curve, k, cm, config);
+      for (const EvalAttack attack : config.attacks) {
+        const auto t0 = std::chrono::steady_clock::now();
+        EvalCell cell;
+        cell.attack = eval_attack_name(attack);
+        cell.countermeasure = cm.name();
+        cell.lane_backend = lane.name;
+
+        if (attack == EvalAttack::kTvla) {
+          cell.traces = 2 * config.tvla_traces_per_group;
+          const TvlaReport rep = run_tvla(curve, k, cm, config);
+          cell.tvla_max_t = rep.max_abs_t;
+          cell.tvla_leaks = rep.leaks();
+          cell.defense_holds = !rep.leaks();
+        } else {
+          cell.traces = config.traces;
+          const DpaResult r = run_recovery(curve, cache, cm, attack,
+                                           config.traces, config);
+          cell.accuracy = r.accuracy;
+          cell.key_recovered = r.full_success;
+          // Traces-to-break sweep: the smallest budget in the sweep that
+          // recovers every attacked bit (0 = the sweep never broke it).
+          for (const std::size_t n : config.break_sweep) {
+            const DpaResult rs =
+                run_recovery(curve, cache, cm, attack, n, config);
+            if (rs.full_success) {
+              cell.traces_to_break = n;
+              break;
+            }
+          }
+          // The verdict folds in BOTH probes: a defense that fell to the
+          // main run or to any sweep budget did not hold — the JSON must
+          // never say "holds" and "broken at N traces" in one cell.
+          cell.defense_holds =
+              !cell.key_recovered && cell.traces_to_break == 0;
+        }
+        cell.seconds = seconds_since(t0);
+        out.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return out;
+}
+
+std::string EvalMatrix::to_json() const {
+  std::string s = "{\"schema\":\"medsec-eval-matrix-v1\",\"cells\":[";
+  bool first = true;
+  char buf[160];
+  for (const EvalCell& c : cells) {
+    if (!first) s.push_back(',');
+    first = false;
+    s += "{\"attack\":\"";
+    append_json_escaped(s, c.attack);
+    s += "\",\"countermeasure\":\"";
+    append_json_escaped(s, c.countermeasure);
+    s += "\",\"lane_backend\":\"";
+    append_json_escaped(s, c.lane_backend);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"traces\":%zu,\"accuracy\":%.6f,"
+                  "\"key_recovered\":%s,\"traces_to_break\":%zu,"
+                  "\"tvla_max_t\":%.6f,\"tvla_leaks\":%s,"
+                  "\"seconds\":%.3f,\"defense_holds\":%s}",
+                  c.traces, c.accuracy, c.key_recovered ? "true" : "false",
+                  c.traces_to_break, c.tvla_max_t,
+                  c.tvla_leaks ? "true" : "false", c.seconds,
+                  c.defense_holds ? "true" : "false");
+    s += buf;
+  }
+  s += "]}";
+  return s;
+}
+
+bool EvalMatrix::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = to_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace medsec::sidechannel

@@ -23,14 +23,7 @@ int hamming_weight(const Fe& v) {
          std::popcount(v.limb(2));
 }
 
-Fe nonzero_fe(rng::RandomSource& rng) {
-  for (;;) {
-    bigint::U192 v;
-    for (std::size_t i = 0; i < 3; ++i) v.set_limb(i, rng.next_u64());
-    const Fe fe = Fe::from_bits(v);
-    if (!fe.is_zero()) return fe;
-  }
-}
+using ecc::random_nonzero_fe;
 
 /// Counter-based per-trace seeding: trace j's randomness is a pure
 /// function of (seed, j), so the campaign's output cannot depend on how
@@ -113,10 +106,19 @@ DpaExperiment generate_dpa_traces(const Curve& curve, const Scalar& k,
                                   const AlgorithmicSimConfig& config) {
   DpaExperiment out;
   out.scenario = scenario;
-  out.true_bits = padded_bits_of(curve, k);
-  const std::size_t trace_len = out.true_bits.size() - 1;  // iterations
+  // With randomize_scalar no single ground truth exists (every trace ran
+  // its own k); leave true_bits empty so feeding such an experiment to
+  // the key-recovery attacks fails loudly instead of scoring against a
+  // scalar no trace executed.
+  if (!config.randomize_scalar) out.true_bits = padded_bits_of(curve, k);
+  // The victim's countermeasure set: explicit config wins; otherwise the
+  // scenario maps to the historical none / rpc-only pair.
+  const CountermeasureConfig cm = config.countermeasures.value_or(
+      scenario != RpcScenario::kDisabled ? CountermeasureConfig::rpc_only()
+                                         : CountermeasureConfig::none());
+  const std::size_t trace_len = hardened_trace_length(curve, cm);
   const bool white_box = scenario == RpcScenario::kEnabledKnownRandomness;
-  const bool randomize = scenario != RpcScenario::kDisabled;
+  const bool randomize = cm.randomize_projective;
 
   // All campaign storage up front: no allocation happens inside the
   // per-trace loop (satellite contract; also what makes the block tasks
@@ -134,60 +136,118 @@ DpaExperiment generate_dpa_traces(const Curve& curve, const Scalar& k,
                    : 4 * gf2m::active_lane_vtable()->preferred_width;
   const double area_ge = hw::ecc_coprocessor_ge(163, 4);
 
-  // Every lane of a block shares the victim scalar k.
+  // Derived from the one length formula (hardened_trace_length), not
+  // re-derived: real ladder iterations = slots minus the dummy slots.
+  const std::size_t real_iters =
+      trace_len - (cm.shuffle_schedule ? cm.dummy_iterations : 0);
+  const std::size_t top = trace_len - 1;  // first slot's bit index
+
+  // Every lane of a block shares the victim scalar k (unless
+  // randomize_scalar draws a fresh one per trace).
   auto process_block = [&](std::size_t j0, std::size_t j1) {
     // Per-worker scratch, reused across every block this thread runs.
     thread_local ecc::LadderManyWorkspace ws;
     thread_local std::vector<Scalar> ks;
+    thread_local std::vector<ecc::WideScalar> wks;
     thread_local std::vector<Point> ps;
     thread_local std::vector<std::pair<Fe, Fe>> rands;
     thread_local std::vector<ecc::LadderState> states;
+    thread_local std::vector<std::uint8_t> real_bits;
     const std::size_t n = j1 - j0;
-    ks.assign(n, k);
+    ks.resize(n);
+    if (cm.scalar_blinding) wks.resize(n);
     ps.resize(n);
     rands.resize(n);
     states.resize(n);
 
     // Phase 1: per-trace inputs from each trace's private RNG. Draw
-    // order (base point, then randomizers) is part of the determinism
-    // contract.
+    // order — scalar, base point, blinding mask, blind, Z-randomizers,
+    // then (shuffled schedules only) the slot engine's decoy/schedule
+    // stream — is part of the determinism contract.
     for (std::size_t j = j0; j < j1; ++j) {
       rng::Xoshiro256 rng(trace_seed(config.seed, j));
+      const Scalar kj =
+          config.randomize_scalar ? rng.uniform_nonzero(curve.order()) : k;
+      ks[j - j0] = kj;
       const Point p = config.fixed_base_point
                           ? *config.fixed_base_point
                           : random_subgroup_point(curve, rng);
       out.base_points[j] = p;
-      ps[j - j0] = p;
+      // Base-point blinding: the victim ladders P + R for a fresh mask R
+      // the adversary never sees; base_points keeps the *known* input P.
+      Point masked = p;
+      if (cm.base_point_blinding) {
+        for (;;) {
+          masked = curve.add(p, random_subgroup_point(curve, rng));
+          if (!masked.infinity && !masked.x.is_zero()) break;
+        }
+      }
+      ps[j - j0] = masked;
+      if (cm.scalar_blinding)
+        wks[j - j0] =
+            blind_scalar(curve, kj, draw_blind(rng, cm.scalar_blind_bits));
       if (randomize) {
-        const Fe l1 = nonzero_fe(rng);
-        const Fe l2 = nonzero_fe(rng);
+        const Fe l1 = random_nonzero_fe(rng);
+        const Fe l2 = random_nonzero_fe(rng);
         rands[j - j0] = {l1, l2};
         if (white_box) out.known_randomizers[j] = {l1, l2};
       }
+
+      if (cm.shuffle_schedule) {
+        // Shuffled schedules interleave per-trace decoy iterations at
+        // secret positions — inherently per-trace control flow, so this
+        // config runs the scalar slot engine per trace (still counter-
+        // seeded and pool-parallel) instead of the lockstep lanes.
+        if (cm.scalar_blinding) {
+          unpack_bits_msb(wks[j - j0], real_iters, real_bits);
+        } else {
+          const Scalar padded = ecc::constant_length_scalar(curve, kj);
+          unpack_bits_msb(padded, padded.bit_length() - 1, real_bits);
+        }
+        Trace& row = out.traces.traces[j];
+        const auto observer = [&](const ecc::LadderObservation& ob) {
+          const double hw_state =
+              hamming_weight(ob.x1) + hamming_weight(ob.z1) +
+              hamming_weight(ob.x2) + hamming_weight(ob.z2);
+          const double data = hw::ActivityWeights::kRegisterBit * hw_state;
+          row[top - ob.bit_index] = style_power(
+              config.leakage, data, /*baseline_ge=*/2200.0, area_ge);
+        };
+        shuffled_ladder_raw(curve, masked, real_bits,
+                            /*zero_start=*/cm.scalar_blinding,
+                            randomize ? std::make_optional(rands[j - j0])
+                                      : std::nullopt,
+                            cm.dummy_iterations, rng, observer);
+      }
     }
 
-    // Phase 2: the victim ladders, `n` lanes in lockstep. The leakage
-    // tap writes the noiseless register-transfer sample straight into
-    // each lane's preallocated trace row. No affine recovery: the
-    // campaign consumes leakage, not points.
-    ecc::BatchLadderOptions bo;
-    if (randomize) bo.randomizers = rands.data();
-    const std::size_t top = trace_len - 1;  // first iteration's bit index
-    thread_local std::vector<int> hw_buf;
-    hw_buf.resize(n);
-    bo.observer = [&](std::size_t bit_index, const ecc::LadderLanes& s) {
-      const std::size_t sample = top - bit_index;
-      s.hamming_weights(hw_buf.data());
-      for (std::size_t lane = 0; lane < n; ++lane) {
-        const double data = hw::ActivityWeights::kRegisterBit *
-                            static_cast<double>(hw_buf[lane]);
-        out.traces.traces[j0 + lane][sample] =
-            style_power(config.leakage, data, /*baseline_ge=*/2200.0,
-                        area_ge);
-      }
-    };
-    ecc::ladder_many_into(curve, ks.data(), ps.data(), n, bo, ws,
-                          states.data());
+    // Phase 2: the victim ladders, `n` lanes in lockstep (classic or
+    // wide/blinded). The leakage tap writes the noiseless register-
+    // transfer sample straight into each lane's preallocated trace row.
+    // No affine recovery: the campaign consumes leakage, not points.
+    if (!cm.shuffle_schedule) {
+      ecc::BatchLadderOptions bo;
+      if (randomize) bo.randomizers = rands.data();
+      thread_local std::vector<int> hw_buf;
+      hw_buf.resize(n);
+      bo.observer = [&](std::size_t bit_index, const ecc::LadderLanes& s) {
+        const std::size_t sample = top - bit_index;
+        s.hamming_weights(hw_buf.data());
+        for (std::size_t lane = 0; lane < n; ++lane) {
+          const double data = hw::ActivityWeights::kRegisterBit *
+                              static_cast<double>(hw_buf[lane]);
+          out.traces.traces[j0 + lane][sample] =
+              style_power(config.leakage, data, /*baseline_ge=*/2200.0,
+                          area_ge);
+        }
+      };
+      if (cm.scalar_blinding)
+        ecc::ladder_many_wide_into(curve, wks.data(), real_iters, ps.data(),
+                                   n, bo, ws, states.data());
+      else
+        ecc::ladder_many_into(curve, ks.data(), ps.data(), n, bo, ws,
+                              states.data());
+    }
 
     // Phase 3: measurement noise, one private stream per trace (drawn in
     // sample order, so the values match any other lane/thread geometry).
@@ -238,8 +298,8 @@ DpaExperiment generate_dpa_traces_serial(const Curve& curve, const Scalar& k,
 
     ecc::LadderOptions lo;
     if (scenario != RpcScenario::kDisabled) {
-      const Fe l1 = nonzero_fe(rng);
-      const Fe l2 = nonzero_fe(rng);
+      const Fe l1 = random_nonzero_fe(rng);
+      const Fe l2 = random_nonzero_fe(rng);
       lo.known_randomizers = std::make_pair(l1, l2);
       if (scenario == RpcScenario::kEnabledKnownRandomness)
         out.known_randomizers.emplace_back(l1, l2);
@@ -276,13 +336,24 @@ CycleTrace capture_cycle_trace(const Curve& curve, const Scalar& k,
   rng::Xoshiro256 rng(config.seed);
   rng::Xoshiro256 noise_rng(config.seed ^ 0xA5A5'5A5A'1234'8765ull);
 
-  hw::PointMultOptions opt;
-  if (config.rpc) opt.z_randomizers = {nonzero_fe(rng), nonzero_fe(rng)};
+  const CountermeasureConfig cm = config.countermeasures.value_or(
+      config.rpc ? CountermeasureConfig::rpc_only()
+                 : CountermeasureConfig::none());
 
   CycleTrace out;
   out.true_bits = padded_bits_of(curve, k);
-  std::vector<int> bits = out.true_bits;
-  auto r = cop.point_mult(bits, p.x, opt);
+
+  // The same planner SecureEccProcessor::Session uses — one
+  // implementation of the mask/blind/Z-randomizer/jitter draw order, so
+  // the two cycle-accurate victims cannot drift apart. The blinding pair
+  // is per-capture state here (the campaign consumes leakage, never the
+  // correction).
+  std::optional<BaseBlindingPair> pair;
+  ecc::Scalar pair_key{};
+  const HardenedCoprocPlan plan =
+      plan_hardened_coproc_mult(curve, cm, k, p, rng, pair, pair_key);
+
+  auto r = cop.point_mult(plan.key_bits, plan.base.x, plan.options);
   out.area_ge = cop.area_ge();
   out.records = std::move(r.exec.records);
   out.samples.reserve(out.records.size());

@@ -26,6 +26,7 @@
 #include "ecc/curve.h"
 #include "ecc/ladder.h"
 #include "hw/coprocessor.h"
+#include "sidechannel/countermeasures.h"
 #include "sidechannel/leakage.h"
 #include "sidechannel/trace.h"
 
@@ -69,7 +70,22 @@ struct AlgorithmicSimConfig {
   /// from (seed, j) alone — counter-based seeding, not a shared stream.
   std::size_t threads = 0;
   std::size_t lanes = 0;
+  /// Ladder countermeasures for the victim executions. When unset, the
+  /// RpcScenario decides (kDisabled -> none, kEnabled* -> rpc_only) —
+  /// the exact pre-countermeasure-subsystem behavior, bit for bit. When
+  /// set, this config is authoritative for what the victim *runs*; the
+  /// scenario still decides what the adversary *knows* (the white-box
+  /// scenario records the Z-randomizer pairs — identity pairs when RPC
+  /// is off — so the attack stays runnable against any config).
+  std::optional<CountermeasureConfig> countermeasures;
+  /// Draw a fresh victim scalar per trace (from the trace RNG, before
+  /// every other per-trace draw) instead of the campaign-wide k — the
+  /// "random group" of a fixed-vs-random TVLA campaign.
+  bool randomize_scalar = false;
 };
+
+// (The per-execution trace length under a countermeasure config is
+// sidechannel::hardened_trace_length in countermeasures.h.)
 
 /// Generate `num_traces` ladder executions of secret k on random base
 /// points of the curve's prime-order subgroup. This is the wide-lane
@@ -89,6 +105,8 @@ DpaExperiment generate_dpa_traces(const ecc::Curve& curve,
 /// base points, one scalar montgomery_ladder (with affine recovery and a
 /// per-iteration observer callback) per trace. Statistically equivalent
 /// to the engine but not bit-identical (different seeding discipline).
+/// Scenario-only: the countermeasures / randomize_scalar extensions are
+/// engine features and are ignored here.
 DpaExperiment generate_dpa_traces_serial(const ecc::Curve& curve,
                                          const ecc::Scalar& k,
                                          std::size_t num_traces,
@@ -110,6 +128,11 @@ struct CycleSimConfig {
   LeakageParams leakage;
   bool rpc = true;
   std::uint64_t seed = 1;
+  /// Ladder countermeasures for the cycle-accurate victim; when unset,
+  /// the legacy rpc flag decides (rpc-only or none). Scalar blinding runs
+  /// the widened neutral-init microcode; shuffled schedules insert the
+  /// co-processor's dummy jitter units at RNG-chosen boundaries.
+  std::optional<CountermeasureConfig> countermeasures;
 };
 
 /// Run the co-processor once on (k, P) and measure every cycle.

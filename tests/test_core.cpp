@@ -90,7 +90,7 @@ TEST(SecureProcessor, RpcChangesNothingFunctionally) {
   const Curve& c = Curve::k163();
   CountermeasureConfig with = CountermeasureConfig::protected_default();
   CountermeasureConfig without = with;
-  without.randomize_projective = false;
+  without.ladder.randomize_projective = false;
   SecureEccProcessor p1(c, with), p2(c, without);
   Xoshiro256 rng(6);
   const Scalar k = rng.uniform_nonzero(c.order());

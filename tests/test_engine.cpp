@@ -248,10 +248,12 @@ struct FleetHarness {
         }) {}
 
   void downlink(std::uint64_t sid, const proto::Message& m) {
-    std::unique_ptr<proto::SchnorrProver>* prover;
+    std::unique_ptr<proto::SchnorrProver>* prover = nullptr;
     {
       const std::lock_guard<std::mutex> lock(mu);
-      prover = &provers.at(sid);
+      const auto it = provers.find(sid);
+      if (it == provers.end()) return;  // device went silent mid-protocol
+      prover = &it->second;
     }
     const auto r = (*prover)->on_message(m);
     for (const auto& out : r.out) server.deliver(sid, out);
@@ -334,6 +336,136 @@ TEST(FleetServer, BatchedFleetAcceptsHonestAndIsolatesForged) {
   EXPECT_EQ(h.server.evict_completed(), 40u);
   EXPECT_THROW(h.server.record(honest.front()), std::out_of_range);
   EXPECT_EQ(h.server.evict_completed(), 0u);
+}
+
+// --- negative paths ----------------------------------------------------------
+
+TEST(BatchVerify, AllForgedBatchRejectsEveryItem) {
+  // The RLC equation fails, the per-item fallback runs — and with *every*
+  // item forged, nothing may slip through on the strength of the batch.
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(20);
+  std::vector<proto::SchnorrTranscript> ts;
+  std::vector<Point> keys;
+  for (int i = 0; i < 8; ++i) {
+    auto [t, x] = honest_transcript(c, rng);
+    // Forge every response.
+    t.response = c.scalar_ring().add(t.response, Scalar{1u + (unsigned)i});
+    ts.push_back(t);
+    keys.push_back(x);
+  }
+  const auto out = engine::schnorr_verify_batch(c, ts, keys, rng);
+  EXPECT_FALSE(out.rlc_passed);
+  for (std::size_t i = 0; i < out.ok.size(); ++i)
+    EXPECT_FALSE(out.ok[i]) << i;
+
+  // Same through the queue: 8 forged items, 8 rejections, 1 RLC failure.
+  engine::SchnorrBatchVerifier q(c, 8);
+  std::atomic<int> accepted{0}, rejected{0};
+  for (int i = 0; i < 8; ++i) {
+    const auto kp = proto::schnorr_keygen(c, rng);
+    proto::SchnorrProver prover(c, kp, rng);
+    proto::SchnorrVerifier verifier(c, kp.X, rng,
+                                    proto::SchnorrVerifier::Mode::kDeferred);
+    proto::Transcript transcript;
+    ASSERT_TRUE(proto::drive_session(prover, verifier, transcript));
+    engine::PendingTranscript p;
+    p.X = proto::schnorr_keygen(c, rng).X;  // wrong key: forged
+    p.commitment_wire = verifier.commitment_wire();
+    p.challenge = verifier.challenge();
+    p.response = verifier.response();
+    p.on_result = [&](bool ok) { ++(ok ? accepted : rejected); };
+    q.enqueue(std::move(p));
+  }
+  q.flush();
+  EXPECT_EQ(accepted.load(), 0);
+  EXPECT_EQ(rejected.load(), 8);
+  EXPECT_EQ(q.stats().rlc_failures, 1u);
+}
+
+TEST(FleetServer, DoubleEnrollIsRejected) {
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(21);
+  engine::FleetConfig cfg;
+  cfg.worker_threads = 1;
+  FleetHarness h(c, cfg);
+  const auto kp = proto::schnorr_keygen(c, rng);
+  const auto idx = h.server.enroll(kp.X);
+  EXPECT_EQ(h.server.device_key(idx), kp.X);
+  EXPECT_THROW(h.server.enroll(kp.X), std::invalid_argument);
+  // A different key still enrolls; the registry is untouched by the
+  // rejected attempt.
+  EXPECT_EQ(h.server.enroll(proto::schnorr_keygen(c, rng).X), idx + 1);
+  EXPECT_EQ(h.server.stats().devices, 2u);
+}
+
+TEST(FleetServer, MessageToEvictedSessionIsDropped) {
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(22);
+  engine::FleetConfig cfg;
+  cfg.worker_threads = 2;
+  cfg.verify_batch = 1;
+  const auto kp = proto::schnorr_keygen(c, rng);
+  FleetHarness h(c, cfg);
+  h.server.enroll(kp.X);
+  const auto sid = h.run_tag(0, kp, 7);
+  h.server.drain();
+  ASSERT_TRUE(h.server.record(sid).completed);
+  ASSERT_EQ(h.server.evict_completed(), 1u);
+
+  // A straggler radio frame addressed to the evicted session: dropped
+  // without fault, and the engine keeps serving.
+  h.server.deliver(sid, proto::Message{"late response", {0xAB, 0xCD}});
+  h.server.drain();
+  EXPECT_THROW(h.server.record(sid), std::out_of_range);
+  const auto st = h.server.stats();
+  EXPECT_EQ(st.sessions_completed, 1u);
+
+  const auto sid2 = h.run_tag(0, kp, 8);
+  h.server.drain();
+  EXPECT_TRUE(h.server.record(sid2).accepted);
+}
+
+TEST(FleetServer, EvictCompletedUnderChurnLeavesLiveSessionsUntouched) {
+  const Curve& c = Curve::k163();
+  Xoshiro256 rng(23);
+  engine::FleetConfig cfg;
+  cfg.worker_threads = 2;
+  cfg.verify_batch = 1;
+  const auto kp = proto::schnorr_keygen(c, rng);
+  FleetHarness h(c, cfg);
+  h.server.enroll(kp.X);
+
+  // Wave 1 completes; wave 2 is suspended mid-protocol (commitment
+  // delivered, response withheld).
+  std::vector<std::uint64_t> done, live;
+  for (int i = 0; i < 6; ++i) done.push_back(h.run_tag(0, kp, 100 + i));
+  h.server.drain();
+  for (int i = 0; i < 4; ++i) {
+    const auto sid = h.server.open_schnorr_session(0);
+    live.push_back(sid);
+    // Commitment only — no prover is registered with the harness, so the
+    // server's challenge goes nowhere and the session stays suspended.
+    proto::SchnorrProver prover(c, kp, rng);
+    for (const auto& out : prover.start().out) h.server.deliver(sid, out);
+  }
+  h.server.drain();
+
+  const std::size_t evicted = h.server.evict_completed();
+  EXPECT_EQ(evicted, done.size());
+  for (const auto sid : done)
+    EXPECT_THROW(h.server.record(sid), std::out_of_range);
+  // Live sessions remain addressable and incomplete.
+  for (const auto sid : live) {
+    const auto rec = h.server.record(sid);
+    EXPECT_FALSE(rec.completed) << sid;
+    EXPECT_EQ(rec.state, proto::SessionState::kAwait) << sid;
+  }
+  // And a fresh wave still completes after the purge.
+  const auto sid3 = h.run_tag(0, kp, 200);
+  h.server.drain();
+  EXPECT_TRUE(h.server.record(sid3).completed);
+  EXPECT_EQ(h.server.evict_completed(), 1u);
 }
 
 TEST(FleetServer, BatchSizeOneIsIndependentVerification) {

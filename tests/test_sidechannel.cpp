@@ -3,6 +3,7 @@
 // executable assertions (seeded, deterministic).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "ecc/curve.h"
@@ -191,11 +192,21 @@ TEST(Dpa, DomStatisticRunsAndIsWeakerThanCpa) {
   // state bit; it needs far more traces than CPA because the partition
   // bit carries 1/652 of the register activity. At a CPA-comfortable
   // trace count DoM should not yet recover the key — documenting the gap.
+  //
+  // The campaign seed is *pinned from an offline sweep* (seeds 1..14, PR
+  // 4) and chosen for comfortable margins, not borderline luck: at seed
+  // 8 CPA fully succeeds with min per-bit |r| margin 0.072 (assert
+  // > 0.03) while DoM sits at 5/12 bits (assert a >= 0.25 accuracy gap).
+  // If an RNG-discipline change shifts the draw sequences, re-run the
+  // sweep and re-pin with margins at least this wide — do not just bump
+  // the trace count until green.
   const Curve& c = Curve::k163();
   Xoshiro256 rng(7);
   const Scalar k = rng.uniform_nonzero(c.order());
+  sc::AlgorithmicSimConfig simc;
+  simc.seed = 8;
   const auto exp = sc::generate_dpa_traces(c, k, 400,
-                                           sc::RpcScenario::kDisabled);
+                                           sc::RpcScenario::kDisabled, simc);
   sc::DpaConfig dom;
   dom.bits_to_attack = 12;
   dom.statistic = sc::DpaStatistic::kDom;
@@ -204,7 +215,13 @@ TEST(Dpa, DomStatisticRunsAndIsWeakerThanCpa) {
   cpa.statistic = sc::DpaStatistic::kCpa;
   const auto rc = sc::ladder_dpa_attack(c, exp, cpa);
   EXPECT_TRUE(rc.full_success);
-  EXPECT_LT(rd.accuracy, rc.accuracy + 1e-9);
+  double cpa_margin = 1e9;
+  for (std::size_t i = 0; i < rc.stat_correct_hyp.size(); ++i)
+    cpa_margin = std::min(cpa_margin,
+                          rc.stat_correct_hyp[i] - rc.stat_rejected_hyp[i]);
+  EXPECT_GT(cpa_margin, 0.03) << "CPA margin eroded: re-run the seed sweep";
+  EXPECT_LE(rd.accuracy, rc.accuracy - 0.25)
+      << "DoM gap eroded: re-run the seed sweep";
 }
 
 TEST(Dpa, RejectsMalformedExperiments) {
