@@ -18,8 +18,11 @@ void print_table() {
                 "Section 6 measured numbers (50.4 uW, 5.1 uJ, 9.8 PM/s)");
 
   const ecc::Curve& curve = ecc::Curve::k163();
-  core::SecureEccProcessor proc(
-      curve, core::CountermeasureConfig::protected_default());
+  // Energy-only caller: telemetry off, so every multiplication streams
+  // through the energy sink and stores no cycle records.
+  core::CountermeasureConfig cm = core::CountermeasureConfig::protected_default();
+  cm.record_cycles = false;
+  core::SecureEccProcessor proc(curve, cm);
   rng::Xoshiro256 rng(1);
 
   // Average a few runs (RPC randomizers vary the switching activity).

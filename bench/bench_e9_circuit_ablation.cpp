@@ -38,6 +38,7 @@ sc::TvlaReport tvla_run(const ecc::Curve& curve,
     cfg.leakage.style = style;
     cfg.leakage.noise_sigma = 200.0;
     cfg.seed = seed;
+    cfg.keep_records = false;  // TVLA consumes samples only
     auto t = sc::capture_cycle_trace(curve, k, p, cfg);
     t.samples.resize(window);
     return t.samples;
@@ -84,6 +85,7 @@ double bus_cycle_signal_variance(const ecc::Curve& curve,
     cfg.rpc = false;
     cfg.leakage.noise_sigma = 0.0;
     cfg.seed = 300 + i;
+    cfg.keep_records = klass.empty();  // one record capture keys the scan
     auto t = sc::capture_cycle_trace(curve, k, p, cfg);
     if (klass.empty()) klass = t.records;
     set.push_back(std::move(t.samples));
@@ -159,10 +161,12 @@ void print_table() {
     cfg.coproc.secure.balanced_mux_encoding = balanced;
     cfg.coproc.secure.uniform_clock_gating = uniform;
     cfg.leakage.noise_sigma = 100.0;
-    const auto victim = sc::capture_averaged_cycle_trace(
-        curve, secret, curve.base_point(), cfg, 48);
-    return std::make_pair(sc::mux_control_spa(victim, schedule).accuracy,
-                          sc::clock_gating_spa(victim, schedule).accuracy);
+    // Averaged victim through the SPA feature-extractor sink (POI
+    // amplitudes only — no materialized cycle traces).
+    const auto victim = sc::capture_averaged_spa_features(
+        curve, secret, curve.base_point(), cfg, schedule, 48);
+    return std::make_pair(sc::mux_control_spa(victim).accuracy,
+                          sc::clock_gating_spa(victim).accuracy);
   };
   std::printf("\nmux encoding / clock gating (SPA key bits, 163 total):\n");
   const auto [m_off, g_off] = spa_bits(false, false);

@@ -27,6 +27,17 @@ import os
 import shutil
 import sys
 
+# Machine-independent speedup gates: within ONE fresh run of <file>, the
+# <baseline_bench> entry must be at least <min_ratio> x slower than the
+# <optimized_bench> entry. Both sides run on the same machine in the same
+# process, so unlike the absolute tolerance band this asserts the
+# optimization itself (e.g. the PR 5 acceptance criterion: the fused
+# cycle-capture path is >= 3x the frozen PR 4 baseline fossil).
+RATIO_GATES = [
+    ("BENCH_coproc.json", "BM_CaptureCycleTracePr4Baseline",
+     "BM_CaptureCycleTraceFused", 3.0),
+]
+
 
 def load_benchmarks(path):
     """name -> real_time in ns (aggregates skipped, means kept)."""
@@ -96,6 +107,29 @@ def main():
             if ratio > args.tolerance:
                 failures.append(
                     f"{name}:{bench}: {ratio:.2f}x slower than baseline")
+
+    for name, slow, fast, min_ratio in RATIO_GATES:
+        fresh_path = os.path.join(args.fresh, name)
+        if not os.path.exists(fresh_path):
+            failures.append(f"{name}: fresh run missing (ratio gate)")
+            continue
+        try:
+            fresh = load_benchmarks(fresh_path)
+        except (json.JSONDecodeError, OSError, KeyError, ValueError) as e:
+            failures.append(f"{name}: unreadable benchmark JSON ({e})")
+            continue
+        if slow not in fresh or fast not in fresh:
+            failures.append(f"{name}: ratio gate benches missing "
+                            f"({slow} / {fast})")
+            continue
+        ratio = fresh[slow] / fresh[fast] if fresh[fast] > 0 else 0.0
+        verdict = "FAIL" if ratio < min_ratio else "ok"
+        print(f"{verdict:4s} {name}: {slow} / {fast} = {ratio:.2f}x "
+              f"(required >= {min_ratio:.1f}x)")
+        if ratio < min_ratio:
+            failures.append(
+                f"{name}: speedup {ratio:.2f}x below required "
+                f"{min_ratio:.1f}x ({slow} vs {fast})")
 
     if failures:
         print("\nPERF REGRESSION GATE FAILED:")

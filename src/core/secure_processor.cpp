@@ -25,7 +25,7 @@ hw::CoprocessorConfig to_hw_config(const CountermeasureConfig& c) {
   hw::CoprocessorConfig hc;
   hc.digit_size = c.digit_size;
   hc.secure = c.circuit;
-  hc.record_cycles = true;
+  hc.record_cycles = c.record_cycles;
   return hc;
 }
 
@@ -112,11 +112,15 @@ PointMultOutcome SecureEccProcessor::Session::point_mult(const Scalar& k,
     blinding_pair_->update(*curve_);
   }
 
+  // With telemetry off the coprocessor ran the record-free energy path;
+  // clear instead of keeping a stale buffer from an earlier config.
   last_records_ = std::move(r.exec.records);
 
   if (config_.zeroize_after_use) {
-    // Result stays in X1 (it is the output); everything else is cleared.
-    coproc_.execute(hw::microcode::zeroize(/*keep_result=*/true));
+    // Result stays in X1 (it is the output); everything else is cleared
+    // through the cached compiled fragment (energy-only sink — the
+    // controller discards this step's telemetry).
+    coproc_.zeroize(/*keep_result=*/true);
   }
   return out;
 }

@@ -43,6 +43,12 @@ struct CountermeasureConfig {
   bool zeroize_after_use = true;      ///< no key-derived residue in regs
   // Circuit level (§6).
   hw::SecureConfig circuit;           ///< mux encoding / gating / isolation
+  // Telemetry (model instrumentation, not a chip feature): materialize
+  // per-cycle records for last_records(). Energy-only callers (E1, the
+  // fleet paths) switch this off and the co-processor streams through
+  // the energy sink — no record storage at all; the energy / power /
+  // cycle telemetry in PointMultOutcome is identical either way.
+  bool record_cycles = true;
 
   /// The paper's shipped configuration (everything on).
   static CountermeasureConfig protected_default() { return {}; }

@@ -12,8 +12,7 @@ namespace {
 using gf2m::Gf163;
 
 int popcount(const Gf163& v) {
-  return std::popcount(v.limb(0)) + std::popcount(v.limb(1)) +
-         std::popcount(v.limb(2));
+  return detail::popcount3(v.limb(0), v.limb(1), v.limb(2));
 }
 
 int hamming_distance(const Gf163& a, const Gf163& b) { return popcount(a + b); }
@@ -43,7 +42,28 @@ const char* reg_name(Reg r) {
 Coprocessor::Coprocessor(const CoprocessorConfig& config)
     : config_(config),
       malu_(config.digit_size),
-      area_ge_(ecc_coprocessor_ge(Gf163::kBits, config.digit_size)) {}
+      area_ge_(ecc_coprocessor_ge(Gf163::kBits, config.digit_size)),
+      clock_tree_ge_(ActivityWeights::clock_tree_per_cycle(area_ge_)) {
+  // Compile the schedule fragments once: every point multiplication
+  // replays these flat streams instead of regenerating microcode vectors
+  // per ladder iteration.
+  sched_.step[0] = compile(microcode::ladder_step(0));
+  sched_.step[1] = compile(microcode::ladder_step(1));
+  sched_.dummy[0] = compile(microcode::dummy_unit(0));
+  sched_.dummy[1] = compile(microcode::dummy_unit(1));
+  sched_.affine = compile(microcode::affine_conversion());
+  sched_.zeroize[0] = compile(microcode::zeroize(false));
+  sched_.zeroize[1] = compile(microcode::zeroize(true));
+  // Init cost is shape-constant (immediates do not change latency):
+  // cost both shapes of both variants with placeholder randomizers.
+  const auto rand_pair = std::make_pair(Gf163::one(), Gf163::one());
+  sched_.init_cycles[0][0] = program_cycles(microcode::ladder_init(std::nullopt));
+  sched_.init_cycles[0][1] = program_cycles(microcode::ladder_init(rand_pair));
+  sched_.init_cycles[1][0] =
+      program_cycles(microcode::ladder_init_neutral(std::nullopt));
+  sched_.init_cycles[1][1] =
+      program_cycles(microcode::ladder_init_neutral(rand_pair));
+}
 
 std::size_t Coprocessor::latency(Op op) const {
   switch (op) {
@@ -62,6 +82,20 @@ std::size_t Coprocessor::latency(Op op) const {
   return 1;
 }
 
+std::size_t Coprocessor::program_cycles(
+    const std::vector<Instruction>& program) const {
+  std::size_t cycles = 0;
+  for (const Instruction& ins : program) cycles += latency(ins.op);
+  return cycles;
+}
+
+CompiledProgram Coprocessor::compile(std::vector<Instruction> program) const {
+  CompiledProgram p;
+  p.code = std::move(program);
+  p.cycles = program_cycles(p.code);
+  return p;
+}
+
 const Gf163& Coprocessor::reg(Reg r) const {
   return regs_[static_cast<std::size_t>(r)];
 }
@@ -70,30 +104,29 @@ void Coprocessor::set_reg(Reg r, const Gf163& v) {
   regs_[static_cast<std::size_t>(r)] = v;
 }
 
-void Coprocessor::emit_cycles(std::size_t n, const CycleRecord& proto,
-                              ExecResult& out) {
-  // Convert one prototype record into n identical accounting cycles is
-  // wrong for energy (events happen once) — so the caller always passes
-  // n == 1 for event-carrying cycles and uses this helper only for
-  // filler cycles. Kept as a seam for clarity.
-  for (std::size_t i = 0; i < n; ++i) {
-    out.cycles += 1;
-    CycleRecord rec = proto;
-    rec.key_bit = current_key_bit_;
-    rec.iteration = current_iteration_;
-    if (config_.secure.uniform_clock_gating) rec.clocked_reg_mask = 0x3F;
-    const double ge =
-        ActivityWeights::kRegisterBit * rec.reg_write_toggles +
-        ActivityWeights::kLogicNode * (rec.logic_toggles + rec.bus_toggles +
-                                       rec.mux_control_toggles) +
-        ActivityWeights::clock_tree_per_cycle(area_ge_) *
-            (std::popcount(rec.clocked_reg_mask) / 6.0);
-    out.ge_toggles += ge;
-    if (config_.record_cycles) out.records.push_back(rec);
+void Coprocessor::emit(CycleRecord& rec, ExecResult& out, CycleSink* sink) {
+  out.cycles += 1;
+  rec.key_bit = current_key_bit_;
+  rec.iteration = current_iteration_;
+  double clock_ge;
+  if (config_.secure.uniform_clock_gating) {
+    // All six branches fire: popcount/6 is exactly 1.
+    rec.clocked_reg_mask = 0x3F;
+    clock_ge = clock_tree_ge_;
+  } else {
+    clock_ge = clock_tree_ge_ * (std::popcount(rec.clocked_reg_mask) / 6.0);
   }
+  const double ge =
+      ActivityWeights::kRegisterBit * rec.reg_write_toggles +
+      ActivityWeights::kLogicNode * (rec.logic_toggles + rec.bus_toggles +
+                                     rec.mux_control_toggles) +
+      clock_ge;
+  out.ge_toggles += ge;
+  if (sink) sink->on_cycle(rec, ge);
 }
 
-void Coprocessor::run_instruction(const Instruction& ins, ExecResult& out) {
+void Coprocessor::run_instruction(const Instruction& ins, ExecResult& out,
+                                  CycleSink* sink) {
   const bool isolated = config_.secure.isolate_datapath_inputs;
 
   auto fetch_cycle = [&](const Gf163& operand, Gf163& bus) {
@@ -107,7 +140,7 @@ void Coprocessor::run_instruction(const Instruction& ins, ExecResult& out) {
     if (!isolated)
       rec.logic_toggles = static_cast<std::uint16_t>(2 * rec.bus_toggles);
     bus = operand;
-    emit_cycles(1, rec, out);
+    emit(rec, out, sink);
   };
 
   auto writeback_cycle = [&](Reg rd, const Gf163& value,
@@ -125,14 +158,14 @@ void Coprocessor::run_instruction(const Instruction& ins, ExecResult& out) {
       rec.clocked_reg_mask =
           static_cast<std::uint8_t>(1u << static_cast<unsigned>(rd));
     dst = value;
-    emit_cycles(1, rec, out);
+    emit(rec, out, sink);
   };
 
   auto issue_cycle = [&] {
     CycleRecord rec;
     rec.op = ins.op;
     rec.mux_control_toggles = kIssueToggles;
-    emit_cycles(1, rec, out);
+    emit(rec, out, sink);
   };
 
   switch (ins.op) {
@@ -143,18 +176,24 @@ void Coprocessor::run_instruction(const Instruction& ins, ExecResult& out) {
       issue_cycle();
       fetch_cycle(a, bus_a_);
       fetch_cycle(b, bus_b_);
-      const MaluResult mr = malu_.multiply(a, b);
-      for (const MaluCycle& mc : mr.activity) {
+      // The MALU pass streams its activity straight into the sink: the
+      // per-cycle records appear in execution order with no intermediate
+      // MaluResult materialization.
+      const Gf163 product = malu_.multiply_stream(
+          a, b, [&](std::uint32_t acc_toggles, std::uint32_t logic_toggles) {
+            CycleRecord rec;
+            rec.op = ins.op;
+            rec.reg_write_toggles = static_cast<std::uint16_t>(acc_toggles);
+            rec.logic_toggles = static_cast<std::uint16_t>(logic_toggles);
+            emit(rec, out, sink);
+          });
+      // Pipeline fill/drain: two light cycles.
+      for (int i = 0; i < 2; ++i) {
         CycleRecord rec;
         rec.op = ins.op;
-        rec.reg_write_toggles = static_cast<std::uint16_t>(mc.acc_toggles);
-        rec.logic_toggles = static_cast<std::uint16_t>(mc.logic_toggles);
-        if (!config_.secure.uniform_clock_gating) rec.clocked_reg_mask = 0;
-        emit_cycles(1, rec, out);
+        emit(rec, out, sink);
       }
-      // Pipeline fill/drain: two light cycles.
-      emit_cycles(2, CycleRecord{.op = ins.op}, out);
-      writeback_cycle(ins.rd, mr.product);
+      writeback_cycle(ins.rd, product);
       break;
     }
     case Op::kAdd: {
@@ -193,15 +232,38 @@ void Coprocessor::run_instruction(const Instruction& ins, ExecResult& out) {
                                   : std::uint16_t{0};
       }
       select_ = ins.select;
-      emit_cycles(1, rec, out);
+      emit(rec, out, sink);
       break;
     }
   }
 }
 
-ExecResult Coprocessor::execute(const std::vector<Instruction>& program) {
+void Coprocessor::run_program(const CompiledProgram& program, ExecResult& out,
+                              CycleSink* sink) {
+  for (const Instruction& ins : program.code)
+    run_instruction(ins, out, sink);
+}
+
+ExecResult Coprocessor::execute(const std::vector<Instruction>& program,
+                                CycleSink* sink) {
   ExecResult out;
-  for (const Instruction& ins : program) run_instruction(ins, out);
+  for (const Instruction& ins : program) run_instruction(ins, out, sink);
+  return out;
+}
+
+ExecResult Coprocessor::execute(const std::vector<Instruction>& program) {
+  if (!config_.record_cycles) return execute(program, nullptr);
+  std::vector<CycleRecord> records;
+  records.reserve(program_cycles(program));
+  RecordSink sink(records);
+  ExecResult out = execute(program, &sink);
+  out.records = std::move(records);
+  return out;
+}
+
+ExecResult Coprocessor::zeroize(bool keep_result) {
+  ExecResult out;
+  run_program(sched_.zeroize[keep_result ? 1 : 0], out, nullptr);
   return out;
 }
 
@@ -351,9 +413,22 @@ std::vector<Instruction> zeroize(bool keep_result) {
 
 }  // namespace microcode
 
+std::size_t Coprocessor::point_mult_cycles(
+    std::size_t num_key_bits, const PointMultOptions& options) const {
+  const std::size_t iterations =
+      num_key_bits - (options.neutral_init ? 0 : 1);
+  const std::size_t init =
+      sched_.init_cycles[options.neutral_init ? 1 : 0]
+                        [options.z_randomizers ? 1 : 0];
+  return init + iterations * sched_.step[0].cycles +
+         options.dummy_ops.size() * sched_.dummy[0].cycles +
+         sched_.affine.cycles;
+}
+
 PointMultResult Coprocessor::point_mult(const std::vector<int>& key_bits,
                                         const gf2m::Gf163& x,
-                                        const PointMultOptions& options) {
+                                        const PointMultOptions& options,
+                                        CycleSink* sink) {
   if (!options.neutral_init && (key_bits.size() < 2 || key_bits.front() != 1))
     throw std::invalid_argument(
         "Coprocessor::point_mult: key_bits must be a padded scalar with a "
@@ -381,8 +456,7 @@ PointMultResult Coprocessor::point_mult(const std::vector<int>& key_bits,
   }
   auto run_jitter = [&](std::size_t boundary, ExecResult& total) {
     for (const int sel : jitter[boundary])
-      for (const auto& ins : microcode::dummy_unit(sel))
-        run_instruction(ins, total);
+      run_program(sched_.dummy[sel], total, sink);
   };
 
   PointMultResult r;
@@ -396,22 +470,21 @@ PointMultResult Coprocessor::point_mult(const std::vector<int>& key_bits,
   set_reg(Reg::kXP, x);
   ExecResult total;
 
-  // Load + init phase.
+  // Load + init phase (per-call immediates; cost is shape-constant).
   for (const auto& ins :
        options.neutral_init
            ? microcode::ladder_init_neutral(options.z_randomizers)
            : microcode::ladder_init(options.z_randomizers))
-    run_instruction(ins, total);
+    run_instruction(ins, total, sink);
 
-  // Ladder: one iteration per remaining key bit, MSB first. Jitter units
-  // (ground truth iteration = 0xffff: they are not ladder iterations)
-  // interleave at their drawn boundaries.
+  // Ladder: one compiled step fragment per remaining key bit, MSB first.
+  // Jitter units (ground truth iteration = 0xffff: they are not ladder
+  // iterations) interleave at their drawn boundaries.
   for (std::size_t i = first_idx; i < key_bits.size(); ++i) {
     run_jitter(i - first_idx, total);
     current_key_bit_ = static_cast<std::int8_t>(key_bits[i]);
     current_iteration_ = static_cast<std::uint16_t>(i - first_idx);
-    for (const auto& ins : microcode::ladder_step(key_bits[i]))
-      run_instruction(ins, total);
+    run_program(sched_.step[key_bits[i] ? 1 : 0], total, sink);
     current_key_bit_ = -1;
     current_iteration_ = 0xffff;
   }
@@ -427,8 +500,7 @@ PointMultResult Coprocessor::point_mult(const std::vector<int>& key_bits,
   if (r.z1.is_zero()) {
     r.result_is_infinity = true;
   } else {
-    for (const auto& ins : microcode::affine_conversion())
-      run_instruction(ins, total);
+    run_program(sched_.affine, total, sink);
     r.x_affine = reg(Reg::kX1);
   }
 
@@ -440,6 +512,19 @@ PointMultResult Coprocessor::point_mult(const std::vector<int>& key_bits,
                    static_cast<double>(r.exec.cycles) / config_.tech.clock_hz;
   r.seconds = static_cast<double>(r.exec.cycles) / config_.tech.clock_hz;
   r.avg_power_w = r.seconds > 0 ? r.energy_j / r.seconds : 0.0;
+  return r;
+}
+
+PointMultResult Coprocessor::point_mult(const std::vector<int>& key_bits,
+                                        const gf2m::Gf163& x,
+                                        const PointMultOptions& options) {
+  if (!config_.record_cycles) return point_mult(key_bits, x, options, nullptr);
+  std::vector<CycleRecord> records;
+  if (!key_bits.empty())
+    records.reserve(point_mult_cycles(key_bits.size(), options));
+  RecordSink sink(records);
+  PointMultResult r = point_mult(key_bits, x, options, &sink);
+  r.exec.records = std::move(records);
   return r;
 }
 

@@ -18,6 +18,17 @@
 // suppresses it, is recorded per cycle in CycleRecord and interpreted by
 // the side-channel layer (sidechannel/leakage.h).
 //
+// Execution model (PR 5): the per-iteration microcode fragments are
+// compiled once per co-processor into flat CompiledProgram streams (the
+// latency of every instruction is an architecture constant, so a compiled
+// fragment knows its exact cycle cost before it runs), and each executed
+// cycle streams into a CycleSink instead of forcing a materialized
+// std::vector<CycleRecord>. The legacy record-materializing path is a
+// RecordSink over the same stream — bit-identical, asserted by pinned
+// digests in tests — and the energy summary (cycles + weighted toggles)
+// accumulates on every path, so energy-only callers pay for no records at
+// all.
+//
 // Every point multiplication is cross-checked in tests against the
 // algorithmic ladder in ecc/ladder.h.
 #pragma once
@@ -43,7 +54,8 @@ const char* reg_name(Reg r);
 
 /// Micro-instruction opcodes. Latencies (model cycles) are constants of
 /// the architecture, independent of operand values *and* of the key:
-///   MUL/SQR : ceil(163/d) + 4   (issue, two operand fetches, writeback)
+///   MUL/SQR : ceil(163/d) + 6   (issue, two operand fetches, fill/drain,
+///                                writeback)
 ///   ADD     : 3                 (issue, XOR array, writeback)
 ///   MOV     : 2
 ///   LDI     : 2                 (load immediate 0/1/x into a register)
@@ -80,6 +92,33 @@ struct CycleRecord {
   Op op = Op::kSelSet;
 };
 
+/// Streaming consumer of executed model cycles — the primary output path
+/// of the co-processor. on_cycle runs once per cycle, in execution order,
+/// with the finalized record (ground-truth key bit / iteration and the
+/// clock-gating mask already applied) and the cycle's weighted GE-toggle
+/// total. The record stream is identical, field for field and cycle for
+/// cycle, to what the legacy ExecResult::records path materializes.
+class CycleSink {
+ public:
+  virtual ~CycleSink() = default;
+  virtual void on_cycle(const CycleRecord& rec, double ge_toggles) = 0;
+};
+
+/// The record-materializing sink: appends every cycle to a caller-owned
+/// vector. Kept for consumers that genuinely need raw records (profiling,
+/// the ISA audit's telemetry checks, E9's record-keyed scans); everything
+/// else should fold the stream instead.
+class RecordSink final : public CycleSink {
+ public:
+  explicit RecordSink(std::vector<CycleRecord>& out) : out_(&out) {}
+  void on_cycle(const CycleRecord& rec, double) override {
+    out_->push_back(rec);
+  }
+
+ private:
+  std::vector<CycleRecord>* out_;
+};
+
 /// Circuit/architecture countermeasure switches (§5–§6). Defaults are the
 /// protected configuration of the prototype chip; the ablation benches
 /// switch them off one at a time.
@@ -101,16 +140,27 @@ struct CoprocessorConfig {
   std::size_t digit_size = 4;   ///< the paper's chosen MALU width
   SecureConfig secure;
   Technology tech = Technology::umc130();
-  /// Keep per-cycle records (needed by side-channel experiments; the
-  /// energy summary is available either way).
+  /// Keep per-cycle records on the sink-less point_mult/execute calls
+  /// (needed by record consumers; the energy summary is available either
+  /// way, and the explicit-sink overloads ignore this switch).
   bool record_cycles = true;
+};
+
+/// A microcode fragment compiled against one co-processor configuration:
+/// the flat instruction stream plus its fixed cycle cost. Latencies are
+/// architecture constants (the §5 timing countermeasure), so the cost is
+/// known before execution — which is also what lets callers reserve
+/// record/sample storage exactly.
+struct CompiledProgram {
+  std::vector<Instruction> code;
+  std::size_t cycles = 0;  ///< sum of per-instruction latencies
 };
 
 /// Result of one micro-program execution.
 struct ExecResult {
   std::size_t cycles = 0;
   double ge_toggles = 0.0;          ///< weighted total (see activity.h)
-  std::vector<CycleRecord> records; ///< empty unless record_cycles
+  std::vector<CycleRecord> records; ///< empty unless the record path ran
 };
 
 /// Result of a full x-only point multiplication.
@@ -163,10 +213,38 @@ class Coprocessor {
   /// Latency constants (model cycles).
   std::size_t latency(Op op) const;
 
-  /// Execute a raw micro-program against the current register file.
+  /// Compile a microcode stream against this configuration: flat code
+  /// plus the exact cycle cost it will execute in.
+  CompiledProgram compile(std::vector<Instruction> program) const;
+
+  /// Just the cycle cost of a microcode stream (the sum of latencies),
+  /// without retaining the code.
+  std::size_t program_cycles(const std::vector<Instruction>& program) const;
+
+  /// Execute a raw micro-program against the current register file,
+  /// streaming every cycle into `sink` (nullptr = energy summary only).
+  /// The returned ExecResult carries cycles + ge_toggles; records stay
+  /// empty — attach a RecordSink to materialize them.
+  ExecResult execute(const std::vector<Instruction>& program,
+                     CycleSink* sink);
+
+  /// Legacy entry point: materializes records when config().record_cycles
+  /// is set (reserved up front from the program's compiled cycle total),
+  /// otherwise runs the energy-only path.
   ExecResult execute(const std::vector<Instruction>& program);
 
-  /// Full x-only Montgomery-ladder point multiplication.
+  /// Exact cycle count of one point multiplication over `num_key_bits`
+  /// scalar bits under `options` — a closed-form configuration constant
+  /// (the §5 constant-time argument, mechanized): init + iterations ×
+  /// ladder step + jitter units + affine conversion. The affine cycles
+  /// are included; the degenerate result-at-infinity case (impossible for
+  /// validated subgroup inputs) skips them and executes fewer.
+  std::size_t point_mult_cycles(std::size_t num_key_bits,
+                                const PointMultOptions& options) const;
+
+  /// Full x-only Montgomery-ladder point multiplication, streaming every
+  /// cycle into `sink` (nullptr = energy summary only; the returned
+  /// exec.records stay empty either way).
   ///
   /// key_bits: the *padded* scalar, MSB first, key_bits.front() == 1
   /// (see ecc::constant_length_scalar). x: affine x of the base point,
@@ -176,7 +254,20 @@ class Coprocessor {
   /// key_bits.size() iterations run from the neutral (O, P) start.
   PointMultResult point_mult(const std::vector<int>& key_bits,
                              const gf2m::Gf163& x,
+                             const PointMultOptions& options,
+                             CycleSink* sink);
+
+  /// Legacy entry point: materializes exec.records when
+  /// config().record_cycles is set (reserved up front from the compiled
+  /// cycle total), otherwise runs the energy-only path.
+  PointMultResult point_mult(const std::vector<int>& key_bits,
+                             const gf2m::Gf163& x,
                              const PointMultOptions& options = {});
+
+  /// Clear the working registers through the cached zeroize microcode
+  /// (energy-only: the controller discards the telemetry of this step).
+  /// See microcode::zeroize for the §5 rationale.
+  ExecResult zeroize(bool keep_result = true);
 
   /// Direct register access (test/bench instrumentation; the modeled ISA
   /// itself has no key-export path — see core/isa_audit.h).
@@ -184,12 +275,31 @@ class Coprocessor {
   void set_reg(Reg r, const gf2m::Gf163& v);
 
  private:
-  void run_instruction(const Instruction& ins, ExecResult& out);
-  void emit_cycles(std::size_t n, const CycleRecord& proto, ExecResult& out);
+  void run_program(const CompiledProgram& program, ExecResult& out,
+                   CycleSink* sink);
+  void run_instruction(const Instruction& ins, ExecResult& out,
+                       CycleSink* sink);
+  void emit(CycleRecord& rec, ExecResult& out, CycleSink* sink);
 
   CoprocessorConfig config_;
   DigitSerialMultiplier malu_;
   double area_ge_;
+  /// Per-cycle clock-tree cost (precomputed once; see activity.h).
+  double clock_tree_ge_;
+  /// The compiled per-iteration schedule fragments: built once in the
+  /// constructor, replayed every point multiplication — no per-iteration
+  /// microcode regeneration.
+  struct Schedules {
+    CompiledProgram step[2];     ///< ladder_step(0/1)
+    CompiledProgram dummy[2];    ///< dummy_unit(0/1)
+    CompiledProgram affine;      ///< affine_conversion()
+    CompiledProgram zeroize[2];  ///< zeroize(keep_result = false/true)
+    /// Init cycle costs by [neutral_init][randomized] (the init code
+    /// itself carries per-call immediates and is rebuilt per run; its
+    /// cost is shape-constant).
+    std::size_t init_cycles[2][2] = {};
+  };
+  Schedules sched_;
   std::array<gf2m::Gf163, kNumRegs> regs_{};
   gf2m::Gf163 bus_a_, bus_b_;  ///< operand-bus state (for bus_toggles)
   int select_ = 0;             ///< ladder routing select state

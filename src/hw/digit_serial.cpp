@@ -1,9 +1,7 @@
 #include "hw/digit_serial.h"
 
-#include <bit>
 #include <stdexcept>
 
-#include "hw/activity.h"
 #include "rng/xoshiro.h"
 
 namespace medsec::hw {
@@ -14,120 +12,28 @@ using gf2m::Gf163;
 
 constexpr std::size_t kM = Gf163::kBits;  // 163
 
-int popcount(const Gf163& v) {
-  return std::popcount(v.limb(0)) + std::popcount(v.limb(1)) +
-         std::popcount(v.limb(2));
-}
-
-int hamming_distance(const Gf163& a, const Gf163& b) {
-  return popcount(a + b);  // XOR in characteristic 2
-}
-
-constexpr std::uint64_t kTop35 = (std::uint64_t{1} << 35) - 1;
-
-/// Multiply by x (shift left one bit) and reduce modulo
-/// f(x) = x^163 + x^7 + x^6 + x^3 + 1 — one slice of the shift network.
-Gf163 mulx(const Gf163& v) {
-  const std::uint64_t carry = (v.limb(2) >> 34) & 1;  // bit 162
-  Gf163 out{(v.limb(0) << 1), (v.limb(1) << 1) | (v.limb(0) >> 63),
-            ((v.limb(2) << 1) | (v.limb(1) >> 63)) & kTop35};
-  if (carry) out += Gf163{(1u << 7) | (1u << 6) | (1u << 3) | 1u};
-  return out;
-}
-
-/// v * x^d mod f(x) in one word-parallel step (1 <= d <= 32): shift the
-/// 163-bit value left across limbs, then fold the d overflow bits back
-/// with the pentanomial taps — bit-exact with d applications of mulx
-/// (folded tap bits land at positions <= d + 6 < 163, so they can never
-/// re-overflow within one step). This is the model's fast path; the
-/// hardware it models computes the same d-bit shift-reduce in one cycle.
-Gf163 shl_mod(const Gf163& v, std::size_t d) {
-  const std::uint64_t t = v.limb(2) >> (35 - d);  // bits 163..162+d
-  std::uint64_t l0 = v.limb(0) << d;
-  const std::uint64_t l1 = (v.limb(1) << d) | (v.limb(0) >> (64 - d));
-  const std::uint64_t l2 =
-      ((v.limb(2) << d) | (v.limb(1) >> (64 - d))) & kTop35;
-  l0 ^= t ^ (t << 3) ^ (t << 6) ^ (t << 7);
-  return Gf163{l0, l1, l2};
-}
-
-/// Extract d bits of b starting at bit position pos (may run off the top),
-/// word-parallel. Precondition: pos < 163, d <= 32.
-std::uint32_t digit_at(const Gf163& b, std::size_t pos, std::size_t d) {
-  const std::size_t limb = pos / 64;
-  const std::size_t off = pos % 64;
-  std::uint64_t v = b.limb(limb) >> off;
-  if (off + d > 64 && limb + 1 < Gf163::kLimbs)
-    v |= b.limb(limb + 1) << (64 - off);
-  return static_cast<std::uint32_t>(v & ((std::uint64_t{1} << d) - 1));
-}
-
-}  // namespace
-
-namespace {
 std::size_t validated_digit_size(std::size_t d) {
   if (d < 1 || d > 32)
     throw std::invalid_argument(
         "DigitSerialMultiplier: digit size must be in [1, 32]");
   return d;
 }
+
 }  // namespace
 
 DigitSerialMultiplier::DigitSerialMultiplier(std::size_t digit_size)
     : digit_size_(validated_digit_size(digit_size)),
       cycles_((kM + digit_size_ - 1) / digit_size_),
-      area_ge_(digit_serial_multiplier_ge(kM, digit_size_)) {}
+      area_ge_(digit_serial_multiplier_ge(kM, digit_size_)),
+      glitch_(ActivityWeights::glitch_factor(digit_size_)) {}
 
 MaluResult DigitSerialMultiplier::multiply(const Gf163& a,
                                            const Gf163& b) const {
   MaluResult r;
   r.activity.reserve(cycles_);
-
-  // Precompute a, a*x, ..., a*x^(d-1): the d partial-product rows that
-  // exist as wires in the hardware. Their aggregate weight drives the
-  // per-cycle row activity (all rows switch every cycle as the digit
-  // pattern changes, whether or not they are selected into the sum).
-  std::vector<Gf163> row(digit_size_);
-  row[0] = a;
-  int row_weight = popcount(a);
-  for (std::size_t j = 1; j < digit_size_; ++j) {
-    row[j] = mulx(row[j - 1]);
-    row_weight += popcount(row[j]);
-  }
-  const double glitch = ActivityWeights::glitch_factor(digit_size_);
-
-  Gf163 acc;  // accumulator register, cleared at start of the pass
-  const std::size_t d = digit_size_;
-  for (std::size_t c = 0; c < cycles_; ++c) {
-    // MSD first: cycle c consumes bits [pos, pos+d).
-    const std::size_t pos = (cycles_ - 1 - c) * d;
-    const std::uint32_t digit = digit_at(b, pos, d);
-
-    // acc <- acc * x^d mod f  (shift-reduce network, one word-parallel step)
-    const Gf163 shifted = shl_mod(acc, d);
-
-    // partial <- a * digit (selected partial-product rows XORed together)
-    Gf163 partial;
-    for (std::size_t j = 0; j < d; ++j)
-      if (digit & (1u << j)) partial += row[j];
-
-    const Gf163 next = shifted + partial;
-
-    // Activity: the accumulator register flips HD(acc, next) bits; the
-    // combinational cloud (d partial-product rows, the XOR reduction tree,
-    // the shift/reduce fabric) sees roughly one event per set wire, and
-    // glitches multiply with the tree depth (grows with d).
-    MaluCycle cyc;
-    cyc.acc_toggles = static_cast<std::uint32_t>(hamming_distance(acc, next));
-    cyc.logic_toggles = static_cast<std::uint32_t>(
-        glitch * (row_weight + popcount(partial) / 2 +
-                  popcount(shifted) / 2 + 8.0 * static_cast<double>(d)));
-    r.activity.push_back(cyc);
-
-    acc = next;
-  }
-
-  r.product = acc;
+  r.product = multiply_stream(a, b, [&](std::uint32_t acc, std::uint32_t lg) {
+    r.activity.push_back(MaluCycle{acc, lg});
+  });
   r.cycles = cycles_;
   return r;
 }

@@ -1,5 +1,6 @@
 #include "sidechannel/eval.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -7,7 +8,9 @@
 #include <utility>
 
 #include "gf2m/backend.h"
+#include "rng/xoshiro.h"
 #include "sidechannel/dpa.h"
+#include "sidechannel/spa.h"
 #include "sidechannel/trace_sim.h"
 #include "sidechannel/tvla.h"
 
@@ -102,6 +105,51 @@ TvlaReport run_tvla(const Curve& curve, const Scalar& k,
                               group(false, cfg.seed ^ 0x5EED'5EEDull));
 }
 
+/// One SPA cell: the §6 vectors against the row's ladder defense on a
+/// worst-case circuit. The profiling device is the attacker's own
+/// (known key, no ladder countermeasures, same leaky circuit); the
+/// victim is averaged through the SPA feature-extractor sink, so the
+/// cell never materializes a cycle trace.
+void run_spa_cell(const Curve& curve, const Scalar& k,
+                  const CountermeasureConfig& cm, const EvalConfig& cfg,
+                  EvalCell& cell) {
+  CycleSimConfig leaky;
+  leaky.coproc.secure.balanced_mux_encoding = false;
+  leaky.coproc.secure.uniform_clock_gating = false;
+  leaky.leakage.noise_sigma = 100.0;
+  leaky.rpc = false;
+  leaky.threads = cfg.threads;
+
+  // Profiling phase on a device under the attacker's control, running
+  // the SAME countermeasure configuration as the victim (the config is
+  // public; only its per-execution randomness is not). This keeps the
+  // schedule aligned — a defense only gets credit for smearing the
+  // positions (shuffle) or decorrelating the read bits (blinding), never
+  // for an init-length offset the attacker would trivially re-profile.
+  rng::Xoshiro256 prof_rng(cfg.seed ^ 0x5Ca5'CA5C'A5CA'5CA5ull);
+  CycleSimConfig prof = leaky;
+  prof.seed = cfg.seed ^ 0xBEEF'0001ull;
+  prof.countermeasures = cm;
+  const LadderSchedule schedule = profile_schedule(capture_cycle_trace(
+      curve, prof_rng.uniform_nonzero(curve.order()), curve.base_point(),
+      prof));
+
+  // Victim: same circuit, the row's ladder countermeasures, fresh
+  // randomness per averaged capture.
+  CycleSimConfig victim = leaky;
+  victim.countermeasures = cm;
+  victim.seed = cfg.seed ^ 0xBEEF'0002ull;
+  const SpaFeatures features = capture_averaged_spa_features(
+      curve, k, curve.base_point(), victim, schedule, cfg.spa_captures);
+
+  const SpaResult mux = mux_control_spa(features);
+  const SpaResult gating = clock_gating_spa(features);
+  cell.traces = cfg.spa_captures;
+  cell.accuracy = std::max(mux.accuracy, gating.accuracy);
+  cell.key_recovered = cell.accuracy >= 0.99;
+  cell.defense_holds = !cell.key_recovered;
+}
+
 void append_json_escaped(std::string& out, const std::string& s) {
   for (const char c : s) {
     if (c == '"' || c == '\\') out.push_back('\\');
@@ -117,6 +165,7 @@ const char* eval_attack_name(EvalAttack a) {
     case EvalAttack::kCpaWhiteBox: return "cpa-whitebox";
     case EvalAttack::kDom: return "dom";
     case EvalAttack::kTvla: return "tvla";
+    case EvalAttack::kSpa: return "spa";
   }
   return "?";
 }
@@ -134,7 +183,7 @@ EvalConfig EvalConfig::standard() {
   cfg.countermeasures.push_back(shuffle);
   cfg.countermeasures.push_back(CountermeasureConfig::full());
   cfg.attacks = {EvalAttack::kCpaKnownInput, EvalAttack::kCpaWhiteBox,
-                 EvalAttack::kDom, EvalAttack::kTvla};
+                 EvalAttack::kDom, EvalAttack::kTvla, EvalAttack::kSpa};
   cfg.traces = 400;
   cfg.bits_to_attack = 12;
   cfg.seed = 2024;
@@ -200,6 +249,8 @@ EvalMatrix run_eval_matrix(const Curve& curve, const Scalar& k,
           cell.tvla_max_t = rep.max_abs_t;
           cell.tvla_leaks = rep.leaks();
           cell.defense_holds = !rep.leaks();
+        } else if (attack == EvalAttack::kSpa) {
+          run_spa_cell(curve, k, cm, config, cell);
         } else {
           cell.traces = config.traces;
           const DpaResult r = run_recovery(curve, cache, cm, attack,

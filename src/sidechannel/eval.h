@@ -29,6 +29,15 @@ enum class EvalAttack {
   kCpaWhiteBox,    ///< §7 white-box: Z-randomizers known to the attacker
   kDom,            ///< Kocher difference-of-means variant
   kTvla,           ///< fixed-vs-random Welch t leakage assessment
+  /// The §6 SPA vectors (mux-control + clock-gating) against the
+  /// cycle-accurate co-processor victim on a worst-case circuit (naive
+  /// mux encoding, data-dependent gating): profile the schedule on the
+  /// attacker's own device, average the victim through the SPA
+  /// feature-extractor sink, classify. Evaluates whether the row's
+  /// *ladder-level* defense alone defeats a leaky circuit — shuffle does
+  /// (positions smear), blinding decorrelates the read bits from k, rpc
+  /// and base blinding do not touch the select-line schedule.
+  kSpa,
 };
 
 const char* eval_attack_name(EvalAttack a);
@@ -49,11 +58,14 @@ struct EvalConfig {
   /// attacks only); empty = skip the sweep.
   std::vector<std::size_t> break_sweep;
   std::size_t tvla_traces_per_group = 120;
+  /// Averaged victim captures per SPA cell (the attacker's standard
+  /// noise-reduction step; pooled via `threads`).
+  std::size_t spa_captures = 8;
   std::uint64_t seed = 1;            ///< campaign seed (deterministic)
   std::size_t threads = 0;           ///< 0 = every hardware thread
 
   /// The bench's standard grid: none / rpc / blind / base / shuffle /
-  /// full against all four attacks.
+  /// full against all five attacks.
   static EvalConfig standard();
 };
 

@@ -1,10 +1,7 @@
 #include "sidechannel/leakage.h"
 
-#include <bit>
 #include <cmath>
 #include <numbers>
-
-#include "hw/activity.h"
 
 namespace medsec::sidechannel {
 
@@ -17,49 +14,38 @@ const char* logic_style_name(LogicStyle s) {
   return "?";
 }
 
-double style_power(const LeakageParams& p, double data_toggles,
-                   double baseline_ge, double total_area_ge) {
-  switch (p.style) {
-    case LogicStyle::kCmos:
-      return data_toggles + baseline_ge;
-    case LogicStyle::kWddl:
-      // Every dual-rail gate fires once per cycle: a large constant, plus
-      // the imbalance-scaled residue of the data component. Area (and the
-      // constant) is ~3x the single-rail design.
-      return p.dual_rail_activity * total_area_ge * hw::LogicStyleOverhead::kWddl +
-             p.wddl_imbalance * data_toggles + baseline_ge;
-    case LogicStyle::kSabl:
-      return p.dual_rail_activity * total_area_ge * hw::LogicStyleOverhead::kSabl +
-             p.sabl_imbalance * data_toggles + baseline_ge;
-  }
-  return 0.0;
-}
-
-double cycle_sample(const LeakageParams& p, const hw::CycleRecord& rec,
-                    double area_ge, rng::RandomSource& noise_rng) {
+double cycle_sample_noiseless(const LeakageParams& p,
+                              const hw::CycleRecord& rec, double area_ge) {
   using hw::ActivityWeights;
   const double data =
       ActivityWeights::kRegisterBit * rec.reg_write_toggles +
       ActivityWeights::kLogicNode *
           (rec.logic_toggles + rec.bus_toggles + rec.mux_control_toggles);
-  // Clock tree: each register's branch has a slightly different load
-  // (§6: layout asymmetry). With uniform gating all six branches fire
-  // every cycle and the skews cancel to a constant; with data-dependent
-  // gating the fired subset — and hence the amplitude — identifies which
-  // register was written ("the mere fact that a different set of
-  // registers is gated can be linked ... directly or indirectly to the
-  // key").
-  // Order: X1, Z1, X2, Z2, T, XP. Skews sum to zero so the uniform-gating
-  // total is exactly the nominal tree cost.
-  static constexpr double kBranchSkew[6] = {+0.15, +0.05, -0.10,
-                                            -0.02, +0.04, -0.12};
-  const double branch_unit = ActivityWeights::clock_tree_per_cycle(area_ge) / 6.0;
+  const double branch_unit =
+      ActivityWeights::clock_tree_per_cycle(area_ge) / 6.0;
   double baseline = 0.0;
   for (int r = 0; r < 6; ++r)
     if (rec.clocked_reg_mask & (1u << r))
-      baseline += branch_unit * (1.0 + kBranchSkew[r]);
-  return style_power(p, data, baseline, area_ge) +
-         gaussian(noise_rng, p.noise_sigma);
+      baseline += branch_unit * (1.0 + kClockBranchSkew[r]);
+  return style_power(p, data, baseline, area_ge);
+}
+
+CycleSampler::CycleSampler(const LeakageParams& p, double area_ge,
+                           rng::RandomSource& noise_rng)
+    : params_(p), area_ge_(area_ge), rng_(&noise_rng) {
+  const double branch_unit =
+      hw::ActivityWeights::clock_tree_per_cycle(area_ge) / 6.0;
+  baseline_uniform_ = 0.0;
+  for (int r = 0; r < 6; ++r) {
+    branch_cost_[r] = branch_unit * (1.0 + kClockBranchSkew[r]);
+    baseline_uniform_ += branch_cost_[r];
+  }
+}
+
+double cycle_sample(const LeakageParams& p, const hw::CycleRecord& rec,
+                    double area_ge, rng::RandomSource& noise_rng) {
+  return cycle_sample_noiseless(p, rec, area_ge) +
+         fast_gaussian(noise_rng, p.noise_sigma);
 }
 
 double gaussian(rng::RandomSource& rng, double sigma) {
@@ -71,6 +57,81 @@ double gaussian(rng::RandomSource& rng, double sigma) {
       static_cast<double>(rng.next_u64() >> 11) / 9007199254740992.0;
   return sigma * std::sqrt(-2.0 * std::log(u1)) *
          std::cos(2.0 * std::numbers::pi * u2);
+}
+
+namespace {
+
+/// Marsaglia–Tsang ziggurat tables for the standard normal, 128 layers.
+/// Built once at first use from the canonical constants (R = x_127,
+/// V = the common layer area); everything below is plain IEEE double
+/// arithmetic, so the sampler is deterministic for a given draw stream.
+struct ZigguratTables {
+  std::uint32_t kn[128];
+  double wn[128];
+  double fn[128];
+
+  ZigguratTables() {
+    constexpr double m1 = 2147483648.0;  // 2^31
+    constexpr double vn = 9.91256303526217e-3;
+    double dn = 3.442619855899;
+    double tn = dn;
+    const double q = vn / std::exp(-0.5 * dn * dn);
+    kn[0] = static_cast<std::uint32_t>((dn / q) * m1);
+    kn[1] = 0;
+    wn[0] = q / m1;
+    wn[127] = dn / m1;
+    fn[0] = 1.0;
+    fn[127] = std::exp(-0.5 * dn * dn);
+    for (int i = 126; i >= 1; --i) {
+      dn = std::sqrt(-2.0 * std::log(vn / dn + std::exp(-0.5 * dn * dn)));
+      kn[i + 1] = static_cast<std::uint32_t>((dn / tn) * m1);
+      tn = dn;
+      fn[i] = std::exp(-0.5 * dn * dn);
+      wn[i] = dn / m1;
+    }
+  }
+};
+
+const ZigguratTables& zig_tables() {
+  static const ZigguratTables t;
+  return t;
+}
+
+/// Uniform double in (0, 1] from the top 53 bits of one u64 draw.
+inline double uniform01(rng::RandomSource& rng) {
+  return (static_cast<double>(rng.next_u64() >> 11) + 1.0) * 0x1p-53;
+}
+
+}  // namespace
+
+double fast_gaussian(rng::RandomSource& rng, double sigma) {
+  if (sigma <= 0.0) return 0.0;
+  const ZigguratTables& t = zig_tables();
+  constexpr double kR = 3.442619855899;  // start of the tail
+  for (;;) {
+    const auto hz = static_cast<std::int32_t>(rng.next_u64());
+    const std::size_t iz = static_cast<std::size_t>(hz & 127);
+    const auto mag = static_cast<std::uint32_t>(
+        hz < 0 ? -static_cast<std::int64_t>(hz) : static_cast<std::int64_t>(hz));
+    // Fast path (~98.8%): inside the layer's guaranteed rectangle.
+    if (mag < t.kn[iz]) return sigma * (hz * t.wn[iz]);
+    if (iz == 0) {
+      // Base layer: exponential-majorized tail beyond R.
+      double x, y;
+      do {
+        x = -std::log(uniform01(rng)) / kR;
+        y = -std::log(uniform01(rng));
+      } while (y + y < x * x);
+      const double v = kR + x;
+      return sigma * (hz > 0 ? v : -v);
+    }
+    // Wedge: accept against the density between the layer bounds.
+    const double x = hz * t.wn[iz];
+    if (t.fn[iz] + uniform01(rng) * (t.fn[iz - 1] - t.fn[iz]) <
+        std::exp(-0.5 * x * x))
+      return sigma * x;
+    // Rejected: redraw.
+  }
 }
 
 }  // namespace medsec::sidechannel

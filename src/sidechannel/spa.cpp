@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "rng/xoshiro.h"
+
 namespace medsec::sidechannel {
 
 namespace {
@@ -32,6 +34,53 @@ void score(SpaResult& r, const std::vector<int>& true_bits) {
                          static_cast<double>(r.recovered_bits.size());
 }
 
+SpaResult mux_spa_from_amplitudes(const std::vector<double>& amp,
+                                  const std::vector<int>& true_bits) {
+  if (amp.empty())
+    throw std::invalid_argument("mux_control_spa: empty schedule");
+  // Each spike encodes "select changed" = k_i xor k_{i-1}; the select
+  // line starts at 0 and the first processed bit follows the padded
+  // leading 1, so integrating the xor chain from 0 yields the key bits.
+  const std::vector<int> toggled = classify(amp);
+  SpaResult r;
+  r.recovered_bits.reserve(toggled.size());
+  int prev = 0;
+  for (const int t : toggled) {
+    const int bit = t ^ prev;
+    r.recovered_bits.push_back(bit);
+    prev = bit;
+  }
+  score(r, true_bits);
+  return r;
+}
+
+SpaResult gating_spa_from_amplitudes(const std::vector<double>& amp,
+                                     const std::vector<int>& true_bits) {
+  if (amp.empty())
+    throw std::invalid_argument("clock_gating_spa: empty schedule");
+  // The X1 clock branch carries the larger layout skew, and XB == X1
+  // exactly when the key bit is 1, so "high amplitude" decodes directly
+  // to a 1 bit.
+  SpaResult r;
+  r.recovered_bits = classify(amp);
+  score(r, true_bits);
+  return r;
+}
+
+std::vector<double> amplitudes_at(const CycleTrace& trace,
+                                  const std::vector<std::size_t>& cycles,
+                                  const char* who) {
+  std::vector<double> amp;
+  amp.reserve(cycles.size());
+  for (const std::size_t c : cycles) {
+    if (c >= trace.samples.size())
+      throw std::invalid_argument(std::string(who) +
+                                  ": schedule out of range");
+    amp.push_back(trace.samples[c]);
+  }
+  return amp;
+}
+
 }  // namespace
 
 LadderSchedule profile_schedule(const CycleTrace& profiling_trace) {
@@ -58,51 +107,103 @@ LadderSchedule profile_schedule(const CycleTrace& profiling_trace) {
   return s;
 }
 
+SpaFeatures capture_spa_features(const ecc::Curve& curve,
+                                 const ecc::Scalar& k, const ecc::Point& p,
+                                 const CycleSimConfig& config,
+                                 const LadderSchedule& schedule) {
+  if (schedule.selset_cycles.empty() && schedule.gated_write_cycles.empty())
+    throw std::invalid_argument("capture_spa_features: empty schedule");
+
+  hw::Coprocessor cop(config.coproc);
+  const CycleVictimPlan victim = plan_cycle_victim(curve, k, p, config);
+  rng::Xoshiro256 noise_rng(victim.noise_seed);
+
+  const std::size_t cycles =
+      cop.point_mult_cycles(victim.plan.key_bits.size(), victim.plan.options);
+  const auto in_range = [cycles](const std::vector<std::size_t>& v) {
+    return v.empty() || v.back() < cycles;
+  };
+  if (!in_range(schedule.selset_cycles) ||
+      !in_range(schedule.gated_write_cycles))
+    throw std::invalid_argument("capture_spa_features: schedule out of range");
+
+  SpaFeatures out;
+  out.true_bits = victim.true_bits;
+  out.selset_amplitudes.reserve(schedule.selset_cycles.size());
+  out.gated_write_amplitudes.reserve(schedule.gated_write_cycles.size());
+  SpaFeatureSink sink(config.leakage, cop.area_ge(), noise_rng, schedule,
+                      out);
+  cop.point_mult(victim.plan.key_bits, victim.plan.base.x,
+                 victim.plan.options, &sink);
+  return out;
+}
+
+SpaFeatures capture_averaged_spa_features(const ecc::Curve& curve,
+                                          const ecc::Scalar& k,
+                                          const ecc::Point& p,
+                                          const CycleSimConfig& config,
+                                          const LadderSchedule& schedule,
+                                          std::size_t num_captures) {
+  if (num_captures == 0)
+    throw std::invalid_argument("capture_averaged_spa_features: 0 captures");
+
+  SpaFeatures acc;
+  std::vector<SpaFeatures> extra(num_captures > 1 ? num_captures - 1 : 0);
+  dispatch_capture_blocks(
+      num_captures, config.threads, [&](std::size_t b, std::size_t e) {
+        for (std::size_t j = b; j < e; ++j) {
+          if (j == 0) {
+            acc = capture_spa_features(curve, k, p, config, schedule);
+          } else {
+            CycleSimConfig c2 = config;
+            // The trace average's seed derivation, so the POI averages
+            // stay bit-equal to the averaged trace (pinned by test).
+            c2.seed = averaged_capture_seed(config.seed, j);
+            extra[j - 1] = capture_spa_features(curve, k, p, c2, schedule);
+          }
+        }
+      });
+
+  // Capture-order fold, then divide: the POI average of the averaged
+  // trace, computed without the trace.
+  for (const SpaFeatures& f : extra) {
+    for (std::size_t i = 0; i < acc.selset_amplitudes.size(); ++i)
+      acc.selset_amplitudes[i] += f.selset_amplitudes[i];
+    for (std::size_t i = 0; i < acc.gated_write_amplitudes.size(); ++i)
+      acc.gated_write_amplitudes[i] += f.gated_write_amplitudes[i];
+  }
+  const double n = static_cast<double>(num_captures);
+  for (double& a : acc.selset_amplitudes) a /= n;
+  for (double& a : acc.gated_write_amplitudes) a /= n;
+  return acc;
+}
+
 SpaResult mux_control_spa(const CycleTrace& trace,
                           const LadderSchedule& schedule) {
   if (schedule.selset_cycles.empty())
     throw std::invalid_argument("mux_control_spa: empty schedule");
-  std::vector<double> amp;
-  amp.reserve(schedule.selset_cycles.size());
-  for (const std::size_t c : schedule.selset_cycles) {
-    if (c >= trace.samples.size())
-      throw std::invalid_argument("mux_control_spa: schedule out of range");
-    amp.push_back(trace.samples[c]);
-  }
-  // Each spike encodes "select changed" = k_i xor k_{i-1}; the select
-  // line starts at 0 and the first processed bit follows the padded
-  // leading 1, so integrating the xor chain from 0 yields the key bits.
-  const std::vector<int> toggled = classify(amp);
-  SpaResult r;
-  r.recovered_bits.reserve(toggled.size());
-  int prev = 0;
-  for (const int t : toggled) {
-    const int bit = t ^ prev;
-    r.recovered_bits.push_back(bit);
-    prev = bit;
-  }
-  score(r, trace.true_bits);
-  return r;
+  return mux_spa_from_amplitudes(
+      amplitudes_at(trace, schedule.selset_cycles, "mux_control_spa"),
+      trace.true_bits);
+}
+
+SpaResult mux_control_spa(const SpaFeatures& features) {
+  return mux_spa_from_amplitudes(features.selset_amplitudes,
+                                 features.true_bits);
 }
 
 SpaResult clock_gating_spa(const CycleTrace& trace,
                            const LadderSchedule& schedule) {
   if (schedule.gated_write_cycles.empty())
     throw std::invalid_argument("clock_gating_spa: empty schedule");
-  std::vector<double> amp;
-  amp.reserve(schedule.gated_write_cycles.size());
-  for (const std::size_t c : schedule.gated_write_cycles) {
-    if (c >= trace.samples.size())
-      throw std::invalid_argument("clock_gating_spa: schedule out of range");
-    amp.push_back(trace.samples[c]);
-  }
-  // The X1 clock branch carries the larger layout skew, and XB == X1
-  // exactly when the key bit is 1, so "high amplitude" decodes directly
-  // to a 1 bit.
-  SpaResult r;
-  r.recovered_bits = classify(amp);
-  score(r, trace.true_bits);
-  return r;
+  return gating_spa_from_amplitudes(
+      amplitudes_at(trace, schedule.gated_write_cycles, "clock_gating_spa"),
+      trace.true_bits);
+}
+
+SpaResult clock_gating_spa(const SpaFeatures& features) {
+  return gating_spa_from_amplitudes(features.gated_write_amplitudes,
+                                    features.true_bits);
 }
 
 }  // namespace medsec::sidechannel

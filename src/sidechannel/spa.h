@@ -20,6 +20,14 @@
 // profiling phase with an identical device that is under his total
 // control"): schedule positions are learned from a profiling capture on a
 // device with a known key, then applied to the victim trace.
+//
+// The feature-extractor path (SpaFeatureSink / capture_spa_features) runs
+// the same attacks without ever materializing a full cycle trace: the
+// sink leakage-samples every cycle (keeping the noise stream aligned with
+// a full capture — POI amplitudes are bit-identical to indexing a full
+// trace) but stores only the schedule's points of interest, ~163 doubles
+// instead of ~86k samples + records per capture. The averaged-victim
+// sweeps (E4, E9, the eval matrix's SPA cells) ride this sink.
 #pragma once
 
 #include <cstddef>
@@ -38,8 +46,73 @@ struct LadderSchedule {
 };
 
 /// Learn the schedule from a profiling capture (key-independent: the
-/// schedule is a constant of the microarchitecture).
+/// schedule is a constant of the microarchitecture). The capture must
+/// keep records.
 LadderSchedule profile_schedule(const CycleTrace& profiling_trace);
+
+/// The amplitudes at a schedule's points of interest — everything the two
+/// SPA classifiers consume — plus the scoring ground truth.
+struct SpaFeatures {
+  std::vector<double> selset_amplitudes;
+  std::vector<double> gated_write_amplitudes;
+  std::vector<int> true_bits;  ///< ground truth, scoring only
+};
+
+/// The SPA feature-extractor sink: samples every cycle like
+/// LeakageSampleSink (identical noise stream) but keeps only the POI
+/// amplitudes. Schedule cycle lists must be ascending (profile_schedule
+/// emits them that way).
+class SpaFeatureSink final : public hw::CycleSink {
+ public:
+  SpaFeatureSink(const LeakageParams& p, double area_ge,
+                 rng::RandomSource& noise_rng, const LadderSchedule& schedule,
+                 SpaFeatures& out)
+      : sampler_(p, area_ge, noise_rng), schedule_(&schedule), out_(&out) {}
+
+  void on_cycle(const hw::CycleRecord& rec, double) override {
+    const double sample = sampler_(rec);
+    if (next_selset_ < schedule_->selset_cycles.size() &&
+        schedule_->selset_cycles[next_selset_] == cycle_) {
+      out_->selset_amplitudes.push_back(sample);
+      ++next_selset_;
+    }
+    if (next_gated_ < schedule_->gated_write_cycles.size() &&
+        schedule_->gated_write_cycles[next_gated_] == cycle_) {
+      out_->gated_write_amplitudes.push_back(sample);
+      ++next_gated_;
+    }
+    ++cycle_;
+  }
+
+ private:
+  CycleSampler sampler_;
+  const LadderSchedule* schedule_;
+  SpaFeatures* out_;
+  std::size_t cycle_ = 0;
+  std::size_t next_selset_ = 0;
+  std::size_t next_gated_ = 0;
+};
+
+/// One victim execution, feature-extracted at the profiled schedule.
+/// Amplitudes are bit-identical to capture_cycle_trace(...).samples
+/// indexed at the schedule cycles (asserted by test). Throws if the
+/// schedule reaches beyond the execution (the victim's slot count is a
+/// configuration constant >= the profiling device's).
+SpaFeatures capture_spa_features(const ecc::Curve& curve,
+                                 const ecc::Scalar& k, const ecc::Point& p,
+                                 const CycleSimConfig& config,
+                                 const LadderSchedule& schedule);
+
+/// Averaged victim features over num_captures independent executions
+/// (seed + j derived, pool fan-out per config.threads, capture-order
+/// fold): exactly the POI amplitudes of capture_averaged_cycle_trace,
+/// at a ~500x smaller memory/averaging footprint.
+SpaFeatures capture_averaged_spa_features(const ecc::Curve& curve,
+                                          const ecc::Scalar& k,
+                                          const ecc::Point& p,
+                                          const CycleSimConfig& config,
+                                          const LadderSchedule& schedule,
+                                          std::size_t num_captures);
 
 struct SpaResult {
   std::vector<int> recovered_bits;  ///< aligned with true_bits[1..]
@@ -52,11 +125,13 @@ struct SpaResult {
 /// leading 1. `trace` should be an averaged capture of the victim.
 SpaResult mux_control_spa(const CycleTrace& trace,
                           const LadderSchedule& schedule);
+SpaResult mux_control_spa(const SpaFeatures& features);
 
 /// Clock-gating SPA: classify the gated writeback amplitudes into
 /// "X1-branch"/"X2-branch". Only informative when the victim runs with
 /// data-dependent clock gating.
 SpaResult clock_gating_spa(const CycleTrace& trace,
                            const LadderSchedule& schedule);
+SpaResult clock_gating_spa(const SpaFeatures& features);
 
 }  // namespace medsec::sidechannel

@@ -324,24 +324,21 @@ DpaExperiment generate_dpa_traces_serial(const Curve& curve, const Scalar& k,
   return out;
 }
 
-CycleTrace capture_cycle_trace(const Curve& curve, const Scalar& k,
-                               const Point& p, const CycleSimConfig& config) {
+CycleVictimPlan plan_cycle_victim(const Curve& curve, const Scalar& k,
+                                  const Point& p,
+                                  const CycleSimConfig& config) {
   if (p.infinity || p.x.is_zero())
     throw std::invalid_argument("capture_cycle_trace: bad base point");
 
-  hw::CoprocessorConfig cc = config.coproc;
-  cc.record_cycles = true;
-  hw::Coprocessor cop(cc);
-
   rng::Xoshiro256 rng(config.seed);
-  rng::Xoshiro256 noise_rng(config.seed ^ 0xA5A5'5A5A'1234'8765ull);
 
   const CountermeasureConfig cm = config.countermeasures.value_or(
       config.rpc ? CountermeasureConfig::rpc_only()
                  : CountermeasureConfig::none());
 
-  CycleTrace out;
+  CycleVictimPlan out;
   out.true_bits = padded_bits_of(curve, k);
+  out.noise_seed = config.seed ^ 0xA5A5'5A5A'1234'8765ull;
 
   // The same planner SecureEccProcessor::Session uses — one
   // implementation of the mask/blind/Z-randomizer/jitter draw order, so
@@ -350,17 +347,92 @@ CycleTrace capture_cycle_trace(const Curve& curve, const Scalar& k,
   // correction).
   std::optional<BaseBlindingPair> pair;
   ecc::Scalar pair_key{};
-  const HardenedCoprocPlan plan =
-      plan_hardened_coproc_mult(curve, cm, k, p, rng, pair, pair_key);
+  out.plan = plan_hardened_coproc_mult(curve, cm, k, p, rng, pair, pair_key);
+  return out;
+}
 
-  auto r = cop.point_mult(plan.key_bits, plan.base.x, plan.options);
+namespace {
+
+/// One fused capture into caller-provided storage, reusing a caller-owned
+/// co-processor (its register file is reset by point_mult): the averaged
+/// capture's block tasks run many captures through one co-processor and
+/// its compiled schedules. `samples` is cleared and reserved exactly from
+/// the compiled schedule's cycle total.
+void capture_cycle_trace_into(const Curve& curve, const Scalar& k,
+                              const Point& p, const CycleSimConfig& config,
+                              hw::Coprocessor& cop, Trace& samples,
+                              std::vector<hw::CycleRecord>* records) {
+  const CycleVictimPlan victim = plan_cycle_victim(curve, k, p, config);
+  rng::Xoshiro256 noise_rng(victim.noise_seed);
+
+  const std::size_t cycles =
+      cop.point_mult_cycles(victim.plan.key_bits.size(), victim.plan.options);
+  samples.clear();
+  samples.reserve(cycles);
+  if (records) {
+    records->clear();
+    records->reserve(cycles);
+  }
+  LeakageSampleSink sink(config.leakage, cop.area_ge(), noise_rng, samples,
+                         records);
+  cop.point_mult(victim.plan.key_bits, victim.plan.base.x,
+                 victim.plan.options, &sink);
+}
+
+}  // namespace
+
+CycleTrace capture_cycle_trace(const Curve& curve, const Scalar& k,
+                               const Point& p, const CycleSimConfig& config) {
+  hw::Coprocessor cop(config.coproc);
+  CycleTrace out;
+  out.true_bits = padded_bits_of(curve, k);
+  out.area_ge = cop.area_ge();
+  capture_cycle_trace_into(curve, k, p, config, cop, out.samples,
+                           config.keep_records ? &out.records : nullptr);
+  return out;
+}
+
+CycleTrace capture_cycle_trace_reference(const Curve& curve, const Scalar& k,
+                                         const Point& p,
+                                         const CycleSimConfig& config) {
+  hw::CoprocessorConfig cc = config.coproc;
+  cc.record_cycles = true;
+  hw::Coprocessor cop(cc);
+
+  const CycleVictimPlan victim = plan_cycle_victim(curve, k, p, config);
+  rng::Xoshiro256 noise_rng(victim.noise_seed);
+
+  CycleTrace out;
+  out.true_bits = victim.true_bits;
+
+  auto r = cop.point_mult(victim.plan.key_bits, victim.plan.base.x,
+                          victim.plan.options);
   out.area_ge = cop.area_ge();
   out.records = std::move(r.exec.records);
   out.samples.reserve(out.records.size());
   for (const auto& rec : out.records)
-    out.samples.push_back(
-        cycle_sample(config.leakage, rec, out.area_ge, noise_rng));
+    out.samples.push_back(cycle_sample_noiseless(config.leakage, rec,
+                                                 out.area_ge) +
+                          gaussian(noise_rng, config.leakage.noise_sigma));
   return out;
+}
+
+void dispatch_capture_blocks(
+    std::size_t n, std::size_t threads,
+    const std::function<void(std::size_t, std::size_t)>& run_block) {
+  std::unique_ptr<core::ThreadPool> own;
+  core::ThreadPool* pool =
+      n > 1 ? core::ThreadPool::for_config(threads, own) : nullptr;
+  if (pool == nullptr) {
+    run_block(0, n);
+    return;
+  }
+  // Blocks of a few captures per chunk: enough runners stay busy while
+  // each chunk amortizes its block-local state (the reused co-processor
+  // and its compiled schedules) across the captures it runs.
+  const std::size_t grain =
+      std::max<std::size_t>(1, n / (4 * (pool->size() + 1)));
+  pool->parallel_for(n, grain, run_block);
 }
 
 CycleTrace capture_averaged_cycle_trace(const Curve& curve, const Scalar& k,
@@ -371,19 +443,27 @@ CycleTrace capture_averaged_cycle_trace(const Curve& curve, const Scalar& k,
     throw std::invalid_argument("capture_averaged_cycle_trace: 0 captures");
 
   // Cycle-accurate captures are independent (each gets its own derived
-  // seed), so they fan out across the pool; the fold below runs in
-  // capture order, making the average bit-identical to the serial loop.
+  // seed), so blocks of them fan out across the pool — each block task
+  // reuses ONE co-processor (and its compiled schedules) for all its
+  // captures. The fold below runs in capture order, making the average
+  // bit-identical to the serial loop at any thread count.
   CycleTrace acc;
   std::vector<Trace> extra(num_captures > 1 ? num_captures - 1 : 0);
-  core::ThreadPool::shared().parallel_for(
-      num_captures, 1, [&](std::size_t b, std::size_t e) {
+  dispatch_capture_blocks(
+      num_captures, config.threads, [&](std::size_t b, std::size_t e) {
+        hw::Coprocessor cop(config.coproc);
         for (std::size_t j = b; j < e; ++j) {
           if (j == 0) {
-            acc = capture_cycle_trace(curve, k, p, config);
+            acc.true_bits = padded_bits_of(curve, k);
+            acc.area_ge = cop.area_ge();
+            capture_cycle_trace_into(curve, k, p, config, cop, acc.samples,
+                                     config.keep_records ? &acc.records
+                                                         : nullptr);
           } else {
             CycleSimConfig c2 = config;
-            c2.seed = config.seed + 0x1000 * j;  // fresh noise + randomizers
-            extra[j - 1] = capture_cycle_trace(curve, k, p, c2).samples;
+            c2.seed = averaged_capture_seed(config.seed, j);
+            capture_cycle_trace_into(curve, k, p, c2, cop, extra[j - 1],
+                                     /*records=*/nullptr);
           }
         }
       });

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -133,18 +134,80 @@ struct CycleSimConfig {
   /// the widened neutral-init microcode; shuffled schedules insert the
   /// co-processor's dummy jitter units at RNG-chosen boundaries.
   std::optional<CountermeasureConfig> countermeasures;
+  /// Materialize the per-cycle ground-truth records in the returned
+  /// CycleTrace. Sampling is sink-fused either way; records only matter
+  /// to record consumers (profile_schedule, E9's record-keyed variance
+  /// scan), and skipping them saves the capture's dominant allocation.
+  bool keep_records = true;
+  /// Pool fan-out for capture_averaged_cycle_trace: 0 = the shared
+  /// core::ThreadPool, 1 = run entirely on the calling thread, k >= 2 =
+  /// exactly k runners. The averaged trace is bit-identical at any value
+  /// (capture-order fold, counter-derived per-capture seeds).
+  std::size_t threads = 0;
 };
 
-/// Run the co-processor once on (k, P) and measure every cycle.
+/// One planned cycle-accurate victim execution: the co-processor inputs
+/// (from the shared SecureEccProcessor planner — one draw-order
+/// discipline for every cycle-accurate victim), the scoring ground
+/// truth, and the derived noise seed. Shared by every sink composition:
+/// the trace capture, the record capture, and the SPA feature extractor.
+struct CycleVictimPlan {
+  HardenedCoprocPlan plan;
+  std::vector<int> true_bits;
+  std::uint64_t noise_seed = 0;
+};
+
+/// Build the victim plan for one capture under `config` (validates the
+/// base point; draws masks/blinds/randomizers/jitter from the capture's
+/// counter-derived RNG in THE fixed order).
+CycleVictimPlan plan_cycle_victim(const ecc::Curve& curve,
+                                  const ecc::Scalar& k, const ecc::Point& p,
+                                  const CycleSimConfig& config);
+
+/// Capture j of an averaged sweep runs at this derived seed — ONE
+/// derivation shared by the trace and SPA-feature averages (their
+/// cross-equality is pinned by test).
+inline std::uint64_t averaged_capture_seed(std::uint64_t base,
+                                           std::size_t j) {
+  return base + 0x1000 * static_cast<std::uint64_t>(j);
+}
+
+/// Run `run_block(b, e)` over the capture indices [0, n) under the
+/// averaged-capture threads knob (0 = the shared core::ThreadPool, 1 =
+/// the calling thread only, k >= 2 = exactly k runners), blocks of a few
+/// captures per chunk so each task amortizes its co-processor. Chunk
+/// geometry never affects output — every capture derives its own seed
+/// and the callers fold in capture order.
+void dispatch_capture_blocks(
+    std::size_t n, std::size_t threads,
+    const std::function<void(std::size_t, std::size_t)>& run_block);
+
+/// Run the co-processor once on (k, P) and measure every cycle. The
+/// leakage-sampler sink folds leakage::cycle_sample into the execution
+/// pass: samples fill in as cycles execute (storage reserved up front
+/// from the compiled schedule's cycle total), and records are kept only
+/// when config.keep_records asks for them.
 CycleTrace capture_cycle_trace(const ecc::Curve& curve, const ecc::Scalar& k,
                                const ecc::Point& p,
                                const CycleSimConfig& config);
 
+/// The PR 4 capture path, kept verbatim as bench_coproc's baseline and
+/// as a conformance reference: materialize the full record vector through
+/// the legacy point_mult, then fold it into samples in a second pass with
+/// the frozen Box–Muller noise sampler. Record stream identical to
+/// capture_cycle_trace's (asserted by test); samples differ only in the
+/// noise sequence (Box–Muller vs the ziggurat).
+CycleTrace capture_cycle_trace_reference(const ecc::Curve& curve,
+                                         const ecc::Scalar& k,
+                                         const ecc::Point& p,
+                                         const CycleSimConfig& config);
+
 /// Average several captures of the same (k, P): the attacker's standard
 /// noise-reduction step before SPA. Captures are independent (seed + j
-/// derived) and fan out across the shared thread pool; the average is
-/// folded in capture order, so the result is bit-identical to a serial
-/// run at any thread count.
+/// derived) and fan out across the pool per config.threads with
+/// block-local reusable co-processors; the average is folded in capture
+/// order, so the result is bit-identical to a serial run at any thread
+/// count. The returned records are capture 0's (per config.keep_records).
 CycleTrace capture_averaged_cycle_trace(const ecc::Curve& curve,
                                         const ecc::Scalar& k,
                                         const ecc::Point& p,
