@@ -22,6 +22,7 @@
 // merging results in chunk-index order (see trace_sim.cpp / dpa.cpp).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -52,6 +53,11 @@ class ThreadPool {
 
   /// Block until the queue is empty and no task is running.
   void wait_idle();
+
+  /// wait_idle() with a budget: returns true if the pool went idle within
+  /// `budget`, false if work was still in flight when it expired (the
+  /// FleetServer's bounded-drain straggler path).
+  bool wait_idle_for(std::chrono::milliseconds budget);
 
   /// Run fn(begin, end) over [0, n) split into chunks of `grain` (last
   /// chunk may be short). Blocks until all chunks are done. The calling

@@ -1,5 +1,6 @@
 #include "engine/fleet_server.h"
 
+#include <algorithm>
 #include <random>
 #include <stdexcept>
 #include <utility>
@@ -79,6 +80,19 @@ ecc::Point FleetServer::device_key(std::uint32_t device) const {
 std::uint64_t FleetServer::register_session(
     std::shared_ptr<Session> s,
     const std::function<void(Session&, std::uint64_t)>& init_with_id) {
+  {
+    // Admission control: shed-new before degrade-existing. The check and
+    // the opened-count increment are one critical section so concurrent
+    // opens can't both squeeze past the limit.
+    const std::lock_guard<std::mutex> slock(stats_mu_);
+    if (config_.max_live_sessions != 0 &&
+        stats_.sessions_opened - stats_.sessions_completed >=
+            config_.max_live_sessions) {
+      ++stats_.sessions_shed;
+      return 0;  // never a valid id — ids start at 1
+    }
+    ++stats_.sessions_opened;
+  }
   std::uint64_t id;
   {
     const std::lock_guard<std::mutex> lock(registry_mu_);
@@ -87,8 +101,6 @@ std::uint64_t FleetServer::register_session(
     if (init_with_id) init_with_id(*s, id);
     sessions_.emplace(id, std::move(s));
   }
-  const std::lock_guard<std::mutex> slock(stats_mu_);
-  ++stats_.sessions_opened;
   return id;
 }
 
@@ -216,7 +228,19 @@ void FleetServer::process(std::uint64_t id, const Message& m) {
     s->record.rx_bits += m.bits();
     if (!s->machine || s->machine->state() != SessionState::kAwait)
       return;  // already finished (machine freed at finalize)
-    result = s->machine->on_message(m);
+    try {
+      result = s->machine->on_message(m);
+    } catch (const std::exception&) {
+      // Poison-session quarantine: a machine that throws instead of
+      // rejecting must not take the worker (and with it the process)
+      // down. The session is finalized as rejected and its machine freed
+      // — it is never stepped again; every other session is unaffected.
+      finalize(*s, false);
+      const std::lock_guard<std::mutex> qlock(stats_mu_);
+      ++stats_.sessions_quarantined;
+      ++stats_.messages_processed;
+      return;
+    }
     step_ran = true;
     s->record.state = result.state;
     for (const auto& out : result.out) s->record.tx_bits += out.bits();
@@ -269,6 +293,44 @@ void FleetServer::drain() {
     pool_.wait_idle();
     if (verifier_.pending() == 0) return;
   }
+}
+
+DrainReport FleetServer::drain_for(std::chrono::milliseconds budget) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + budget;
+  const auto remaining = [&] {
+    const auto left = deadline - Clock::now();
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+        left.count() > 0 ? left : Clock::duration::zero());
+  };
+
+  DrainReport report;
+  // Same quiescence protocol as drain(), but every wait is clipped to
+  // what is left of the budget.
+  for (;;) {
+    if (!pool_.wait_idle_for(remaining())) break;
+    if (verifier_.pending() > 0) {
+      verifier_.flush();
+      if (Clock::now() >= deadline) break;
+      continue;
+    }
+    if (!pool_.wait_idle_for(remaining())) break;
+    if (verifier_.pending() == 0) {
+      report.completed = true;
+      break;
+    }
+  }
+  if (!report.completed) {
+    // The straggler report: every session still live at expiry, in id
+    // order. Lock order registry -> session matches evict_completed.
+    const std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& [id, s] : sessions_) {
+      const std::lock_guard<std::mutex> slock(s->mu);
+      if (!s->record.completed) report.stragglers.push_back(id);
+    }
+    std::sort(report.stragglers.begin(), report.stragglers.end());
+  }
+  return report;
 }
 
 }  // namespace medsec::engine

@@ -26,6 +26,7 @@
 // verifier runs callbacks without holding engine locks.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -58,6 +59,12 @@ struct FleetConfig {
   /// verifier's 2^-64 forgery bound. Set true ONLY for reproducible
   /// replay (benches, deterministic tests).
   bool deterministic = false;
+  /// 0 = unlimited. Otherwise open_* refuses new sessions (returns id 0)
+  /// while this many are live — the reject-new-before-degrade-existing
+  /// load-shedding policy. An overloaded server that silently slows every
+  /// session fails all of them; one that sheds keeps its promises to the
+  /// sessions it admitted.
+  std::size_t max_live_sessions = 0;
 };
 
 /// Registry entry: one session's telemetry, readable after completion.
@@ -80,8 +87,18 @@ struct FleetStats {
   std::size_t accepted = 0;
   std::size_t rejected = 0;
   std::size_t messages_processed = 0;
+  std::size_t sessions_shed = 0;         ///< refused at admission
+  std::size_t sessions_quarantined = 0;  ///< machine threw; isolated
   BatchVerifierStats verifier;
   protocol::EnergyLedger fleet_tag_energy;  ///< sum of attached tag ledgers
+};
+
+/// Outcome of a bounded drain: whether the engine reached quiescence
+/// within the deadline, and which sessions were still live when it
+/// expired (the straggler report — the operator's eviction shortlist).
+struct DrainReport {
+  bool completed = false;
+  std::vector<std::uint64_t> stragglers;
 };
 
 class FleetServer {
@@ -110,12 +127,14 @@ class FleetServer {
 
   /// Open a Schnorr identification session for an enrolled device. The
   /// verifier runs in deferred mode and the verdict comes from the batch
-  /// queue (or per-session when verify_batch == 1).
+  /// queue (or per-session when verify_batch == 1). Returns 0 — never a
+  /// valid id — when admission control sheds the session.
   std::uint64_t open_schnorr_session(std::uint32_t device);
 
   /// Open a session over any server-side machine (mutual auth, ECIES
   /// receive, ...). `judge` extracts the verdict from the finished
-  /// machine; when empty, reaching kDone counts as accepted.
+  /// machine; when empty, reaching kDone counts as accepted. Returns 0
+  /// when shed.
   std::uint64_t open_session(
       std::unique_ptr<protocol::SessionMachine> machine,
       std::function<bool(const protocol::SessionMachine&)> judge = {});
@@ -132,6 +151,12 @@ class FleetServer {
   /// Block until every queued message is processed and every pending
   /// verification has flushed.
   void drain();
+
+  /// drain() with a deadline: stop waiting once `budget` wall time is
+  /// spent, and report the sessions still live at expiry rather than
+  /// hanging the caller on one stuck session. completed == true means
+  /// full quiescence (stragglers empty).
+  DrainReport drain_for(std::chrono::milliseconds budget);
 
   /// Drop completed sessions from the registry (harvest their records
   /// first). Keeps a long-running server's memory bounded; returns how

@@ -1,0 +1,705 @@
+#include "engine/gateway.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "ciphers/aes128.h"
+#include "core/thread_pool.h"
+#include "protocol/ecies.h"
+#include "protocol/mutual_auth.h"
+#include "protocol/peeters_hermans.h"
+#include "protocol/schnorr.h"
+#include "protocol/snapshot.h"
+#include "protocol/wire.h"
+
+namespace medsec::engine {
+
+namespace {
+
+using protocol::Message;
+using protocol::SessionState;
+using protocol::SnapshotError;
+using protocol::SnapshotReader;
+using protocol::SnapshotWriter;
+using protocol::StepResult;
+
+constexpr std::uint32_t kSessionSnapshotMagic = 0x47534E31;  // "GSN1"
+
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t n) {
+  std::uint64_t s = base ^ (0x9E3779B97F4A7C15ULL * (n + 1));
+  return rng::splitmix64(s);
+}
+
+}  // namespace
+
+// --- GatewayServer -----------------------------------------------------------
+
+GatewayServer::GatewayServer(core::EventQueue& queue, std::uint64_t seed,
+                             const GatewayConfig& config)
+    : queue_(&queue), seed_(seed), config_(config) {}
+
+GatewayServer::~GatewayServer() {
+  // Endpoint destructors cancel their own retransmit timers; the policy
+  // timers capture `this` and must die with it.
+  for (auto& [id, s] : sessions_) {
+    queue_->cancel(s.deadline_timer);
+    queue_->cancel(s.idle_timer);
+  }
+}
+
+std::size_t GatewayServer::live_sessions() const {
+  std::size_t n = 0;
+  for (const auto& [id, s] : sessions_)
+    if (s.status == GatewaySessionStatus::kActive) ++n;
+  return n;
+}
+
+bool GatewayServer::open_session(
+    std::uint64_t id, std::unique_ptr<protocol::SessionMachine> machine,
+    Downlink downlink, Judge judge, std::unique_ptr<rng::Xoshiro256> rng) {
+  if (sessions_.count(id))
+    throw std::invalid_argument("GatewayServer: duplicate session id");
+  if (config_.max_live_sessions != 0 &&
+      live_sessions() >= config_.max_live_sessions) {
+    // Shed-new before degrade-existing: the refusal is an explicit
+    // verdict frame, not silence — the device fails fast instead of
+    // retransmitting into a black hole.
+    ++stats_.shed;
+    Frame reject;
+    reject.type = FrameType::kReject;
+    reject.session = id;
+    if (downlink) downlink(encode_frame(reject));
+    return false;
+  }
+  Sess s;
+  s.machine = std::move(machine);
+  s.rng = std::move(rng);
+  s.judge = std::move(judge);
+  s.last_activity = queue_->now();
+  wire_endpoint(id, s, std::move(downlink));
+  auto [it, ok] = sessions_.emplace(id, std::move(s));
+  arm_policy_timers(id, it->second);
+  ++stats_.opened;
+  return true;
+}
+
+void GatewayServer::wire_endpoint(std::uint64_t id, Sess& s,
+                                  Downlink downlink) {
+  s.endpoint = std::make_unique<ReliableEndpoint>(
+      *queue_, id, mix_seed(seed_, id), config_.delivery);
+  s.endpoint->set_frame_sink(std::move(downlink));
+  s.endpoint->set_message_sink(
+      [this, id](const Frame& f) { on_delivered(id, f); });
+  s.endpoint->set_failure_sink([this, id] {
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    if (it->second.status == GatewaySessionStatus::kActive)
+      settle(it->second, GatewaySessionStatus::kFailed, false);
+  });
+}
+
+void GatewayServer::arm_policy_timers(std::uint64_t id, Sess& s) {
+  if (config_.session_deadline != 0) {
+    s.deadline_timer =
+        queue_->schedule(config_.session_deadline, [this, id] {
+          const auto it = sessions_.find(id);
+          if (it == sessions_.end()) return;
+          Sess& sess = it->second;
+          sess.deadline_timer = core::kInvalidEvent;
+          if (sess.status != GatewaySessionStatus::kActive) return;
+          settle(sess, GatewaySessionStatus::kDeadlineEvicted, false);
+          sess.endpoint->send_reject();
+        });
+  }
+  if (config_.idle_timeout != 0) {
+    s.idle_timer = queue_->schedule(config_.idle_timeout,
+                                    [this, id] { idle_check(id); });
+  }
+}
+
+void GatewayServer::idle_check(std::uint64_t id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  Sess& s = it->second;
+  s.idle_timer = core::kInvalidEvent;
+  if (s.status != GatewaySessionStatus::kActive) return;
+  const core::Cycle idle_for = queue_->now() - s.last_activity;
+  if (idle_for >= config_.idle_timeout) {
+    settle(s, GatewaySessionStatus::kIdleEvicted, false);
+    s.endpoint->send_reject();
+    return;
+  }
+  // Activity happened since the timer was armed — sleep out the rest.
+  s.idle_timer = queue_->schedule(config_.idle_timeout - idle_for,
+                                  [this, id] { idle_check(id); });
+}
+
+void GatewayServer::on_uplink(std::uint64_t id,
+                              std::vector<std::uint8_t> raw) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;  // unknown/forgotten session
+  it->second.last_activity = queue_->now();
+  it->second.endpoint->on_bytes(std::move(raw));
+}
+
+void GatewayServer::on_delivered(std::uint64_t id, const Frame& f) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  Sess& s = it->second;
+  // A settled session's endpoint keeps acking duplicates (the peer may
+  // still be retransmitting a frame whose ack was lost), but the machine
+  // is never stepped again.
+  if (s.status != GatewaySessionStatus::kActive) return;
+  if (!s.machine || s.machine->state() != SessionState::kAwait) return;
+
+  StepResult r;
+  try {
+    r = s.machine->on_message(Message{f.label, f.payload});
+  } catch (const std::exception&) {
+    // Poison session: the machine threw instead of rejecting. Isolate it
+    // — verdict refused, machine never stepped again, everyone else
+    // unaffected.
+    settle(s, GatewaySessionStatus::kQuarantined, false);
+    s.endpoint->send_reject();
+    return;
+  }
+  for (auto& out : r.out)
+    s.endpoint->send_message(out.label, std::move(out.payload));
+  if (r.state == SessionState::kDone) {
+    settle(s, GatewaySessionStatus::kCompleted,
+           s.judge ? s.judge(*s.machine) : true);
+  } else if (r.state == SessionState::kFailed) {
+    settle(s, GatewaySessionStatus::kFailed, false);
+    s.endpoint->send_reject();
+  }
+}
+
+void GatewayServer::settle(Sess& s,
+                           GatewaySessionStatus status, bool accepted) {
+  s.status = status;
+  s.accepted = accepted;
+  s.settled_at = queue_->now();
+  queue_->cancel(s.deadline_timer);
+  queue_->cancel(s.idle_timer);
+  s.deadline_timer = core::kInvalidEvent;
+  s.idle_timer = core::kInvalidEvent;
+  switch (status) {
+    case GatewaySessionStatus::kCompleted:
+      ++stats_.completed;
+      if (accepted) ++stats_.accepted;
+      break;
+    case GatewaySessionStatus::kFailed:
+      ++stats_.failed;
+      break;
+    case GatewaySessionStatus::kQuarantined:
+      ++stats_.quarantined;
+      break;
+    case GatewaySessionStatus::kDeadlineEvicted:
+      ++stats_.deadline_evicted;
+      break;
+    case GatewaySessionStatus::kIdleEvicted:
+      ++stats_.idle_evicted;
+      break;
+    case GatewaySessionStatus::kActive:
+      break;  // unreachable
+  }
+}
+
+GatewaySessionStatus GatewayServer::status(std::uint64_t id) const {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end())
+    throw std::out_of_range("GatewayServer::status: unknown session");
+  return it->second.status;
+}
+
+bool GatewayServer::accepted(std::uint64_t id) const {
+  const auto it = sessions_.find(id);
+  return it != sessions_.end() && it->second.accepted;
+}
+
+core::Cycle GatewayServer::settled_at(std::uint64_t id) const {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? 0 : it->second.settled_at;
+}
+
+const DeliveryStats* GatewayServer::delivery_stats(std::uint64_t id) const {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second.endpoint->stats();
+}
+
+std::vector<std::uint64_t> GatewayServer::session_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, s] : sessions_) ids.push_back(id);
+  return ids;
+}
+
+std::vector<std::uint8_t> GatewayServer::snapshot_session(
+    std::uint64_t id) const {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end())
+    throw std::out_of_range("GatewayServer::snapshot_session: unknown id");
+  const Sess& s = it->second;
+  SnapshotWriter w;
+  w.u32(kSessionSnapshotMagic);
+  w.u8(static_cast<std::uint8_t>(s.status));
+  w.boolean(s.accepted);
+  w.u64(s.settled_at);
+  w.boolean(s.rng != nullptr);
+  if (s.rng) {
+    const rng::Xoshiro256::State st = s.rng->save_state();
+    for (const std::uint64_t limb : st.s) w.u64(limb);
+    w.boolean(st.have_spare);
+    w.f64(st.spare);
+  }
+  s.machine->snapshot(w);
+  s.endpoint->snapshot(w);
+  return w.take();
+}
+
+void GatewayServer::restore_session(
+    std::uint64_t id, std::unique_ptr<protocol::SessionMachine> machine,
+    Downlink downlink, std::span<const std::uint8_t> snap, Judge judge,
+    std::unique_ptr<rng::Xoshiro256> rng) {
+  if (sessions_.count(id))
+    throw std::invalid_argument(
+        "GatewayServer::restore_session: id already live");
+  SnapshotReader r(snap);
+  if (r.u32() != kSessionSnapshotMagic)
+    throw SnapshotError("gateway: bad session magic");
+  const std::uint8_t status_byte = r.u8();
+  if (status_byte > static_cast<std::uint8_t>(
+                        GatewaySessionStatus::kIdleEvicted))
+    throw SnapshotError("gateway: bad session status");
+
+  Sess s;
+  s.status = static_cast<GatewaySessionStatus>(status_byte);
+  s.accepted = r.boolean();
+  s.settled_at = r.u64();
+  const bool has_rng = r.boolean();
+  if (has_rng != (rng != nullptr))
+    throw SnapshotError("gateway: rng presence mismatch");
+  if (has_rng) {
+    rng::Xoshiro256::State st;
+    for (std::uint64_t& limb : st.s) limb = r.u64();
+    st.have_spare = r.boolean();
+    st.spare = r.f64();
+    rng->load_state(st);
+  }
+  machine->restore(r);
+  s.machine = std::move(machine);
+  s.rng = std::move(rng);
+  s.judge = std::move(judge);
+  s.last_activity = queue_->now();
+  wire_endpoint(id, s, std::move(downlink));
+  s.endpoint->restore(r);
+  if (!r.exhausted()) throw SnapshotError("gateway: trailing bytes");
+  auto [it, ok] = sessions_.emplace(id, std::move(s));
+  // Policy clocks restart from the restore point: the replacement node
+  // grants a fresh deadline rather than inheriting a dead node's.
+  if (it->second.status == GatewaySessionStatus::kActive)
+    arm_policy_timers(id, it->second);
+  ++stats_.restored;
+}
+
+// --- DeviceEndpoint ----------------------------------------------------------
+
+DeviceEndpoint::DeviceEndpoint(core::EventQueue& queue, std::uint64_t id,
+                               std::uint64_t seed,
+                               protocol::SessionMachine& machine,
+                               const DeliveryConfig& config)
+    : queue_(&queue),
+      machine_(&machine),
+      endpoint_(queue, id, mix_seed(seed, id ^ 0xDE71CEULL), config) {
+  endpoint_.set_message_sink([this](const Frame& f) { on_delivered(f); });
+  endpoint_.set_failure_sink([this] { failed_ = true; });
+}
+
+void DeviceEndpoint::start() { pump(machine_->start()); }
+
+void DeviceEndpoint::on_downlink(std::vector<std::uint8_t> raw) {
+  endpoint_.on_bytes(std::move(raw));
+}
+
+void DeviceEndpoint::on_delivered(const Frame& f) {
+  if (machine_->state() != SessionState::kAwait) return;
+  try {
+    pump(machine_->on_message(Message{f.label, f.payload}));
+  } catch (const std::exception&) {
+    failed_ = true;
+  }
+}
+
+void DeviceEndpoint::pump(StepResult r) {
+  for (auto& out : r.out)
+    endpoint_.send_message(out.label, std::move(out.payload));
+  if (r.state == SessionState::kDone && done_at_ == 0)
+    done_at_ = queue_->now();
+}
+
+// --- chaos campaign ----------------------------------------------------------
+
+namespace {
+
+/// Everything shared, read-only, across shards: curve, fleet credentials,
+/// cipher factory. Built once per campaign from the seed.
+struct Fixtures {
+  const ecc::Curve& curve;
+  protocol::SchnorrKeyPair schnorr_key;
+  protocol::PhReader ph_reader;
+  protocol::PhTag ph_tag;
+  protocol::SharedKeys keys;
+  protocol::CipherFactory make_cipher;
+  protocol::EciesKeyPair ecies_key;
+  std::vector<std::uint8_t> telemetry;
+};
+
+Fixtures make_fixtures(std::uint64_t seed) {
+  const ecc::Curve& curve = ecc::Curve::k163();
+  rng::Xoshiro256 rng(mix_seed(seed, 0xF177));
+  Fixtures fx{curve,
+              protocol::schnorr_keygen(curve, rng),
+              protocol::ph_setup_reader(curve, rng),
+              {},
+              {},
+              [](std::span<const std::uint8_t> key) {
+                return std::unique_ptr<ciphers::BlockCipher>(
+                    new ciphers::Aes128(key));
+              },
+              {},
+              {}};
+  fx.ph_tag = protocol::ph_register_tag(curve, fx.ph_reader, rng);
+  std::vector<std::uint8_t> master(32);
+  rng.fill(master);
+  fx.keys = protocol::derive_session_keys(master, 16);
+  fx.ecies_key = protocol::ecies_keygen(curve, rng);
+  fx.telemetry.resize(48);
+  rng.fill(fx.telemetry);
+  return fx;
+}
+
+using MachineFactory =
+    std::function<std::unique_ptr<protocol::SessionMachine>(
+        rng::RandomSource&)>;
+
+/// The protocol mix: session gid runs protocol gid % 4.
+MachineFactory device_factory(const Fixtures& fx, std::uint64_t gid) {
+  switch (gid % 4) {
+    case 0:
+      return [&fx](rng::RandomSource& r) {
+        return std::unique_ptr<protocol::SessionMachine>(
+            new protocol::SchnorrProver(fx.curve, fx.schnorr_key, r));
+      };
+    case 1:
+      return [&fx](rng::RandomSource& r) {
+        return std::unique_ptr<protocol::SessionMachine>(
+            new protocol::PhTagMachine(fx.curve, fx.ph_tag, r));
+      };
+    case 2:
+      return [&fx](rng::RandomSource& r) {
+        return std::unique_ptr<protocol::SessionMachine>(
+            new protocol::MutualAuthTag(fx.make_cipher, fx.keys,
+                                        fx.telemetry, r));
+      };
+    default:
+      return [&fx](rng::RandomSource& r) {
+        return std::unique_ptr<protocol::SessionMachine>(
+            new protocol::EciesUploader(fx.curve, fx.ecies_key.Y,
+                                        fx.telemetry, fx.make_cipher, 16,
+                                        r));
+      };
+  }
+}
+
+MachineFactory server_factory(const Fixtures& fx, std::uint64_t gid) {
+  switch (gid % 4) {
+    case 0:
+      return [&fx](rng::RandomSource& r) {
+        return std::unique_ptr<protocol::SessionMachine>(
+            new protocol::SchnorrVerifier(fx.curve, fx.schnorr_key.X, r));
+      };
+    case 1:
+      return [&fx](rng::RandomSource& r) {
+        return std::unique_ptr<protocol::SessionMachine>(
+            new protocol::PhReaderMachine(fx.curve, fx.ph_reader, r));
+      };
+    case 2:
+      return [&fx](rng::RandomSource& r) {
+        return std::unique_ptr<protocol::SessionMachine>(
+            new protocol::MutualAuthServer(fx.make_cipher, fx.keys, r));
+      };
+    default:
+      return [&fx](rng::RandomSource&) {
+        return std::unique_ptr<protocol::SessionMachine>(
+            new protocol::EciesReceiver(fx.curve, fx.ecies_key.y,
+                                        fx.make_cipher, 16));
+      };
+  }
+}
+
+GatewayServer::Judge judge_for(std::uint64_t gid) {
+  switch (gid % 4) {
+    case 0:
+      return [](const protocol::SessionMachine& m) {
+        return static_cast<const protocol::SchnorrVerifier&>(m).accepted();
+      };
+    case 1:
+      return [](const protocol::SessionMachine& m) {
+        return static_cast<const protocol::PhReaderMachine&>(m)
+            .identity()
+            .has_value();
+      };
+    case 2:
+      return [](const protocol::SessionMachine& m) {
+        const auto& s = static_cast<const protocol::MutualAuthServer&>(m);
+        return s.accepted_tag() && s.telemetry_delivered();
+      };
+    default:
+      return [](const protocol::SessionMachine& m) {
+        return static_cast<const protocol::EciesReceiver&>(m).delivered();
+      };
+  }
+}
+
+struct SessionOutcome {
+  std::uint64_t id = 0;
+  bool completed = false;
+  bool accepted = false;
+  bool failed = false;
+  core::Cycle cycle = 0;
+  std::uint64_t retransmits = 0;
+};
+
+struct ShardResult {
+  std::vector<SessionOutcome> outcomes;
+  GatewayStats gateway;
+  LinkStats link;  ///< both directions summed
+  std::uint64_t retransmits = 0;
+  std::uint64_t decode_failures = 0;
+  std::uint64_t dup_suppressed = 0;
+  std::uint64_t frames_sent = 0;
+};
+
+ShardResult run_shard(const ChaosCampaignConfig& cfg, const Fixtures& fx,
+                      std::size_t begin, std::size_t end) {
+  const std::size_t count = end - begin;
+  core::EventQueue q;
+  GatewayConfig gcfg;
+  gcfg.delivery = cfg.delivery;
+  gcfg.session_deadline = cfg.session_deadline;
+  gcfg.idle_timeout = cfg.idle_timeout;
+  auto gw = std::make_unique<GatewayServer>(q, mix_seed(cfg.seed, 0x6A7E),
+                                            gcfg);
+
+  std::vector<std::unique_ptr<rng::Xoshiro256>> dev_rngs(count);
+  std::vector<std::unique_ptr<protocol::SessionMachine>> dev_machines(count);
+  std::vector<std::unique_ptr<LossyLink>> links(count);
+  std::vector<std::unique_ptr<DeviceEndpoint>> devices(count);
+  std::vector<MachineFactory> srv_factories(count);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t gid = begin + i + 1;
+    dev_rngs[i] =
+        std::make_unique<rng::Xoshiro256>(mix_seed(cfg.seed, gid * 4));
+    auto srv_rng =
+        std::make_unique<rng::Xoshiro256>(mix_seed(cfg.seed, gid * 4 + 1));
+    dev_machines[i] = device_factory(fx, gid)(*dev_rngs[i]);
+    srv_factories[i] = server_factory(fx, gid);
+    auto srv_machine = srv_factories[i](*srv_rng);
+    links[i] = std::make_unique<LossyLink>(
+        q, mix_seed(cfg.seed, gid * 4 + 2), cfg.uplink, cfg.downlink);
+    devices[i] = std::make_unique<DeviceEndpoint>(q, gid, cfg.seed,
+                                                  *dev_machines[i],
+                                                  cfg.delivery);
+    LossyLink* link = links[i].get();
+    DeviceEndpoint* dev = devices[i].get();
+    dev->set_uplink([link](std::vector<std::uint8_t> bytes) {
+      link->send(LossyLink::kUp, std::move(bytes));
+    });
+    link->set_receiver(LossyLink::kUp,
+                       [&gw, gid](std::vector<std::uint8_t> bytes) {
+                         if (gw) gw->on_uplink(gid, std::move(bytes));
+                       });
+    link->set_receiver(LossyLink::kDown,
+                       [dev](std::vector<std::uint8_t> bytes) {
+                         dev->on_downlink(std::move(bytes));
+                       });
+    gw->open_session(gid, std::move(srv_machine),
+                     [link](std::vector<std::uint8_t> bytes) {
+                       link->send(LossyLink::kDown, std::move(bytes));
+                     },
+                     judge_for(gid), std::move(srv_rng));
+    dev->start();
+  }
+
+  // Verdicts issued before a failover belong to the campaign totals: the
+  // dead node's counters are carried here and summed into the final
+  // accounting (its `restored`/`opened` double-count nothing — the new
+  // node opens no sessions, only restores).
+  GatewayStats pre_failover;
+  if (cfg.failover_at != 0) {
+    q.run_until(cfg.failover_at);
+    // Node death: serialize every session (settled ones still owe the
+    // device retransmits), kill the server, resurrect on a fresh one.
+    std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> snaps;
+    for (const std::uint64_t id : gw->session_ids())
+      snaps.emplace_back(id, gw->snapshot_session(id));
+    pre_failover = gw->stats();
+    gw.reset();  // cancels the dead node's timers
+    gw = std::make_unique<GatewayServer>(q, mix_seed(cfg.seed, 0x6A7E),
+                                         gcfg);
+    for (auto& [id, snap] : snaps) {
+      const std::size_t i = static_cast<std::size_t>(id - 1) - begin;
+      auto srv_rng = std::make_unique<rng::Xoshiro256>(0);  // state loaded
+      auto machine = srv_factories[i](*srv_rng);
+      LossyLink* link = links[i].get();
+      gw->restore_session(id, std::move(machine),
+                          [link](std::vector<std::uint8_t> bytes) {
+                            link->send(LossyLink::kDown, std::move(bytes));
+                          },
+                          snap, judge_for(id), std::move(srv_rng));
+    }
+  }
+
+  while (q.pending() && q.now() < cfg.max_cycles) q.run_next();
+
+  ShardResult out;
+  out.gateway = gw->stats();
+  out.gateway.opened += pre_failover.opened;
+  out.gateway.shed += pre_failover.shed;
+  out.gateway.completed += pre_failover.completed;
+  out.gateway.accepted += pre_failover.accepted;
+  out.gateway.failed += pre_failover.failed;
+  out.gateway.quarantined += pre_failover.quarantined;
+  out.gateway.deadline_evicted += pre_failover.deadline_evicted;
+  out.gateway.idle_evicted += pre_failover.idle_evicted;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t gid = begin + i + 1;
+    SessionOutcome o;
+    o.id = gid;
+    const GatewaySessionStatus st = gw->status(gid);
+    const bool dev_done = devices[i]->done();
+    const bool dev_failed = devices[i]->failed();
+    o.completed = dev_done && st == GatewaySessionStatus::kCompleted;
+    o.accepted = o.completed && gw->accepted(gid);
+    o.failed = !o.completed &&
+               (dev_failed || st != GatewaySessionStatus::kActive);
+    if (o.completed)
+      o.cycle = std::max(devices[i]->done_at(), gw->settled_at(gid));
+    o.retransmits = devices[i]->stats().retransmits;
+    if (const DeliveryStats* ds = gw->delivery_stats(gid)) {
+      o.retransmits += ds->retransmits;
+      out.decode_failures += ds->decode_failures;
+      out.dup_suppressed += ds->dup_suppressed;
+    }
+    out.decode_failures += devices[i]->stats().decode_failures;
+    out.dup_suppressed += devices[i]->stats().dup_suppressed;
+    out.retransmits += o.retransmits;
+    for (const auto dir : {LossyLink::kUp, LossyLink::kDown}) {
+      const LinkStats& ls = links[i]->stats(dir);
+      out.link.sent += ls.sent;
+      out.link.delivered += ls.delivered;
+      out.link.dropped += ls.dropped;
+      out.link.corrupted += ls.corrupted;
+      out.link.duplicated += ls.duplicated;
+      out.link.reordered += ls.reordered;
+      out.link.corrupted_delivered += ls.corrupted_delivered;
+    }
+    out.frames_sent += devices[i]->stats().data_sent +
+                       devices[i]->stats().acks_sent;
+    out.outcomes.push_back(o);
+  }
+  return out;
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+ChaosCampaignResult run_chaos_campaign(const ChaosCampaignConfig& config) {
+  ChaosCampaignConfig cfg = config;
+  if (cfg.sessions_per_shard == 0) cfg.sessions_per_shard = 64;
+  const Fixtures fx = make_fixtures(cfg.seed);
+  const std::size_t shards =
+      (cfg.sessions + cfg.sessions_per_shard - 1) / cfg.sessions_per_shard;
+
+  std::vector<ShardResult> results(shards);
+  const auto work = [&](std::size_t b, std::size_t e) {
+    for (std::size_t s = b; s < e; ++s) {
+      const std::size_t lo = s * cfg.sessions_per_shard;
+      const std::size_t hi =
+          std::min(cfg.sessions, lo + cfg.sessions_per_shard);
+      results[s] = run_shard(cfg, fx, lo, hi);
+    }
+  };
+  std::unique_ptr<core::ThreadPool> owner;
+  core::ThreadPool* pool = core::ThreadPool::for_config(cfg.threads, owner);
+  if (pool != nullptr && shards > 1)
+    pool->parallel_for(shards, 1, work);
+  else
+    work(0, shards);
+
+  // Merge in shard order — the determinism contract.
+  ChaosCampaignResult out;
+  out.sessions = cfg.sessions;
+  std::vector<core::Cycle> latencies;
+  std::uint64_t digest = 0xCBF29CE484222325ULL;
+  for (const ShardResult& r : results) {
+    out.gateway.opened += r.gateway.opened;
+    out.gateway.shed += r.gateway.shed;
+    out.gateway.completed += r.gateway.completed;
+    out.gateway.accepted += r.gateway.accepted;
+    out.gateway.failed += r.gateway.failed;
+    out.gateway.quarantined += r.gateway.quarantined;
+    out.gateway.deadline_evicted += r.gateway.deadline_evicted;
+    out.gateway.idle_evicted += r.gateway.idle_evicted;
+    out.gateway.restored += r.gateway.restored;
+    out.frames_sent += r.link.sent;
+    out.frames_dropped += r.link.dropped;
+    out.frames_corrupted += r.link.corrupted;
+    out.frames_duplicated += r.link.duplicated;
+    out.frames_reordered += r.link.reordered;
+    out.retransmits += r.retransmits;
+    out.decode_failures += r.decode_failures;
+    out.dup_suppressed += r.dup_suppressed;
+    // Every corrupted delivery must surface as a decode failure; any gap
+    // means a mangled frame got past the CRC into a machine.
+    out.corrupt_accepted += r.link.corrupted_delivered;
+    for (const SessionOutcome& o : r.outcomes) {
+      if (o.completed) {
+        ++out.completed;
+        latencies.push_back(o.cycle);
+      }
+      if (o.accepted) ++out.accepted;
+      if (o.failed) ++out.failed;
+      if (!o.completed && !o.failed) ++out.stuck;
+      digest = fnv1a(digest, o.id);
+      digest = fnv1a(digest, (o.completed ? 1u : 0u) |
+                                 (o.accepted ? 2u : 0u) |
+                                 (o.failed ? 4u : 0u));
+      digest = fnv1a(digest, o.cycle);
+      digest = fnv1a(digest, o.retransmits);
+    }
+  }
+  out.corrupt_accepted = out.corrupt_accepted > out.decode_failures
+                             ? out.corrupt_accepted - out.decode_failures
+                             : 0;
+  out.digest = digest;
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    out.latency_p50 = latencies[latencies.size() / 2];
+    out.latency_p99 = latencies[std::min(latencies.size() - 1,
+                                         latencies.size() * 99 / 100)];
+    out.latency_max = latencies.back();
+  }
+  return out;
+}
+
+}  // namespace medsec::engine

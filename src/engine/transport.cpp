@@ -1,0 +1,226 @@
+#include "engine/transport.h"
+
+#include <array>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "rng/xoshiro.h"
+
+namespace medsec::engine {
+
+// --- CRC-32 ------------------------------------------------------------------
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) c = table[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+// --- label interning ---------------------------------------------------------
+
+const char* intern_label(std::string_view label) {
+  // unordered_set<string> never moves its nodes, so c_str() pointers are
+  // stable for the life of the pool (process lifetime, intentionally
+  // leaked like ThreadPool::shared()).
+  static std::mutex mu;
+  static auto* pool = new std::unordered_set<std::string>();
+  const std::lock_guard<std::mutex> lock(mu);
+  return pool->emplace(label).first->c_str();
+}
+
+// --- frame codec -------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint8_t kMagic0 = 0x4D;  // 'M'
+constexpr std::uint8_t kMagic1 = 0x46;  // 'F' — medsec frame
+constexpr std::size_t kHeaderBytes = 2 + 1 + 1 + 8 + 4;  // up to label_len
+constexpr std::size_t kCrcBytes = 4;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(in[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(in[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& f) {
+  const std::string_view label = f.label ? f.label : "";
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + 1 + label.size() + 2 + f.payload.size() +
+              kCrcBytes);
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(static_cast<std::uint8_t>(f.type));
+  out.push_back(0);  // flags, reserved
+  put_u64(out, f.session);
+  put_u32(out, f.seq);
+  out.push_back(static_cast<std::uint8_t>(
+      label.size() <= kMaxFrameLabel ? label.size() : kMaxFrameLabel));
+  out.insert(out.end(), label.begin(),
+             label.begin() + static_cast<std::ptrdiff_t>(
+                                 out.back()));
+  out.push_back(static_cast<std::uint8_t>(f.payload.size() & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(f.payload.size() >> 8));
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  put_u32(out, crc32(out));
+  return out;
+}
+
+std::optional<Frame> decode_frame(std::span<const std::uint8_t> bytes) {
+  // Minimum: header + label_len(=0) + payload_len + crc.
+  if (bytes.size() < kHeaderBytes + 1 + 2 + kCrcBytes) return std::nullopt;
+  if (bytes[0] != kMagic0 || bytes[1] != kMagic1) return std::nullopt;
+  if (bytes[3] != 0) return std::nullopt;  // reserved flags must be clear
+
+  // CRC first: a bit flip anywhere (including in the length fields used
+  // below) must read as channel noise, not as a different frame.
+  const std::uint32_t want =
+      get_u32(bytes, bytes.size() - kCrcBytes);
+  if (crc32(bytes.first(bytes.size() - kCrcBytes)) != want)
+    return std::nullopt;
+
+  Frame f;
+  switch (bytes[2]) {
+    case static_cast<std::uint8_t>(FrameType::kData):
+      f.type = FrameType::kData;
+      break;
+    case static_cast<std::uint8_t>(FrameType::kAck):
+      f.type = FrameType::kAck;
+      break;
+    case static_cast<std::uint8_t>(FrameType::kReject):
+      f.type = FrameType::kReject;
+      break;
+    default:
+      return std::nullopt;
+  }
+  f.session = get_u64(bytes, 4);
+  f.seq = get_u32(bytes, 12);
+
+  std::size_t at = kHeaderBytes;
+  const std::size_t label_len = bytes[at++];
+  if (bytes.size() < at + label_len + 2 + kCrcBytes) return std::nullopt;
+  f.label = intern_label(std::string_view(
+      reinterpret_cast<const char*>(bytes.data() + at), label_len));
+  at += label_len;
+  const std::size_t payload_len =
+      bytes[at] | (static_cast<std::size_t>(bytes[at + 1]) << 8);
+  at += 2;
+  if (payload_len > kMaxFramePayload) return std::nullopt;
+  // Exact-length check: every byte before the CRC must be accounted for.
+  if (at + payload_len + kCrcBytes != bytes.size()) return std::nullopt;
+  f.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                   bytes.begin() +
+                       static_cast<std::ptrdiff_t>(at + payload_len));
+  return f;
+}
+
+// --- lossy link --------------------------------------------------------------
+
+LossyLink::LossyLink(core::EventQueue& queue, std::uint64_t seed,
+                     const FaultProfile& up, const FaultProfile& down)
+    : queue_(&queue), seed_(seed) {
+  profile_[kUp] = up;
+  profile_[kDown] = down;
+}
+
+std::uint64_t LossyLink::fault_word(Direction dir, std::uint64_t n,
+                                    std::uint64_t lane) const {
+  std::uint64_t s = seed_ ^ (0xD1B54A32D192ED03ULL * (n + 1)) ^
+                    (0x9E3779B97F4A7C15ULL * lane) ^
+                    (dir == kUp ? 0x5555555555555555ULL
+                                : 0xAAAAAAAAAAAAAAAAULL);
+  return rng::splitmix64(s);
+}
+
+void LossyLink::schedule_delivery(Direction dir,
+                                  std::vector<std::uint8_t> bytes,
+                                  core::Cycle delay, bool corrupted) {
+  queue_->schedule(
+      delay, [this, dir, corrupted, bytes = std::move(bytes)]() mutable {
+        ++stats_[dir].delivered;
+        if (corrupted) ++stats_[dir].corrupted_delivered;
+        if (receivers_[dir]) receivers_[dir](std::move(bytes));
+      });
+}
+
+void LossyLink::send(Direction dir, std::vector<std::uint8_t> bytes) {
+  const FaultProfile& p = profile_[dir];
+  const std::uint64_t n = counter_[dir]++;
+  ++stats_[dir].sent;
+
+  if (p.drop > 0 && to_unit(fault_word(dir, n, 0)) < p.drop) {
+    ++stats_[dir].dropped;
+    return;
+  }
+
+  bool corrupted = false;
+  if (p.corrupt > 0 && to_unit(fault_word(dir, n, 1)) < p.corrupt &&
+      !bytes.empty()) {
+    // Flip one derived bit of one derived byte — enough for the CRC to
+    // catch, deterministic enough to replay.
+    const std::uint64_t w = fault_word(dir, n, 2);
+    bytes[static_cast<std::size_t>(w % bytes.size())] ^=
+        static_cast<std::uint8_t>(1u << ((w >> 32) % 8));
+    ++stats_[dir].corrupted;
+    corrupted = true;
+  }
+
+  const core::Cycle band =
+      p.delay_max > p.delay_min ? p.delay_max - p.delay_min + 1 : 1;
+  core::Cycle delay = p.delay_min + fault_word(dir, n, 3) % band;
+  if (p.reorder > 0 && to_unit(fault_word(dir, n, 4)) < p.reorder) {
+    // Hold the frame back past its successors' delay band.
+    delay += p.delay_max * (2 + fault_word(dir, n, 5) % 3);
+    ++stats_[dir].reordered;
+  }
+
+  if (p.duplicate > 0 && to_unit(fault_word(dir, n, 6)) < p.duplicate) {
+    core::Cycle dup_delay = p.delay_min + fault_word(dir, n, 7) % band;
+    ++stats_[dir].duplicated;
+    schedule_delivery(dir, bytes, dup_delay,
+                      corrupted);  // copy: original sent below
+  }
+  schedule_delivery(dir, std::move(bytes), delay, corrupted);
+}
+
+}  // namespace medsec::engine

@@ -7,6 +7,7 @@
 #include "ecc/ladder.h"
 #include "hash/hmac.h"
 #include "hash/sha256.h"
+#include "protocol/snapshot.h"
 #include "protocol/wire.h"
 
 namespace medsec::protocol {
@@ -180,6 +181,16 @@ StepResult EciesUploader::on_message(const Message&) {
   return step(StepResult::failed());  // nothing ever flows device-ward
 }
 
+void EciesUploader::snapshot(SnapshotWriter& w) const {
+  SessionMachine::snapshot(w);
+  w.ledger(ledger_);
+}
+
+void EciesUploader::restore(SnapshotReader& r) {
+  SessionMachine::restore(r);
+  r.ledger(ledger_);
+}
+
 EciesReceiver::EciesReceiver(const Curve& curve, const Scalar& y,
                              const CipherFactory& make_cipher,
                              std::size_t key_bytes)
@@ -197,6 +208,20 @@ StepResult EciesReceiver::on_message(const Message& m) {
   if (!ct) return step(StepResult::failed());
   plaintext_ = ecies_decrypt(*curve_, y_, *ct, *make_cipher_, key_bytes_);
   return step(plaintext_ ? StepResult::done() : StepResult::failed());
+}
+
+void EciesReceiver::snapshot(SnapshotWriter& w) const {
+  SessionMachine::snapshot(w);
+  w.boolean(plaintext_.has_value());
+  if (plaintext_) w.bytes(*plaintext_);
+}
+
+void EciesReceiver::restore(SnapshotReader& r) {
+  SessionMachine::restore(r);
+  if (r.boolean())
+    plaintext_ = r.bytes();
+  else
+    plaintext_.reset();
 }
 
 EciesUploadResult run_ecies_upload(const Curve& curve,

@@ -87,6 +87,8 @@ class EciesUploader final : public SessionMachine {
                 sidechannel::HardenedLadder* hardened = nullptr);
   StepResult start() override;
   StepResult on_message(const Message& m) override;
+  void snapshot(SnapshotWriter& w) const override;
+  void restore(SnapshotReader& r) override;
   const EnergyLedger& ledger() const { return ledger_; }
 
  private:
@@ -106,6 +108,8 @@ class EciesReceiver final : public SessionMachine {
   EciesReceiver(const ecc::Curve& curve, const ecc::Scalar& y,
                 const CipherFactory& make_cipher, std::size_t key_bytes);
   StepResult on_message(const Message& m) override;
+  void snapshot(SnapshotWriter& w) const override;
+  void restore(SnapshotReader& r) override;
   bool delivered() const { return plaintext_.has_value(); }
   const std::vector<std::uint8_t>& plaintext() const { return *plaintext_; }
 

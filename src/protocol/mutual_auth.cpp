@@ -5,6 +5,7 @@
 #include "ciphers/modes.h"
 #include "hash/hmac.h"
 #include "hash/sha256.h"
+#include "protocol/snapshot.h"
 
 namespace medsec::protocol {
 
@@ -133,6 +134,22 @@ StepResult MutualAuthTag::on_message(const Message& m) {
   return step(StepResult::done(std::move(out)));
 }
 
+void MutualAuthTag::snapshot(SnapshotWriter& w) const {
+  SessionMachine::snapshot(w);
+  w.bytes(nt_);
+  w.boolean(started_);
+  w.boolean(accepted_server_);
+  w.ledger(ledger_);
+}
+
+void MutualAuthTag::restore(SnapshotReader& r) {
+  SessionMachine::restore(r);
+  nt_ = r.bytes();
+  started_ = r.boolean();
+  accepted_server_ = r.boolean();
+  r.ledger(ledger_);
+}
+
 // --- server machine ----------------------------------------------------------
 
 MutualAuthServer::MutualAuthServer(const CipherFactory& make_cipher,
@@ -177,6 +194,26 @@ StepResult MutualAuthServer::on_message(const Message& m) {
     delivered_ = true;
   }
   return step(StepResult::done());
+}
+
+void MutualAuthServer::snapshot(SnapshotWriter& w) const {
+  SessionMachine::snapshot(w);
+  w.bytes(nt_);
+  w.bytes(ns_);
+  w.boolean(have_nt_);
+  w.boolean(accepted_tag_);
+  w.boolean(delivered_);
+  w.bytes(plain_);
+}
+
+void MutualAuthServer::restore(SnapshotReader& r) {
+  SessionMachine::restore(r);
+  nt_ = r.bytes();
+  ns_ = r.bytes();
+  have_nt_ = r.boolean();
+  accepted_tag_ = r.boolean();
+  delivered_ = r.boolean();
+  plain_ = r.bytes();
 }
 
 // --- driver ------------------------------------------------------------------

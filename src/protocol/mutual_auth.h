@@ -85,6 +85,8 @@ class MutualAuthTag final : public SessionMachine {
                 rng::RandomSource& rng, const MutualAuthConfig& config = {});
   StepResult start() override;
   StepResult on_message(const Message& m) override;
+  void snapshot(SnapshotWriter& w) const override;
+  void restore(SnapshotReader& r) override;
   bool accepted_server() const { return accepted_server_; }
   const EnergyLedger& ledger() const { return ledger_; }
   /// Wire geometry of move 3 (for taps / parsers): MAC(TAG) || nonce ||
@@ -114,6 +116,8 @@ class MutualAuthServer final : public SessionMachine {
   MutualAuthServer(const CipherFactory& make_cipher, const SharedKeys& keys,
                    rng::RandomSource& rng);
   StepResult on_message(const Message& m) override;
+  void snapshot(SnapshotWriter& w) const override;
+  void restore(SnapshotReader& r) override;
   bool accepted_tag() const { return accepted_tag_; }
   bool telemetry_delivered() const { return delivered_; }
   const std::vector<std::uint8_t>& telemetry() const { return plain_; }

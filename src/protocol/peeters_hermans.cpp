@@ -4,6 +4,7 @@
 
 #include "ecc/fixed_base.h"
 #include "ecc/scalar_mult.h"
+#include "protocol/snapshot.h"
 
 namespace medsec::protocol {
 
@@ -135,6 +136,22 @@ StepResult PhTagMachine::on_message(const Message& m) {
   return step(StepResult::done(std::move(out)));
 }
 
+void PhTagMachine::snapshot(SnapshotWriter& w) const {
+  SessionMachine::snapshot(w);
+  w.scalar(session_.r);
+  w.point(session_.commitment);
+  w.boolean(committed_);
+  w.ledger(ledger_);
+}
+
+void PhTagMachine::restore(SnapshotReader& r) {
+  SessionMachine::restore(r);
+  session_.r = r.scalar();
+  session_.commitment = r.point();
+  committed_ = r.boolean();
+  r.ledger(ledger_);
+}
+
 PhReaderMachine::PhReaderMachine(const Curve& curve, const PhReader& reader,
                                  rng::RandomSource& rng)
     : curve_(&curve), reader_(&reader), rng_(&rng) {}
@@ -153,6 +170,29 @@ StepResult PhReaderMachine::on_message(const Message& m) {
   view_.response = decode_scalar(m.payload);
   identity_ = ph_reader_identify(*curve_, *reader_, view_);
   return step(StepResult::done());
+}
+
+void PhReaderMachine::snapshot(SnapshotWriter& w) const {
+  SessionMachine::snapshot(w);
+  w.boolean(have_commitment_);
+  w.boolean(identity_.has_value());
+  w.u64(identity_.value_or(0));
+  w.point(view_.commitment);
+  w.scalar(view_.challenge);
+  w.scalar(view_.response);
+}
+
+void PhReaderMachine::restore(SnapshotReader& r) {
+  SessionMachine::restore(r);
+  have_commitment_ = r.boolean();
+  const bool has_identity = r.boolean();
+  const std::uint64_t idx = r.u64();
+  identity_ = has_identity
+                  ? std::optional<std::size_t>(static_cast<std::size_t>(idx))
+                  : std::nullopt;
+  view_.commitment = r.point();
+  view_.challenge = r.scalar();
+  view_.response = r.scalar();
 }
 
 PhSessionResult run_ph_session(const Curve& curve, const PhTag& tag,

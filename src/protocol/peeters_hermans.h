@@ -102,6 +102,8 @@ class PhTagMachine final : public SessionMachine {
                sidechannel::HardenedLadder* hardened = nullptr);
   StepResult start() override;
   StepResult on_message(const Message& m) override;
+  void snapshot(SnapshotWriter& w) const override;
+  void restore(SnapshotReader& r) override;
   const EnergyLedger& ledger() const { return ledger_; }
 
  private:
@@ -124,6 +126,8 @@ class PhReaderMachine final : public SessionMachine {
   PhReaderMachine(const ecc::Curve& curve, const PhReader& reader,
                   rng::RandomSource& rng);
   StepResult on_message(const Message& m) override;
+  void snapshot(SnapshotWriter& w) const override;
+  void restore(SnapshotReader& r) override;
   const std::optional<std::size_t>& identity() const { return identity_; }
   const PhTranscript& view() const { return view_; }
 

@@ -4,6 +4,7 @@
 
 #include "ecc/fixed_base.h"
 #include "ecc/scalar_mult.h"
+#include "protocol/snapshot.h"
 
 namespace medsec::protocol {
 
@@ -76,6 +77,20 @@ StepResult SchnorrProver::on_message(const Message& m) {
   return step(StepResult::done(std::move(out)));
 }
 
+void SchnorrProver::snapshot(SnapshotWriter& w) const {
+  SessionMachine::snapshot(w);
+  w.scalar(r_);
+  w.boolean(committed_);
+  w.ledger(ledger_);
+}
+
+void SchnorrProver::restore(SnapshotReader& r) {
+  SessionMachine::restore(r);
+  r_ = r.scalar();
+  committed_ = r.boolean();
+  r.ledger(ledger_);
+}
+
 // --- verifier machine --------------------------------------------------------
 
 SchnorrVerifier::SchnorrVerifier(const Curve& curve, Point X,
@@ -105,6 +120,26 @@ StepResult SchnorrVerifier::on_message(const Message& m) {
     return step(accepted_ ? StepResult::done() : StepResult::failed());
   }
   return step(StepResult::done());  // acceptance decided by the batch queue
+}
+
+void SchnorrVerifier::snapshot(SnapshotWriter& w) const {
+  SessionMachine::snapshot(w);
+  w.boolean(have_commitment_);
+  w.boolean(accepted_);
+  w.bytes(commitment_wire_);
+  w.point(view_.commitment);
+  w.scalar(view_.challenge);
+  w.scalar(view_.response);
+}
+
+void SchnorrVerifier::restore(SnapshotReader& r) {
+  SessionMachine::restore(r);
+  have_commitment_ = r.boolean();
+  accepted_ = r.boolean();
+  commitment_wire_ = r.bytes();
+  view_.commitment = r.point();
+  view_.challenge = r.scalar();
+  view_.response = r.scalar();
 }
 
 // --- drivers -----------------------------------------------------------------

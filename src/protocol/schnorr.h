@@ -68,6 +68,8 @@ class SchnorrProver final : public SessionMachine {
                 sidechannel::HardenedLadder* hardened = nullptr);
   StepResult start() override;
   StepResult on_message(const Message& m) override;
+  void snapshot(SnapshotWriter& w) const override;
+  void restore(SnapshotReader& r) override;
   const EnergyLedger& ledger() const { return ledger_; }
 
  private:
@@ -97,6 +99,8 @@ class SchnorrVerifier final : public SessionMachine {
   SchnorrVerifier(const ecc::Curve& curve, ecc::Point X,
                   rng::RandomSource& rng, Mode mode = Mode::kInline);
   StepResult on_message(const Message& m) override;
+  void snapshot(SnapshotWriter& w) const override;
+  void restore(SnapshotReader& r) override;
 
   /// kInline only; meaningless in deferred mode.
   bool accepted() const { return accepted_; }

@@ -2,7 +2,29 @@
 
 #include <deque>
 
+#include "protocol/snapshot.h"
+
 namespace medsec::protocol {
+
+namespace {
+/// Snapshot framing for the base machine state: magic + version, so a
+/// stream of the wrong kind (or from a future incompatible layout) fails
+/// loudly in restore() instead of misparsing.
+constexpr std::uint32_t kSnapshotMagic = 0x4d534d31;  // "MSM1"
+}  // namespace
+
+void SessionMachine::snapshot(SnapshotWriter& w) const {
+  w.u32(kSnapshotMagic);
+  w.u8(static_cast<std::uint8_t>(state_));
+}
+
+void SessionMachine::restore(SnapshotReader& r) {
+  if (r.u32() != kSnapshotMagic) throw SnapshotError("bad magic");
+  const std::uint8_t s = r.u8();
+  if (s > static_cast<std::uint8_t>(SessionState::kFailed))
+    throw SnapshotError("bad session state");
+  state_ = static_cast<SessionState>(s);
+}
 
 bool drive_session(SessionMachine& tag, SessionMachine& reader,
                    Transcript& transcript, const SessionTap& tap) {
@@ -24,13 +46,20 @@ bool drive_session(SessionMachine& tag, SessionMachine& reader,
     air.pop_front();
     if (f.from_tag && tap.tag_to_reader) tap.tag_to_reader(f.msg);
     if (!f.from_tag && tap.reader_to_tag) tap.reader_to_tag(f.msg);
+    const auto& fate_hook =
+        f.from_tag ? tap.tag_to_reader_fate : tap.reader_to_tag_fate;
+    const TapFate fate = fate_hook ? fate_hook(f.msg) : TapFate::kDeliver;
+    if (fate == TapFate::kDrop) continue;  // lost on the air
 
     SessionMachine& dst = f.from_tag ? reader : tag;
     auto& lane = f.from_tag ? transcript.tag_to_reader
                             : transcript.reader_to_tag;
-    lane.push_back(f.msg);
-    if (dst.state() != SessionState::kAwait) continue;  // dead endpoint
-    enqueue(!f.from_tag, dst.on_message(f.msg).out);
+    const int copies = fate == TapFate::kDuplicate ? 2 : 1;
+    for (int c = 0; c < copies; ++c) {
+      lane.push_back(f.msg);
+      if (dst.state() != SessionState::kAwait) continue;  // dead endpoint
+      enqueue(!f.from_tag, dst.on_message(f.msg).out);
+    }
   }
   return tag.state() == SessionState::kDone &&
          reader.state() == SessionState::kDone;

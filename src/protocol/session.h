@@ -53,6 +53,9 @@ struct StepResult {
   static StepResult failed() { return {SessionState::kFailed, {}}; }
 };
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /// One protocol endpoint as a resumable state machine.
 class SessionMachine {
  public:
@@ -68,6 +71,17 @@ class SessionMachine {
 
   SessionState state() const { return state_; }
 
+  /// Serialize the machine's owned per-session state (failover support;
+  /// see snapshot.h). Contract: construct a replacement machine with the
+  /// SAME constructor arguments (curve, keys, rng, factories — the
+  /// referenced, process-lifetime environment), call restore() on it, and
+  /// the replacement is indistinguishable from the original — every
+  /// subsequent on_message() yields bit-identical output. Subclasses
+  /// override both, calling the base first (it carries the state flag).
+  /// restore() throws SnapshotError on malformed input.
+  virtual void snapshot(SnapshotWriter& w) const;
+  virtual void restore(SnapshotReader& r);
+
  protected:
   /// Record the step's resulting state before returning it.
   StepResult step(StepResult r) {
@@ -79,12 +93,29 @@ class SessionMachine {
   SessionState state_ = SessionState::kAwait;
 };
 
-/// In-flight tamper hooks for fault injection (tests, benches, the privacy
-/// game's adversarial reader): each is called — when set — on every message
-/// in that direction before delivery and may mutate the payload.
+/// What a fault-injection tap decided to do with one in-flight message.
+/// kDeliver is the default; kDrop models message loss (the endpoint never
+/// hears it); kDuplicate delivers the message twice back to back (radio
+/// retransmission with a lost ack). Truncation and tampering are expressed
+/// through the mutator hooks — resize or rewrite the payload in place.
+enum class TapFate {
+  kDeliver,
+  kDrop,
+  kDuplicate,
+};
+
+/// In-flight fault hooks (tests, benches, the privacy game's adversarial
+/// reader). For each direction two hooks run — when set — on every message
+/// before delivery: the mutator may rewrite the payload (tamper, truncate,
+/// extend), then the fate hook decides whether the (possibly mutated)
+/// message is delivered, dropped, or duplicated. The transcript records
+/// the adversary's view: mutated payloads, duplicates twice, drops not at
+/// all.
 struct SessionTap {
   std::function<void(Message&)> tag_to_reader;
   std::function<void(Message&)> reader_to_tag;
+  std::function<TapFate(const Message&)> tag_to_reader_fate;
+  std::function<TapFate(const Message&)> reader_to_tag_fate;
 };
 
 /// Pump messages between a tag-side and a reader-side machine until both

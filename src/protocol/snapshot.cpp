@@ -1,0 +1,68 @@
+#include "protocol/snapshot.h"
+
+#include <bit>
+
+#include "protocol/energy_ledger.h"
+
+namespace medsec::protocol {
+
+void SnapshotWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+double SnapshotReader::f64() { return std::bit_cast<double>(u64()); }
+
+void SnapshotWriter::fe(const ecc::Fe& v) {
+  const bigint::U192 bits = v.to_bits();
+  for (std::size_t i = 0; i < bigint::U192::kLimbs; ++i) u64(bits.limb(i));
+}
+
+ecc::Fe SnapshotReader::fe() {
+  bigint::U192 bits;
+  for (std::size_t i = 0; i < bigint::U192::kLimbs; ++i)
+    bits.set_limb(i, u64());
+  // A field element image has no bits above 162; anything else is a
+  // corrupt snapshot, not a value to silently reduce.
+  for (std::size_t b = 163; b < bigint::U192::kBits; ++b)
+    if (bits.bit(b)) throw SnapshotError("field element out of range");
+  return ecc::Fe::from_bits(bits);
+}
+
+void SnapshotWriter::point(const ecc::Point& p) {
+  boolean(p.infinity);
+  if (!p.infinity) {
+    fe(p.x);
+    fe(p.y);
+  }
+}
+
+ecc::Point SnapshotReader::point() {
+  if (boolean()) return ecc::Point::at_infinity();
+  const ecc::Fe x = fe();
+  const ecc::Fe y = fe();
+  return ecc::Point::affine(x, y);
+}
+
+void SnapshotWriter::ledger(const EnergyLedger& l) {
+  u64(l.ecpm);
+  u64(l.modmul);
+  u64(l.modadd);
+  u64(l.cipher_blocks);
+  u64(l.hash_blocks);
+  u64(l.rng_bits);
+  u64(l.tx_bits);
+  u64(l.rx_bits);
+  boolean(l.aborted_early);
+}
+
+void SnapshotReader::ledger(EnergyLedger& l) {
+  l.ecpm = u64();
+  l.modmul = u64();
+  l.modadd = u64();
+  l.cipher_blocks = u64();
+  l.hash_blocks = u64();
+  l.rng_bits = u64();
+  l.tx_bits = u64();
+  l.rx_bits = u64();
+  l.aborted_early = boolean();
+}
+
+}  // namespace medsec::protocol

@@ -29,6 +29,21 @@ class Xoshiro256 final : public RandomSource {
     for (auto& s : s_) s = splitmix64(sm);
   }
 
+  /// Complete generator state, exposed for session snapshot/restore: a
+  /// failed-over session must resume its randomness stream exactly where
+  /// the dead server left it (the Box–Muller spare is part of the stream).
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    bool have_spare = false;
+    double spare = 0.0;
+  };
+  State save_state() const { return State{s_, have_spare_, spare_}; }
+  void load_state(const State& st) {
+    s_ = st.s;
+    have_spare_ = st.have_spare;
+    spare_ = st.spare;
+  }
+
   std::uint64_t next_u64() override {
     const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
     const std::uint64_t t = s_[1] << 17;

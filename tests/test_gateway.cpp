@@ -1,0 +1,889 @@
+// Tests for the resilience layer: framed transport + CRC, the seeded
+// LossyLink fault schedule, ARQ delivery, the GatewayServer's degradation
+// policies (shedding, eviction, quarantine), session snapshot/restore
+// failover, the seeded chaos campaign's determinism contract, and the
+// FleetServer's bounded drain.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ciphers/aes128.h"
+#include "core/event_queue.h"
+#include "ecc/curve.h"
+#include "engine/delivery.h"
+#include "engine/fleet_server.h"
+#include "engine/gateway.h"
+#include "engine/transport.h"
+#include "protocol/ecies.h"
+#include "protocol/mutual_auth.h"
+#include "protocol/peeters_hermans.h"
+#include "protocol/schnorr.h"
+#include "protocol/session.h"
+#include "protocol/snapshot.h"
+#include "protocol/wire.h"
+#include "rng/xoshiro.h"
+
+namespace {
+
+using medsec::ecc::Curve;
+using medsec::rng::Xoshiro256;
+namespace core = medsec::core;
+namespace proto = medsec::protocol;
+namespace engine = medsec::engine;
+
+using engine::decode_frame;
+using engine::encode_frame;
+using engine::Frame;
+using engine::FrameType;
+
+// --- shared fixtures ---------------------------------------------------------
+
+proto::CipherFactory aes_factory() {
+  return [](std::span<const std::uint8_t> key) {
+    return std::unique_ptr<medsec::ciphers::BlockCipher>(
+        new medsec::ciphers::Aes128(key));
+  };
+}
+
+std::uint64_t fnv1a_bytes(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// A machine that throws out of on_message — the poison the quarantine
+/// policies exist for.
+class ThrowingMachine final : public proto::SessionMachine {
+ public:
+  proto::StepResult on_message(const proto::Message&) override {
+    throw std::runtime_error("poison");
+  }
+};
+
+/// A machine that stalls its worker — drives the bounded-drain straggler
+/// report.
+class SlowMachine final : public proto::SessionMachine {
+ public:
+  proto::StepResult on_message(const proto::Message&) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return step(proto::StepResult::wait());
+  }
+};
+
+// --- event queue -------------------------------------------------------------
+
+TEST(EventQueue, SameCycleFiresInScheduleOrder) {
+  core::EventQueue q;
+  std::vector<int> order;
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(10, [&] { order.push_back(2); });
+  q.schedule(5, [&] { order.push_back(0); });
+  q.schedule(10, [&] { order.push_back(3); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueue, CancelledEventNeverFires) {
+  core::EventQueue q;
+  bool fired = false;
+  const core::EventId id = q.schedule(7, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double-cancel is a safe no-op
+  q.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+// --- framed transport --------------------------------------------------------
+
+TEST(Transport, Crc32KnownVector) {
+  const std::uint8_t msg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(engine::crc32(msg), 0xCBF43926u);
+}
+
+TEST(Transport, FrameRoundtripAllTypes) {
+  for (const FrameType type :
+       {FrameType::kData, FrameType::kAck, FrameType::kReject}) {
+    Frame f;
+    f.type = type;
+    f.session = 0x0123456789ABCDEFULL;
+    f.seq = 42;
+    f.label = engine::intern_label("challenge");
+    f.payload = {0xDE, 0xAD, 0xBE, 0xEF};
+    const auto bytes = encode_frame(f);
+    const auto back = decode_frame(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->type, type);
+    EXPECT_EQ(back->session, f.session);
+    EXPECT_EQ(back->seq, f.seq);
+    EXPECT_STREQ(back->label, "challenge");
+    EXPECT_EQ(back->payload, f.payload);
+  }
+}
+
+TEST(Transport, DecodeRejectsEveryTruncation) {
+  Frame f;
+  f.session = 7;
+  f.seq = 3;
+  f.label = "m";
+  f.payload = std::vector<std::uint8_t>(37, 0xA5);
+  const auto bytes = encode_frame(f);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(
+        decode_frame(std::span(bytes.data(), len)).has_value())
+        << "truncation to " << len << " bytes decoded";
+  }
+}
+
+TEST(Transport, DecodeRejectsEveryBitFlip) {
+  Frame f;
+  f.session = 9;
+  f.label = "resp";
+  f.payload = {1, 2, 3};
+  const auto bytes = encode_frame(f);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mangled = bytes;
+      mangled[i] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(decode_frame(mangled).has_value())
+          << "flip of byte " << i << " bit " << bit << " decoded";
+    }
+  }
+}
+
+TEST(Transport, DecodeRejectsTrailingBytes) {
+  Frame f;
+  f.payload = {5};
+  auto bytes = encode_frame(f);
+  bytes.push_back(0x00);
+  EXPECT_FALSE(decode_frame(bytes).has_value());
+}
+
+TEST(Transport, InternLabelIsStable) {
+  const char* a = engine::intern_label("gateway-test-label");
+  const char* b = engine::intern_label(std::string("gateway-test-") +
+                                       std::string("label"));
+  EXPECT_EQ(a, b);  // one process-lifetime address per distinct label
+  EXPECT_STREQ(a, "gateway-test-label");
+}
+
+TEST(Transport, LossyLinkFaultScheduleIsSeedReproducible) {
+  engine::FaultProfile faults;
+  faults.drop = 0.2;
+  faults.corrupt = 0.1;
+  faults.duplicate = 0.1;
+  faults.reorder = 0.15;
+
+  const auto run = [&](std::uint64_t seed) {
+    core::EventQueue q;
+    engine::LossyLink link(q, seed, faults, faults);
+    std::vector<std::vector<std::uint8_t>> received;
+    link.set_receiver(engine::LossyLink::kUp,
+                      [&](std::vector<std::uint8_t> b) {
+                        received.push_back(std::move(b));
+                      });
+    for (std::uint8_t n = 0; n < 50; ++n)
+      link.send(engine::LossyLink::kUp, {n, 0x55, n});
+    q.run_all();
+    return std::pair(received, link.stats(engine::LossyLink::kUp));
+  };
+
+  const auto [recv_a, stats_a] = run(0xFEED);
+  const auto [recv_b, stats_b] = run(0xFEED);
+  const auto [recv_c, stats_c] = run(0xFEED + 1);
+  EXPECT_EQ(recv_a, recv_b);  // same seed: identical delivery schedule
+  EXPECT_EQ(stats_a.dropped, stats_b.dropped);
+  EXPECT_EQ(stats_a.corrupted, stats_b.corrupted);
+  EXPECT_EQ(stats_a.duplicated, stats_b.duplicated);
+  EXPECT_EQ(stats_a.reordered, stats_b.reordered);
+  EXPECT_GT(stats_a.dropped, 0u);
+  EXPECT_NE(recv_a, recv_c);  // and a different seed genuinely differs
+}
+
+// --- reliable delivery -------------------------------------------------------
+
+/// Wire two endpoints through one LossyLink; collect what each surfaces.
+struct EndpointPair {
+  core::EventQueue q;
+  engine::LossyLink link;
+  engine::ReliableEndpoint a;  // sends kUp
+  engine::ReliableEndpoint b;  // sends kDown
+  std::vector<Frame> a_got, b_got;
+  bool a_failed = false, b_failed = false;
+
+  EndpointPair(std::uint64_t seed, const engine::FaultProfile& faults,
+               const engine::DeliveryConfig& cfg = {})
+      : link(q, seed, faults, faults),
+        a(q, 1, seed ^ 1, cfg),
+        b(q, 1, seed ^ 2, cfg) {
+    a.set_frame_sink([this](std::vector<std::uint8_t> raw) {
+      link.send(engine::LossyLink::kUp, std::move(raw));
+    });
+    b.set_frame_sink([this](std::vector<std::uint8_t> raw) {
+      link.send(engine::LossyLink::kDown, std::move(raw));
+    });
+    link.set_receiver(engine::LossyLink::kUp,
+                      [this](std::vector<std::uint8_t> raw) {
+                        b.on_bytes(std::move(raw));
+                      });
+    link.set_receiver(engine::LossyLink::kDown,
+                      [this](std::vector<std::uint8_t> raw) {
+                        a.on_bytes(std::move(raw));
+                      });
+    a.set_message_sink([this](const Frame& f) { a_got.push_back(f); });
+    b.set_message_sink([this](const Frame& f) { b_got.push_back(f); });
+    a.set_failure_sink([this] { a_failed = true; });
+    b.set_failure_sink([this] { b_failed = true; });
+  }
+};
+
+TEST(Delivery, ExactlyOnceInOrderOverFaultlessLink) {
+  EndpointPair p(0x11, {});
+  for (std::uint8_t n = 0; n < 10; ++n)
+    p.a.send_message("msg", {n});
+  p.q.run_all();
+  ASSERT_EQ(p.b_got.size(), 10u);
+  for (std::uint8_t n = 0; n < 10; ++n)
+    EXPECT_EQ(p.b_got[n].payload, std::vector<std::uint8_t>{n});
+  EXPECT_TRUE(p.a.idle());
+  EXPECT_EQ(p.b.stats().delivered, 10u);
+  EXPECT_EQ(p.b.stats().decode_failures, 0u);
+}
+
+TEST(Delivery, LossAndCorruptionRepairedByRetransmission) {
+  engine::FaultProfile faults;
+  faults.drop = 0.25;
+  faults.corrupt = 0.1;
+  faults.duplicate = 0.05;
+  faults.reorder = 0.1;
+  EndpointPair p(0x22, faults);
+  for (std::uint8_t n = 0; n < 16; ++n) {
+    p.a.send_message("up", {n, 0xAA});
+    p.b.send_message("down", {n, 0xBB});
+  }
+  p.q.run_all();
+  ASSERT_EQ(p.b_got.size(), 16u);
+  ASSERT_EQ(p.a_got.size(), 16u);
+  for (std::uint8_t n = 0; n < 16; ++n) {
+    EXPECT_EQ(p.b_got[n].payload, (std::vector<std::uint8_t>{n, 0xAA}));
+    EXPECT_EQ(p.a_got[n].payload, (std::vector<std::uint8_t>{n, 0xBB}));
+  }
+  EXPECT_FALSE(p.a_failed);
+  EXPECT_FALSE(p.b_failed);
+  EXPECT_GT(p.a.stats().retransmits + p.b.stats().retransmits, 0u);
+  // Every corrupted delivery died at the CRC, none reached a message sink.
+  const auto& up = p.link.stats(engine::LossyLink::kUp);
+  const auto& down = p.link.stats(engine::LossyLink::kDown);
+  EXPECT_EQ(up.corrupted_delivered + down.corrupted_delivered,
+            p.a.stats().decode_failures + p.b.stats().decode_failures);
+}
+
+TEST(Delivery, RetryExhaustionDeclaresFailure) {
+  core::EventQueue q;
+  engine::DeliveryConfig cfg;
+  cfg.max_retries = 3;
+  engine::ReliableEndpoint ep(q, 1, 0x33, cfg);
+  ep.set_frame_sink([](std::vector<std::uint8_t>) {});  // black hole
+  bool failed = false;
+  ep.set_failure_sink([&] { failed = true; });
+  ep.send_message("void", {1});
+  q.run_all();
+  EXPECT_TRUE(failed);
+  EXPECT_TRUE(ep.failed());
+  EXPECT_EQ(ep.stats().retransmits, 3u);
+}
+
+TEST(Delivery, RejectFrameFailsThePeer) {
+  EndpointPair p(0x44, {});
+  p.a.send_reject();
+  p.q.run_all();
+  EXPECT_TRUE(p.b_failed);
+  EXPECT_FALSE(p.a_failed);
+}
+
+// --- gateway: one session, by hand -------------------------------------------
+
+/// One device ↔ gateway session with a recording device half: the raw
+/// ReliableEndpoint wiring run_shard uses, but with every delivered
+/// downlink message captured for transcript comparison.
+struct SessionHarness {
+  core::EventQueue q;
+  engine::LossyLink link;
+  engine::GatewayServer gw;
+  engine::ReliableEndpoint dev;
+  proto::SessionMachine* dev_machine = nullptr;
+  std::vector<proto::Message> dev_got;  ///< downlink messages, in order
+  bool dev_failed = false;
+
+  SessionHarness(std::uint64_t seed, const engine::FaultProfile& faults,
+                 const engine::GatewayConfig& gcfg = {})
+      : link(q, seed, faults, faults),
+        gw(q, seed ^ 0x6A7E, gcfg),
+        dev(q, 1, seed ^ 0xDE71CE) {
+    dev.set_frame_sink([this](std::vector<std::uint8_t> raw) {
+      link.send(engine::LossyLink::kUp, std::move(raw));
+    });
+    link.set_receiver(engine::LossyLink::kUp,
+                      [this](std::vector<std::uint8_t> raw) {
+                        gw.on_uplink(1, std::move(raw));
+                      });
+    link.set_receiver(engine::LossyLink::kDown,
+                      [this](std::vector<std::uint8_t> raw) {
+                        dev.on_bytes(std::move(raw));
+                      });
+    dev.set_message_sink([this](const Frame& f) {
+      dev_got.push_back(proto::Message{f.label, f.payload});
+      if (dev_machine &&
+          dev_machine->state() == proto::SessionState::kAwait) {
+        auto r = dev_machine->on_message(dev_got.back());
+        for (auto& out : r.out)
+          dev.send_message(out.label, std::move(out.payload));
+      }
+    });
+    dev.set_failure_sink([this] { dev_failed = true; });
+  }
+
+  engine::GatewayServer::Downlink downlink() {
+    return [this](std::vector<std::uint8_t> raw) {
+      link.send(engine::LossyLink::kDown, std::move(raw));
+    };
+  }
+
+  void start(proto::SessionMachine& m) {
+    dev_machine = &m;
+    auto r = m.start();
+    for (auto& out : r.out)
+      dev.send_message(out.label, std::move(out.payload));
+  }
+};
+
+TEST(Gateway, FaultlessSessionMatchesDriveSession) {
+  const Curve& c = Curve::k163();
+  // Reference: the same seeded machines pumped directly.
+  Xoshiro256 kr(0x51);
+  const auto kp = proto::schnorr_keygen(c, kr);
+  Xoshiro256 dev_rng_ref(0x52), srv_rng_ref(0x53);
+  proto::SchnorrProver prover_ref(c, kp, dev_rng_ref);
+  proto::SchnorrVerifier verifier_ref(c, kp.X, srv_rng_ref);
+  proto::Transcript ref;
+  ASSERT_TRUE(proto::drive_session(prover_ref, verifier_ref, ref));
+  ASSERT_TRUE(verifier_ref.accepted());
+
+  // Same machines, same seeds, but over the framed transport through the
+  // gateway. The delivery layer steps each machine exactly once per unique
+  // message, so the transcript must be identical.
+  Xoshiro256 dev_rng(0x52), srv_rng(0x54);
+  auto srv_rng_owned = std::make_unique<Xoshiro256>(0x53);
+  proto::SchnorrProver prover(c, kp, dev_rng);
+  SessionHarness h(0x60, {});
+  auto verifier =
+      std::make_unique<proto::SchnorrVerifier>(c, kp.X, *srv_rng_owned);
+  auto* verifier_raw = verifier.get();
+  ASSERT_TRUE(h.gw.open_session(
+      1, std::move(verifier), h.downlink(),
+      [](const proto::SessionMachine& m) {
+        return static_cast<const proto::SchnorrVerifier&>(m).accepted();
+      },
+      std::move(srv_rng_owned)));
+  h.start(prover);
+  h.q.run_all();
+
+  EXPECT_EQ(h.gw.status(1), engine::GatewaySessionStatus::kCompleted);
+  EXPECT_TRUE(h.gw.accepted(1));
+  EXPECT_TRUE(verifier_raw->accepted());
+  EXPECT_EQ(prover.state(), proto::SessionState::kDone);
+  // Downlink messages ≡ the reference reader→tag transcript, bit for bit.
+  ASSERT_EQ(h.dev_got.size(), ref.reader_to_tag.size());
+  for (std::size_t i = 0; i < h.dev_got.size(); ++i) {
+    EXPECT_STREQ(h.dev_got[i].label, ref.reader_to_tag[i].label);
+    EXPECT_EQ(h.dev_got[i].payload, ref.reader_to_tag[i].payload);
+  }
+  // Same protocol work, message for message: the ledgers agree.
+  EXPECT_EQ(prover.ledger().ecpm, prover_ref.ledger().ecpm);
+  EXPECT_EQ(prover.ledger().rng_bits, prover_ref.ledger().rng_bits);
+}
+
+TEST(Gateway, DeadlineEvictsStalledSession) {
+  engine::GatewayConfig gcfg;
+  gcfg.session_deadline = 500;
+  SessionHarness h(0x70, {}, gcfg);
+  Xoshiro256 rng(1);
+  const Curve& c = Curve::k163();
+  const auto kp = proto::schnorr_keygen(c, rng);
+  ASSERT_TRUE(h.gw.open_session(
+      1, std::make_unique<proto::SchnorrVerifier>(c, kp.X, rng),
+      h.downlink()));
+  h.q.run_all();  // no device ever speaks
+  EXPECT_EQ(h.gw.status(1),
+            engine::GatewaySessionStatus::kDeadlineEvicted);
+  EXPECT_EQ(h.gw.stats().deadline_evicted, 1u);
+  EXPECT_EQ(h.gw.settled_at(1), 500u);
+  EXPECT_EQ(h.gw.live_sessions(), 0u);
+}
+
+TEST(Gateway, IdleTimeoutEvictsQuietSession) {
+  engine::GatewayConfig gcfg;
+  gcfg.idle_timeout = 300;
+  SessionHarness h(0x71, {}, gcfg);
+  Xoshiro256 rng(2);
+  const Curve& c = Curve::k163();
+  const auto kp = proto::schnorr_keygen(c, rng);
+  ASSERT_TRUE(h.gw.open_session(
+      1, std::make_unique<proto::SchnorrVerifier>(c, kp.X, rng),
+      h.downlink()));
+  h.q.run_all();
+  EXPECT_EQ(h.gw.status(1), engine::GatewaySessionStatus::kIdleEvicted);
+  EXPECT_EQ(h.gw.stats().idle_evicted, 1u);
+}
+
+TEST(Gateway, AdmissionControlShedsWithExplicitReject) {
+  engine::GatewayConfig gcfg;
+  gcfg.max_live_sessions = 1;
+  core::EventQueue q;
+  engine::GatewayServer gw(q, 0x72, gcfg);
+  Xoshiro256 rng(3);
+  const Curve& c = Curve::k163();
+  const auto kp = proto::schnorr_keygen(c, rng);
+  ASSERT_TRUE(gw.open_session(
+      1, std::make_unique<proto::SchnorrVerifier>(c, kp.X, rng),
+      [](std::vector<std::uint8_t>) {}));
+  std::vector<std::uint8_t> refusal;
+  EXPECT_FALSE(gw.open_session(
+      2, std::make_unique<proto::SchnorrVerifier>(c, kp.X, rng),
+      [&](std::vector<std::uint8_t> raw) { refusal = std::move(raw); }));
+  EXPECT_EQ(gw.stats().shed, 1u);
+  EXPECT_FALSE(gw.has_session(2));
+  // The refusal is a well-formed kReject frame, not silence.
+  const auto f = decode_frame(refusal);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, FrameType::kReject);
+  EXPECT_EQ(f->session, 2u);
+}
+
+TEST(Gateway, PoisonMachineIsQuarantined) {
+  SessionHarness h(0x73, {});
+  ASSERT_TRUE(h.gw.open_session(1, std::make_unique<ThrowingMachine>(),
+                                h.downlink()));
+  h.dev.send_message("poison", {0xFF});
+  h.q.run_all();
+  EXPECT_EQ(h.gw.status(1), engine::GatewaySessionStatus::kQuarantined);
+  EXPECT_EQ(h.gw.stats().quarantined, 1u);
+  EXPECT_TRUE(h.dev_failed);  // the kReject told the device to stop
+}
+
+// --- snapshot / restore ------------------------------------------------------
+
+/// Fleet credentials shared by the per-protocol snapshot tests; mirrors
+/// the chaos campaign's fixture set.
+struct ProtoFixtures {
+  const Curve& c = Curve::k163();
+  Xoshiro256 setup{0x90};
+  proto::SchnorrKeyPair kp = proto::schnorr_keygen(c, setup);
+  proto::PhReader reader = proto::ph_setup_reader(c, setup);
+  proto::PhTag tag = proto::ph_register_tag(c, reader, setup);
+  proto::CipherFactory aes = aes_factory();
+  proto::SharedKeys keys =
+      proto::derive_session_keys(std::vector<std::uint8_t>(16, 7), 16);
+  proto::EciesKeyPair ek = proto::ecies_keygen(c, setup);
+  std::vector<std::uint8_t> telemetry = std::vector<std::uint8_t>(48, 0xC3);
+
+  std::unique_ptr<proto::SessionMachine> device(std::size_t kind,
+                                                Xoshiro256& rng) const {
+    switch (kind) {
+      case 0:
+        return std::make_unique<proto::SchnorrProver>(c, kp, rng);
+      case 1:
+        return std::make_unique<proto::PhTagMachine>(c, tag, rng);
+      case 2:
+        return std::make_unique<proto::MutualAuthTag>(aes, keys, telemetry,
+                                                      rng);
+      default:
+        return std::make_unique<proto::EciesUploader>(c, ek.Y, telemetry,
+                                                      aes, 16, rng);
+    }
+  }
+  std::unique_ptr<proto::SessionMachine> server(std::size_t kind,
+                                                Xoshiro256& rng) const {
+    switch (kind) {
+      case 0:
+        return std::make_unique<proto::SchnorrVerifier>(c, kp.X, rng);
+      case 1:
+        return std::make_unique<proto::PhReaderMachine>(c, reader, rng);
+      case 2:
+        return std::make_unique<proto::MutualAuthServer>(aes, keys, rng);
+      default:
+        return std::make_unique<proto::EciesReceiver>(c, ek.y, aes, 16);
+    }
+  }
+};
+
+/// Golden digests of each server machine's snapshot after absorbing the
+/// device's opening message. Everything underneath is seeded, so these
+/// bytes are a stable format commitment: a serialization change must come
+/// with a deliberate re-pin here.
+constexpr std::uint64_t kGoldenServerSnapshotDigest[4] = {
+    0xd592195d99d8809bULL,  // Schnorr verifier
+    0x63be237074abb908ULL,  // Peeters–Hermans reader
+    0x69c4ddbf6ff8ca57ULL,  // mutual-auth server
+    0x41492cdf9824f039ULL,  // ECIES receiver
+};
+
+TEST(Snapshot, ServerMachineDigestsMatchGolden) {
+  const ProtoFixtures fx;
+  for (std::size_t kind = 0; kind < 4; ++kind) {
+    Xoshiro256 dev_rng(100 + kind), srv_rng(200 + kind);
+    auto dev = fx.device(kind, dev_rng);
+    auto srv = fx.server(kind, srv_rng);
+    auto opening = dev->start();
+    ASSERT_FALSE(opening.out.empty()) << "kind " << kind;
+    srv->on_message(opening.out[0]);  // mid-protocol state
+    proto::SnapshotWriter w;
+    srv->snapshot(w);
+    const auto bytes = w.take();
+    EXPECT_EQ(fnv1a_bytes(bytes), kGoldenServerSnapshotDigest[kind])
+        << "kind " << kind << " digest 0x" << std::hex
+        << fnv1a_bytes(bytes);
+  }
+}
+
+TEST(Snapshot, RestoredMachineContinuesBitIdentically) {
+  const ProtoFixtures fx;
+  for (std::size_t kind = 0; kind < 4; ++kind) {
+    Xoshiro256 dev_rng(300 + kind), srv_rng(400 + kind);
+    auto dev = fx.device(kind, dev_rng);
+    auto srv = fx.server(kind, srv_rng);
+    auto opening = dev->start();
+    ASSERT_FALSE(opening.out.empty());
+    auto first = srv->on_message(opening.out[0]);
+
+    // Freeze the server mid-protocol: machine state + its rng's state.
+    proto::SnapshotWriter w;
+    srv->snapshot(w);
+    const auto bytes = w.take();
+    const Xoshiro256::State rng_state = srv_rng.save_state();
+
+    // The device answers (if the protocol has a next move)...
+    if (first.out.empty()) continue;  // single-shot protocol (ECIES)
+    auto reply = dev->on_message(first.out[0]);
+    if (reply.out.empty()) continue;
+
+    // ...and both the original and a restored clone absorb that answer.
+    Xoshiro256 clone_rng(0);
+    clone_rng.load_state(rng_state);
+    auto clone = fx.server(kind, clone_rng);
+    proto::SnapshotReader r(bytes);
+    clone->restore(r);
+    EXPECT_TRUE(r.exhausted());
+
+    const auto a = srv->on_message(reply.out[0]);
+    const auto b = clone->on_message(reply.out[0]);
+    EXPECT_EQ(a.state, b.state) << "kind " << kind;
+    ASSERT_EQ(a.out.size(), b.out.size()) << "kind " << kind;
+    for (std::size_t i = 0; i < a.out.size(); ++i) {
+      EXPECT_STREQ(a.out[i].label, b.out[i].label);
+      EXPECT_EQ(a.out[i].payload, b.out[i].payload) << "kind " << kind;
+    }
+  }
+}
+
+TEST(Snapshot, GatewayFailoverPreservesTranscriptsAcrossAllProtocols) {
+  const ProtoFixtures fx;
+  engine::FaultProfile faults;
+  faults.drop = 0.1;
+  faults.reorder = 0.1;
+
+  for (std::size_t kind = 0; kind < 4; ++kind) {
+    // Scenario A: one session runs to completion, no failover.
+    const auto run = [&](bool failover) {
+      Xoshiro256 dev_rng(500 + kind);
+      auto dev_machine = fx.device(kind, dev_rng);
+      auto h = std::make_unique<SessionHarness>(0x1000 + kind, faults);
+      auto srv_rng = std::make_unique<Xoshiro256>(600 + kind);
+      auto srv = fx.server(kind, *srv_rng);
+      EXPECT_TRUE(h->gw.open_session(1, std::move(srv), h->downlink(), {},
+                                     std::move(srv_rng)));
+      h->start(*dev_machine);
+      if (failover) {
+        h->q.run_until(150);  // mid-protocol for every kind
+        const auto snap = h->gw.snapshot_session(1);
+        // Node death: a FRESH GatewayServer takes over the same queue and
+        // link. (SessionHarness owns the gateway, so emulate by restoring
+        // onto a second harness-less server.)
+        auto gw2 = std::make_unique<engine::GatewayServer>(
+            h->q, (0x1000 + kind) ^ 0x6A7E);
+        auto rng2 = std::make_unique<Xoshiro256>(0);
+        auto srv2 = fx.server(kind, *rng2);
+        engine::GatewayServer* gw2_raw = gw2.get();
+        h->link.set_receiver(
+            engine::LossyLink::kUp,
+            [gw2_raw](std::vector<std::uint8_t> raw) {
+              gw2_raw->on_uplink(1, std::move(raw));
+            });
+        gw2_raw->restore_session(1, std::move(srv2), h->downlink(), snap,
+                                 {}, std::move(rng2));
+        EXPECT_EQ(gw2_raw->stats().restored, 1u);
+        h->q.run_all();
+        const bool dev_done =
+            dev_machine->state() == proto::SessionState::kDone;
+        auto got = std::move(h->dev_got);
+        // Keep gw2 alive until the queue drained; drop it before h.
+        gw2.reset();
+        return std::pair(dev_done, std::move(got));
+      }
+      h->q.run_all();
+      return std::pair(dev_machine->state() == proto::SessionState::kDone,
+                       std::move(h->dev_got));
+    };
+
+    const auto [done_a, msgs_a] = run(false);
+    const auto [done_b, msgs_b] = run(true);
+    EXPECT_TRUE(done_a) << "kind " << kind;
+    EXPECT_TRUE(done_b) << "kind " << kind;
+    // The device saw the SAME protocol conversation, bit for bit —
+    // failover cost it nothing but a retransmit.
+    ASSERT_EQ(msgs_a.size(), msgs_b.size()) << "kind " << kind;
+    for (std::size_t i = 0; i < msgs_a.size(); ++i) {
+      EXPECT_STREQ(msgs_a[i].label, msgs_b[i].label);
+      EXPECT_EQ(msgs_a[i].payload, msgs_b[i].payload) << "kind " << kind;
+    }
+  }
+}
+
+TEST(Snapshot, RestoreRejectsMalformedSnapshots) {
+  const ProtoFixtures fx;
+  SessionHarness h(0x74, {});
+  Xoshiro256 rng(5);
+  auto srv_rng = std::make_unique<Xoshiro256>(6);
+  auto srv = fx.server(0, *srv_rng);
+  ASSERT_TRUE(h.gw.open_session(1, std::move(srv), h.downlink(), {},
+                                std::move(srv_rng)));
+  auto snap = h.gw.snapshot_session(1);
+
+  core::EventQueue q2;
+  engine::GatewayServer gw2(q2, 0x75);
+  // Truncation at any point must throw, never crash or half-restore.
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{3}, snap.size() / 2,
+        snap.size() - 1}) {
+    auto rng2 = std::make_unique<Xoshiro256>(0);
+    EXPECT_THROW(
+        gw2.restore_session(9, fx.server(0, *rng2),
+                            [](std::vector<std::uint8_t>) {},
+                            std::span(snap.data(), len), {},
+                            std::move(rng2)),
+        proto::SnapshotError);
+    EXPECT_FALSE(gw2.has_session(9));
+  }
+  // Bad magic.
+  auto mangled = snap;
+  mangled[0] ^= 0xFF;
+  auto rng3 = std::make_unique<Xoshiro256>(0);
+  EXPECT_THROW(gw2.restore_session(9, fx.server(0, *rng3),
+                                   [](std::vector<std::uint8_t>) {},
+                                   mangled, {}, std::move(rng3)),
+               proto::SnapshotError);
+  // Missing rng when the snapshot recorded one.
+  EXPECT_THROW(gw2.restore_session(9, fx.server(0, rng),
+                                   [](std::vector<std::uint8_t>) {}, snap,
+                                   {}, nullptr),
+               proto::SnapshotError);
+}
+
+// --- the chaos campaign ------------------------------------------------------
+
+engine::ChaosCampaignConfig chaos_config() {
+  engine::ChaosCampaignConfig cfg;
+  cfg.sessions = 64;
+  cfg.sessions_per_shard = 16;
+  cfg.seed = 0xC4A05;
+  cfg.uplink.drop = 0.20;
+  cfg.uplink.corrupt = 0.05;
+  cfg.uplink.reorder = 0.10;
+  cfg.uplink.duplicate = 0.05;
+  cfg.downlink = cfg.uplink;
+  return cfg;
+}
+
+TEST(ChaosCampaign, AllSessionsCompleteUnderHeavyFaults) {
+  const auto r = engine::run_chaos_campaign(chaos_config());
+  EXPECT_EQ(r.sessions, 64u);
+  EXPECT_EQ(r.completed, 64u);  // 100% completion at 20% loss
+  EXPECT_EQ(r.accepted, 64u);   // every verdict accepts honest devices
+  EXPECT_EQ(r.stuck, 0u);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.corrupt_accepted, 0u);  // the CRC held the line
+  EXPECT_GT(r.frames_dropped, 0u);
+  EXPECT_GT(r.frames_corrupted, 0u);
+  EXPECT_GT(r.retransmits, 0u);
+  EXPECT_GT(r.decode_failures, 0u);
+  EXPECT_GT(r.latency_p99, r.latency_p50);
+  EXPECT_GE(r.latency_max, r.latency_p99);
+}
+
+TEST(ChaosCampaign, FaultlessRunIsCleanAndCheaper) {
+  auto cfg = chaos_config();
+  cfg.uplink = {};
+  cfg.downlink = {};
+  const auto r = engine::run_chaos_campaign(cfg);
+  EXPECT_EQ(r.completed, 64u);
+  EXPECT_EQ(r.decode_failures, 0u);
+  EXPECT_EQ(r.frames_dropped, 0u);
+  EXPECT_EQ(r.corrupt_accepted, 0u);
+
+  const auto faulty = engine::run_chaos_campaign(chaos_config());
+  EXPECT_LT(r.latency_p99, faulty.latency_p99);
+  EXPECT_LT(r.frames_sent, faulty.frames_sent);
+}
+
+TEST(ChaosCampaign, DigestIsIdenticalAcrossRerunsAndThreadCounts) {
+  auto cfg = chaos_config();
+  cfg.threads = 1;
+  const auto serial = engine::run_chaos_campaign(cfg);
+  cfg.threads = 4;
+  const auto wide = engine::run_chaos_campaign(cfg);
+  cfg.threads = 0;
+  const auto pooled = engine::run_chaos_campaign(cfg);
+  EXPECT_EQ(serial.digest, wide.digest);
+  EXPECT_EQ(serial.digest, pooled.digest);
+  EXPECT_EQ(serial.completed, wide.completed);
+  EXPECT_EQ(serial.retransmits, wide.retransmits);
+  EXPECT_EQ(serial.latency_p99, wide.latency_p99);
+
+  // And a different seed is a genuinely different campaign.
+  cfg.seed ^= 1;
+  const auto other = engine::run_chaos_campaign(cfg);
+  EXPECT_NE(serial.digest, other.digest);
+}
+
+TEST(ChaosCampaign, MidProtocolFailoverStillCompletesEverySession) {
+  auto cfg = chaos_config();
+  cfg.sessions = 32;
+  cfg.sessions_per_shard = 8;
+  cfg.failover_at = 200;  // mid-protocol under these delay bands
+  const auto r = engine::run_chaos_campaign(cfg);
+  EXPECT_EQ(r.completed, 32u);
+  EXPECT_EQ(r.stuck, 0u);
+  EXPECT_EQ(r.corrupt_accepted, 0u);
+  EXPECT_EQ(r.gateway.restored, 32u);  // every session crossed the failover
+  const auto again = engine::run_chaos_campaign(cfg);
+  EXPECT_EQ(r.digest, again.digest);  // failover is inside the contract
+}
+
+// --- session-tap fault corpus (drive_session robustness) ---------------------
+
+TEST(SessionTapFaults, TruncationDropAndDuplicationNeverCrash) {
+  const ProtoFixtures fx;
+  // Mutators: truncate to nothing / one byte / half / all-but-one, and a
+  // tamper that extends. Fates: drop the second message, duplicate all.
+  const std::vector<std::function<void(proto::Message&)>> mutators = {
+      [](proto::Message& m) { m.payload.clear(); },
+      [](proto::Message& m) { m.payload.resize(std::min<std::size_t>(
+                                  1, m.payload.size())); },
+      [](proto::Message& m) { m.payload.resize(m.payload.size() / 2); },
+      [](proto::Message& m) {
+        if (!m.payload.empty()) m.payload.pop_back();
+      },
+      [](proto::Message& m) { m.payload.push_back(0xEE); },
+  };
+  for (std::size_t kind = 0; kind < 4; ++kind) {
+    for (std::size_t mi = 0; mi < mutators.size(); ++mi) {
+      for (const bool uplink : {true, false}) {
+        Xoshiro256 dev_rng(700 + kind), srv_rng(800 + kind);
+        auto dev = fx.device(kind, dev_rng);
+        auto srv = fx.server(kind, srv_rng);
+        proto::Transcript t;
+        proto::SessionTap tap;
+        if (uplink)
+          tap.tag_to_reader = mutators[mi];
+        else
+          tap.reader_to_tag = mutators[mi];
+        // A mangled message may sink the session — it must never crash.
+        EXPECT_NO_THROW(proto::drive_session(*dev, *srv, t, tap))
+            << "kind " << kind << " mutator " << mi << " up " << uplink;
+      }
+    }
+    for (const proto::TapFate fate :
+         {proto::TapFate::kDrop, proto::TapFate::kDuplicate}) {
+      Xoshiro256 dev_rng(900 + kind), srv_rng(1000 + kind);
+      auto dev = fx.device(kind, dev_rng);
+      auto srv = fx.server(kind, srv_rng);
+      proto::Transcript t;
+      proto::SessionTap tap;
+      std::size_t n = 0;
+      tap.tag_to_reader_fate = [&n, fate](const proto::Message&) {
+        return ++n == 2 ? fate : proto::TapFate::kDeliver;
+      };
+      EXPECT_NO_THROW(proto::drive_session(*dev, *srv, t, tap))
+          << "kind " << kind;
+    }
+  }
+}
+
+// --- fleet server degradation ------------------------------------------------
+
+TEST(FleetDegradation, BoundedDrainReportsStragglers) {
+  const Curve& c = Curve::k163();
+  engine::FleetConfig fcfg;
+  fcfg.worker_threads = 2;
+  fcfg.deterministic = true;
+  engine::FleetServer fleet(c, fcfg, {});
+  const std::uint64_t slow = fleet.open_session(
+      std::make_unique<SlowMachine>());
+  ASSERT_NE(slow, 0u);
+  fleet.deliver(slow, proto::Message{"stall", {1}});
+  // The worker is parked in SlowMachine::on_message for ~200ms; a 5ms
+  // budget must expire and name the session instead of hanging.
+  const auto report = fleet.drain_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(report.completed);
+  EXPECT_EQ(report.stragglers, std::vector<std::uint64_t>{slow});
+  fleet.drain();  // full quiescence for teardown
+  const auto after = fleet.drain_for(std::chrono::milliseconds(100));
+  EXPECT_TRUE(after.completed);
+  EXPECT_TRUE(after.stragglers.empty());
+}
+
+TEST(FleetDegradation, AdmissionControlShedsNewSessions) {
+  const Curve& c = Curve::k163();
+  engine::FleetConfig fcfg;
+  fcfg.worker_threads = 1;
+  fcfg.deterministic = true;
+  fcfg.max_live_sessions = 2;
+  engine::FleetServer fleet(c, fcfg, {});
+  EXPECT_NE(fleet.open_session(std::make_unique<SlowMachine>()), 0u);
+  EXPECT_NE(fleet.open_session(std::make_unique<SlowMachine>()), 0u);
+  EXPECT_EQ(fleet.open_session(std::make_unique<SlowMachine>()), 0u);
+  Xoshiro256 rng(8);
+  const auto kp = proto::schnorr_keygen(c, rng);
+  fleet.enroll(kp.X);
+  EXPECT_EQ(fleet.open_schnorr_session(0), 0u);  // both open_* paths shed
+  EXPECT_EQ(fleet.stats().sessions_shed, 2u);
+  EXPECT_EQ(fleet.stats().sessions_opened, 2u);
+}
+
+TEST(FleetDegradation, ThrowingMachineIsQuarantinedNotFatal) {
+  const Curve& c = Curve::k163();
+  engine::FleetConfig fcfg;
+  fcfg.worker_threads = 2;
+  fcfg.deterministic = true;
+  engine::FleetServer fleet(c, fcfg, {});
+  const std::uint64_t poison =
+      fleet.open_session(std::make_unique<ThrowingMachine>());
+  ASSERT_NE(poison, 0u);
+  fleet.deliver(poison, proto::Message{"boom", {1}});
+  fleet.drain();
+  const auto rec = fleet.record(poison);
+  EXPECT_TRUE(rec.completed);
+  EXPECT_FALSE(rec.accepted);
+  EXPECT_EQ(fleet.stats().sessions_quarantined, 1u);
+  EXPECT_EQ(fleet.stats().sessions_completed, 1u);
+}
+
+}  // namespace
