@@ -20,15 +20,18 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <string>
 
 #include "bench_util.h"
 #include "core/thread_pool.h"
+#include "gf2m/backend.h"
 #include "sidechannel/dpa.h"
 
 namespace {
 
 using namespace medsec;
 namespace sc = sidechannel;
+using gf2m::LaneBackend;
 
 constexpr std::size_t kCampaignTraces = 20000;
 constexpr std::uint64_t kCampaignSeed = 9;
@@ -198,6 +201,46 @@ void BM_Campaign20k_EngineWide(benchmark::State& state) {
   state.SetLabel("wide engine, all threads / auto lanes");
 }
 BENCHMARK(BM_Campaign20k_EngineWide)->Unit(benchmark::kMillisecond);
+
+/// Lane-backend-pinned variants of the 20k campaign, both single-threaded
+/// with auto lane count (4x the backend's preferred width), so the pair
+/// isolates the field-kernel change: interleaved hardware clmul (the
+/// PR 3 widest path) vs the VPCLMULQDQ ZMM backend. The perf gate in
+/// check_perf_regression.py asserts the in-run ratio — never absolute
+/// times — so it is machine-independent.
+void campaign_pinned(benchmark::State& state, LaneBackend backend) {
+  if (!gf2m::lane_backend_available(backend)) {
+    state.SkipWithError("lane backend unavailable on this CPU");
+    return;
+  }
+  const ecc::Curve& curve = ecc::Curve::k163();
+  const ecc::Scalar secret = campaign_secret();
+  sc::AlgorithmicSimConfig sim;
+  sim.seed = kCampaignSeed;
+  sim.threads = 1;
+  sim.lanes = 0;  // auto: follows the pinned backend's preferred width
+  gf2m::set_lane_backend(backend);
+  for (auto _ : state) {
+    auto exp = sc::generate_dpa_traces(curve, secret, kCampaignTraces,
+                                       sc::RpcScenario::kDisabled, sim);
+    auto r = sc::ladder_dpa_attack(curve, exp, campaign_attack_config(1, 0));
+    benchmark::DoNotOptimize(r.bits_correct);
+  }
+  gf2m::reset_lane_backend();
+  state.SetItemsProcessed(state.iterations() * kCampaignTraces);
+  state.SetLabel(std::string("1 thread, auto lanes, lane backend pinned: ") +
+                 gf2m::lane_backend_name(backend));
+}
+
+void BM_Campaign20k_LanesClmulWide(benchmark::State& state) {
+  campaign_pinned(state, LaneBackend::kLaneClmulWide);
+}
+BENCHMARK(BM_Campaign20k_LanesClmulWide)->Unit(benchmark::kMillisecond);
+
+void BM_Campaign20k_LanesVpclmul512(benchmark::State& state) {
+  campaign_pinned(state, LaneBackend::kLaneVpclmul512);
+}
+BENCHMARK(BM_Campaign20k_LanesVpclmul512)->Unit(benchmark::kMillisecond);
 
 void BM_TraceGeneration(benchmark::State& state) {
   const ecc::Curve& curve = ecc::Curve::k163();

@@ -10,6 +10,7 @@
 // binary, which the CI job archives as the perf trajectory artifact.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <vector>
 
 #include "bench_util.h"
@@ -19,6 +20,7 @@
 #include "ecc/koblitz.h"
 #include "ecc/ladder.h"
 #include "gf2m/backend.h"
+#include "gf2m/gf163_lanes.h"
 #include "gf2m/gf2_163.h"
 #include "rng/xoshiro.h"
 
@@ -27,6 +29,8 @@ namespace {
 using namespace medsec;
 using gf2m::Backend;
 using gf2m::Gf163;
+using gf2m::Gf163xN;
+using gf2m::LaneBackend;
 
 Gf163 rand_fe(rng::Xoshiro256& rng) {
   bigint::U192 v;
@@ -189,6 +193,105 @@ void BM_ValidateSubgroupPoint(benchmark::State& state) {
 }
 MEDSEC_BENCH_BACKENDS(BM_ValidateSubgroupPoint);
 
+// --- wide-lane backends -----------------------------------------------------
+//
+// Per-lane throughput of the batch field layer, one cell per compiled-in
+// lane backend (skipped with an error note when the host lacks the ISA —
+// check_perf_regression.py treats those entries as optional). 1024 lanes
+// amortizes every backend's block width; items_processed = lanes, so
+// google-benchmark's per-item rate is ns/lane. The vpclmul512 vs
+// clmulwide cells back the in-bench mega-lane speedup gate.
+
+constexpr std::size_t kLaneBatch = 1024;
+
+/// Pin the lane dispatch to the backend named by the benchmark arg;
+/// returns false (after flagging the run) when it is unavailable.
+bool use_lane_backend(benchmark::State& state) {
+  const auto b = static_cast<LaneBackend>(state.range(0));
+  if (!gf2m::set_lane_backend(b)) {
+    state.SkipWithError("lane backend unavailable on this CPU");
+    return false;
+  }
+  state.SetLabel(gf2m::lane_backend_name(b));
+  return true;
+}
+
+Gf163xN rand_lanes(rng::Xoshiro256& rng, std::size_t n) {
+  Gf163xN v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, rand_fe(rng));
+  return v;
+}
+
+#define MEDSEC_BENCH_LANE_BACKENDS(fn)                         \
+  BENCHMARK(fn)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5)\
+      ->ArgName("lane_backend")
+
+void BM_LaneMul(benchmark::State& state) {
+  if (!use_lane_backend(state)) return;
+  rng::Xoshiro256 rng(21);
+  const Gf163xN a = rand_lanes(rng, kLaneBatch);
+  const Gf163xN b = rand_lanes(rng, kLaneBatch);
+  Gf163xN out(kLaneBatch);
+  for (auto _ : state) {
+    Gf163xN::mul(a, b, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kLaneBatch);
+  gf2m::reset_lane_backend();
+}
+MEDSEC_BENCH_LANE_BACKENDS(BM_LaneMul);
+
+void BM_LaneSqr(benchmark::State& state) {
+  if (!use_lane_backend(state)) return;
+  rng::Xoshiro256 rng(22);
+  const Gf163xN a = rand_lanes(rng, kLaneBatch);
+  Gf163xN out(kLaneBatch);
+  for (auto _ : state) {
+    Gf163xN::sqr(a, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kLaneBatch);
+  gf2m::reset_lane_backend();
+}
+MEDSEC_BENCH_LANE_BACKENDS(BM_LaneSqr);
+
+void BM_LaneMulAddMul(benchmark::State& state) {
+  if (!use_lane_backend(state)) return;
+  rng::Xoshiro256 rng(23);
+  const Gf163xN a = rand_lanes(rng, kLaneBatch);
+  const Gf163xN b = rand_lanes(rng, kLaneBatch);
+  const Gf163xN c = rand_lanes(rng, kLaneBatch);
+  const Gf163xN d = rand_lanes(rng, kLaneBatch);
+  Gf163xN out(kLaneBatch);
+  for (auto _ : state) {
+    Gf163xN::mul_add_mul(a, b, c, d, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kLaneBatch);
+  gf2m::reset_lane_backend();
+}
+MEDSEC_BENCH_LANE_BACKENDS(BM_LaneMulAddMul);
+
+void BM_LaneSqrAddMul(benchmark::State& state) {
+  if (!use_lane_backend(state)) return;
+  rng::Xoshiro256 rng(24);
+  const Gf163xN a = rand_lanes(rng, kLaneBatch);
+  const Gf163xN b = rand_lanes(rng, kLaneBatch);
+  const Gf163xN c = rand_lanes(rng, kLaneBatch);
+  Gf163xN out(kLaneBatch);
+  for (auto _ : state) {
+    Gf163xN::sqr_add_mul(a, b, c, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kLaneBatch);
+  gf2m::reset_lane_backend();
+}
+MEDSEC_BENCH_LANE_BACKENDS(BM_LaneSqrAddMul);
+
 // --- backend-independent substrates (integer scalar ring) -------------------
 
 void BM_ScalarRingMul(benchmark::State& state) {
@@ -210,9 +313,51 @@ void BM_ScalarRingInv(benchmark::State& state) {
 }
 BENCHMARK(BM_ScalarRingInv);
 
+/// `--list-backends`: print every compiled-in scalar and lane backend
+/// with its ISA requirement and whether this CPU can run it, then exit.
+/// CI uses the exit status of `--backend-available <name>` to gate
+/// matrix cells (0 = runnable here, 1 = not, 2 = unknown name).
+int list_backends() {
+  std::printf("scalar backends (MEDSEC_GF2M_BACKEND):\n");
+  for (const Backend b : medsec::gf2m::known_backends())
+    std::printf("  %-14s requires %-40s %s\n", gf2m::backend_name(b),
+                gf2m::backend_requirement(b),
+                gf2m::backend_available(b) ? "[available]" : "[unavailable]");
+  std::printf("lane backends (MEDSEC_GF2M_LANES):\n");
+  for (const LaneBackend b : medsec::gf2m::known_lane_backends()) {
+    const auto* vt = gf2m::lane_vtable(b);
+    std::printf("  %-14s requires %-40s %s", gf2m::lane_backend_name(b),
+                gf2m::lane_backend_requirement(b),
+                vt ? "[available]" : "[unavailable]");
+    if (vt) std::printf("  width=%zu", vt->preferred_width);
+    std::printf("\n");
+  }
+  std::printf("active: backend=%s lanes=%s\n",
+              gf2m::backend_name(gf2m::active_backend()),
+              gf2m::lane_backend_name(gf2m::active_lane_backend()));
+  return 0;
+}
+
+int backend_available(const char* name) {
+  Backend sb;
+  if (gf2m::backend_from_name(name, sb))
+    return gf2m::backend_available(sb) ? 0 : 1;
+  LaneBackend lb;
+  if (gf2m::lane_backend_from_name(name, lb))
+    return gf2m::lane_backend_available(lb) ? 0 : 1;
+  std::fprintf(stderr, "unknown backend name: %s (see --list-backends)\n",
+               name);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-backends") == 0) return list_backends();
+    if (std::strcmp(argv[i], "--backend-available") == 0 && i + 1 < argc)
+      return backend_available(argv[i + 1]);
+  }
   return medsec::bench::run_benchmarks_with_json(argc, argv,
                                                  "BENCH_field_ops.json");
 }

@@ -33,25 +33,48 @@ import sys
 # process, so unlike the absolute tolerance band this asserts the
 # optimization itself (e.g. the PR 5 acceptance criterion: the fused
 # cycle-capture path is >= 3x the frozen PR 4 baseline fossil).
+#
+# ISA-gated benches (a lane backend the host CPU lacks) call
+# SkipWithError, which google-benchmark records as error_occurred; those
+# rows are collected as "skipped" and any gate touching one is skipped,
+# not failed — a machine without VPCLMULQDQ must still pass the gate.
 RATIO_GATES = [
     ("BENCH_coproc.json", "BM_CaptureCycleTracePr4Baseline",
      "BM_CaptureCycleTraceFused", 3.0),
+    # PR 7 acceptance: lane mul on the VPCLMULQDQ ZMM backend (arg 3) is
+    # >= 2x the interleaved-clmul backend (arg 2), per batch of 1024.
+    ("BENCH_field_ops.json", "BM_LaneMul/lane_backend:2",
+     "BM_LaneMul/lane_backend:3", 2.0),
+    # PR 7 acceptance: the 20k-trace DPA campaign retargeted onto the
+    # ZMM backend is >= 1.5x the PR 3 interleaved-clmul path (both
+    # pinned to 1 thread, auto lane count).
+    ("BENCH_dpa_campaign.json", "BM_Campaign20k_LanesClmulWide",
+     "BM_Campaign20k_LanesVpclmul512", 1.5),
 ]
 
 
 def load_benchmarks(path):
-    """name -> real_time in ns (aggregates skipped, means kept)."""
+    """(name -> real_time ns, skipped-name set).
+
+    Aggregate rows other than the mean are dropped; rows flagged
+    error_occurred (SkipWithError, used for ISA-gated lane backends)
+    land in the skipped set instead of the timing map.
+    """
     with open(path) as f:
         doc = json.load(f)
     out = {}
+    skipped = set()
     for b in doc.get("benchmarks", []):
+        if b.get("error_occurred"):
+            skipped.add(b["name"])
+            continue
         # Skip non-mean aggregate rows (median/stddev/cv) if present.
         if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "mean":
             continue
         unit = b.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
         out[b["name"]] = float(b["real_time"]) * scale
-    return out
+    return out, skipped
 
 
 def main():
@@ -90,12 +113,17 @@ def main():
             failures.append(f"{name}: fresh run missing (bench not executed?)")
             continue
         try:
-            base = load_benchmarks(os.path.join(args.baselines, name))
-            fresh = load_benchmarks(fresh_path)
+            base, _ = load_benchmarks(os.path.join(args.baselines, name))
+            fresh, fresh_skipped = load_benchmarks(fresh_path)
         except (json.JSONDecodeError, OSError, KeyError, ValueError) as e:
             failures.append(f"{name}: unreadable benchmark JSON ({e})")
             continue
         for bench, base_ns in sorted(base.items()):
+            if bench in fresh_skipped:
+                # Baselined on a machine with the ISA, skipped on this
+                # one — acceptable, not a coverage loss.
+                print(f"skip {name}:{bench}: unavailable on this CPU")
+                continue
             if bench not in fresh:
                 failures.append(f"{name}:{bench}: missing from fresh run")
                 continue
@@ -114,9 +142,13 @@ def main():
             failures.append(f"{name}: fresh run missing (ratio gate)")
             continue
         try:
-            fresh = load_benchmarks(fresh_path)
+            fresh, fresh_skipped = load_benchmarks(fresh_path)
         except (json.JSONDecodeError, OSError, KeyError, ValueError) as e:
             failures.append(f"{name}: unreadable benchmark JSON ({e})")
+            continue
+        if slow in fresh_skipped or fast in fresh_skipped:
+            print(f"skip {name}: ratio gate {slow} / {fast} "
+                  f"(backend unavailable on this CPU)")
             continue
         if slow not in fresh or fast not in fresh:
             failures.append(f"{name}: ratio gate benches missing "

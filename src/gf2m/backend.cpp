@@ -110,19 +110,26 @@ const BackendVTable* default_vtable() {
   // Environment override first, then fastest-available.
   if (const char* env = std::getenv("MEDSEC_GF2M_BACKEND")) {
     const std::string_view v{env};
-    if (v == "portable") return &kPortableVTable;
-    if (v == "karatsuba") return &kKaratsubaVTable;
-    if (v == "clmul" || v == "pclmul" || v == "pmull" || v == "hw") {
-      if (const BackendVTable* t = vtable_for(Backend::kClmul)) return t;
+    if (v != "auto" && !v.empty()) {
+      Backend b;
+      if (!backend_from_name(v, b)) {
+        std::fprintf(stderr,
+                     "medsec: unknown MEDSEC_GF2M_BACKEND=%s; compiled-in "
+                     "scalar backends:\n",
+                     env);
+        for (const Backend kb : known_backends())
+          std::fprintf(stderr, "  %-12s requires %s%s\n", backend_name(kb),
+                       backend_requirement(kb),
+                       backend_available(kb) ? ""
+                                             : "  [unavailable on this CPU]");
+        std::fprintf(stderr, "  %-12s (runtime CPU detection)\n", "auto");
+        std::exit(2);
+      }
+      if (const BackendVTable* t = vtable_for(b)) return t;
       std::fprintf(stderr,
-                   "medsec: MEDSEC_GF2M_BACKEND=%s requested but hardware "
-                   "carry-less multiply is unavailable; using karatsuba\n",
-                   env);
-    } else if (v != "auto" && !v.empty()) {
-      std::fprintf(stderr,
-                   "medsec: unknown MEDSEC_GF2M_BACKEND=%s "
-                   "(want portable|karatsuba|clmul|auto); using auto\n",
-                   env);
+                   "medsec: MEDSEC_GF2M_BACKEND=%s requested but %s is "
+                   "unavailable on this CPU; using auto\n",
+                   env, backend_requirement(b));
     }
   }
   if (const BackendVTable* t = vtable_for(Backend::kClmul)) return t;
@@ -144,24 +151,33 @@ std::atomic<const BackendVTable*>& dispatch_slot() {
 /// for automatic (follow the scalar backend).
 std::atomic<const LaneVTable*>& lane_override_slot() {
   static std::atomic<const LaneVTable*> slot{[]() -> const LaneVTable* {
-    if (const char* env = std::getenv("MEDSEC_GF2M_LANES")) {
-      const std::string_view v{env};
-      if (v == "scalar") return lane_vtable(LaneBackend::kLaneScalar);
-      if (v == "bitsliced") return lane_vtable(LaneBackend::kLaneBitsliced);
-      if (v == "clmul" || v == "clmulwide" || v == "wide") {
-        if (const LaneVTable* t = lane_vtable(LaneBackend::kLaneClmulWide))
-          return t;
-        std::fprintf(stderr,
-                     "medsec: MEDSEC_GF2M_LANES=%s requested but hardware "
-                     "carry-less multiply is unavailable; using auto\n",
-                     env);
-      } else if (v != "auto" && !v.empty()) {
-        std::fprintf(stderr,
-                     "medsec: unknown MEDSEC_GF2M_LANES=%s "
-                     "(want scalar|bitsliced|clmul|auto); using auto\n",
-                     env);
-      }
+    const char* env = std::getenv("MEDSEC_GF2M_LANES");
+    if (env == nullptr) return nullptr;
+    const std::string_view v{env};
+    if (v == "auto" || v.empty()) return nullptr;
+    LaneBackend b;
+    if (!lane_backend_from_name(v, b)) {
+      // Unknown names abort: a typo here would silently run an entire
+      // campaign on the wrong kernels.
+      std::fprintf(stderr,
+                   "medsec: unknown MEDSEC_GF2M_LANES=%s; compiled-in lane "
+                   "backends:\n",
+                   env);
+      for (const LaneBackend kb : known_lane_backends())
+        std::fprintf(stderr, "  %-12s requires %s%s\n", lane_backend_name(kb),
+                     lane_backend_requirement(kb),
+                     lane_backend_available(kb) ? ""
+                                                : "  [unavailable on this CPU]");
+      std::fprintf(stderr, "  %-12s (runtime CPU detection)\n", "auto");
+      std::exit(2);
     }
+    if (const LaneVTable* t = lane_vtable(b)) return t;
+    // Known but not runnable here (CI pins backends on heterogeneous
+    // runners): warn and fall back to auto so the suite still runs.
+    std::fprintf(stderr,
+                 "medsec: MEDSEC_GF2M_LANES=%s requested but %s is "
+                 "unavailable on this CPU; using auto\n",
+                 env, lane_backend_requirement(b));
     return nullptr;
   }()};
   return slot;
@@ -204,6 +220,33 @@ std::vector<Backend> known_backends() {
 
 const BackendVTable* backend_vtable(Backend b) { return vtable_for(b); }
 
+bool backend_from_name(std::string_view name, Backend& out) {
+  if (name == "portable") {
+    out = Backend::kPortable;
+    return true;
+  }
+  if (name == "karatsuba") {
+    out = Backend::kKaratsuba;
+    return true;
+  }
+  if (name == "clmul" || name == "pclmul" || name == "pmull" || name == "hw") {
+    out = Backend::kClmul;
+    return true;
+  }
+  return false;
+}
+
+const char* backend_requirement(Backend b) {
+  switch (b) {
+    case Backend::kPortable:
+    case Backend::kKaratsuba:
+      return "nothing (portable C++)";
+    case Backend::kClmul:
+      return "PCLMULQDQ (x86-64) / PMULL (AArch64)";
+  }
+  return "?";
+}
+
 const char* lane_backend_name(LaneBackend b) {
   switch (b) {
     case LaneBackend::kLaneScalar:
@@ -212,6 +255,58 @@ const char* lane_backend_name(LaneBackend b) {
       return "bitsliced";
     case LaneBackend::kLaneClmulWide:
       return "clmulwide";
+    case LaneBackend::kLaneVpclmul512:
+      return "vpclmul512";
+    case LaneBackend::kLaneVpclmul256:
+      return "vpclmul256";
+    case LaneBackend::kLaneBitsliced256:
+      return "bitsliced256";
+  }
+  return "?";
+}
+
+bool lane_backend_from_name(std::string_view name, LaneBackend& out) {
+  if (name == "scalar") {
+    out = LaneBackend::kLaneScalar;
+    return true;
+  }
+  if (name == "bitsliced") {
+    out = LaneBackend::kLaneBitsliced;
+    return true;
+  }
+  if (name == "bitsliced256") {
+    out = LaneBackend::kLaneBitsliced256;
+    return true;
+  }
+  if (name == "clmul" || name == "clmulwide" || name == "wide") {
+    out = LaneBackend::kLaneClmulWide;
+    return true;
+  }
+  if (name == "vpclmul512" || name == "vpclmul" || name == "zmm") {
+    out = LaneBackend::kLaneVpclmul512;
+    return true;
+  }
+  if (name == "vpclmul256" || name == "ymm") {
+    out = LaneBackend::kLaneVpclmul256;
+    return true;
+  }
+  return false;
+}
+
+const char* lane_backend_requirement(LaneBackend b) {
+  switch (b) {
+    case LaneBackend::kLaneScalar:
+      return "nothing (follows the scalar backend)";
+    case LaneBackend::kLaneBitsliced:
+      return "nothing (portable C++)";
+    case LaneBackend::kLaneClmulWide:
+      return "PCLMULQDQ (x86-64)";
+    case LaneBackend::kLaneVpclmul512:
+      return "VPCLMULQDQ + AVX-512F/BW/VL";
+    case LaneBackend::kLaneVpclmul256:
+      return "VPCLMULQDQ + AVX2";
+    case LaneBackend::kLaneBitsliced256:
+      return "AVX2";
   }
   return "?";
 }
@@ -222,12 +317,17 @@ const LaneVTable* active_lane_vtable() {
   if (const LaneVTable* t =
           lane_override_slot().load(std::memory_order_relaxed))
     return t;
-  // Automatic: follow the scalar backend. Hardware clmul gets the
-  // interleaved wide kernel; the portable reference path gets the
-  // bitsliced one; karatsuba (a tuning variant of the scalar emulation)
+  // Automatic: follow the scalar backend. Hardware clmul gets the widest
+  // vector kernel the CPU offers (ZMM mega-lanes > YMM > interleaved
+  // 128-bit); the portable reference path gets the bitsliced one (no ISA
+  // assumptions); karatsuba (a tuning variant of the scalar emulation)
   // keeps the plain per-lane loop.
   switch (active_backend()) {
     case Backend::kClmul:
+      if (const LaneVTable* t = lane_vtable(LaneBackend::kLaneVpclmul512))
+        return t;
+      if (const LaneVTable* t = lane_vtable(LaneBackend::kLaneVpclmul256))
+        return t;
       if (const LaneVTable* t = lane_vtable(LaneBackend::kLaneClmulWide))
         return t;
       break;
@@ -253,8 +353,9 @@ void reset_lane_backend() {
 }
 
 std::vector<LaneBackend> known_lane_backends() {
-  return {LaneBackend::kLaneClmulWide, LaneBackend::kLaneBitsliced,
-          LaneBackend::kLaneScalar};
+  return {LaneBackend::kLaneVpclmul512,   LaneBackend::kLaneVpclmul256,
+          LaneBackend::kLaneClmulWide,    LaneBackend::kLaneBitsliced256,
+          LaneBackend::kLaneBitsliced,    LaneBackend::kLaneScalar};
 }
 
 }  // namespace medsec::gf2m

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace medsec::gf2m {
@@ -65,6 +66,17 @@ std::vector<Backend> known_backends();
 /// bypassing the global dispatch.
 const BackendVTable* backend_vtable(Backend b);
 
+/// Parse a backend name (canonical name or alias, as accepted by
+/// MEDSEC_GF2M_BACKEND). Returns false on unknown names — callers (the
+/// env override, bench tooling) must fail loudly rather than fall
+/// through.
+bool backend_from_name(std::string_view name, Backend& out);
+
+/// Human-readable ISA requirement ("none (portable C++)",
+/// "PCLMULQDQ (x86-64) / PMULL (AArch64)", ...), for --list-backends
+/// output and dispatch diagnostics.
+const char* backend_requirement(Backend b);
+
 namespace detail {
 /// The active vtable (never null; initialized on first use from CPU
 /// detection + MEDSEC_GF2M_BACKEND).
@@ -74,31 +86,46 @@ const BackendVTable* active_vtable();
 // --- wide-lane backends -----------------------------------------------------
 //
 // The batch field layer (gf163_lanes.h) computes N independent field
-// operations per call over structure-of-arrays operands. Three
+// operations per call over structure-of-arrays operands. Six
 // implementations of that contract:
 //
-//   kLaneScalar    — per-lane loop over the active scalar backend.
-//                    Reference path, always available.
-//   kLaneBitsliced — portable 64-lane bitslicing: lanes are transposed
-//                    into 163 bit-planes, multiplied as one plane-wise
-//                    Karatsuba, shift-reduced in the plane domain and
-//                    transposed back. Branch-free and constant-time by
-//                    construction; no hardware assumptions.
-//   kLaneClmulWide — hardware carry-less multiply with 2–4 independent
-//                    products interleaved per iteration to hide PCLMULQDQ
-//                    latency (x86-64 only; the scalar ladder is latency-
-//                    bound, the wide ladder is throughput-bound).
+//   kLaneScalar       — per-lane loop over the active scalar backend.
+//                       Reference path, always available.
+//   kLaneBitsliced    — portable 64-lane bitslicing: lanes are
+//                       transposed into 163 bit-planes, multiplied as one
+//                       plane-wise Karatsuba, shift-reduced in the plane
+//                       domain and transposed back. Branch-free and
+//                       constant-time by construction; no hardware
+//                       assumptions.
+//   kLaneClmulWide    — hardware carry-less multiply with 2–4
+//                       independent products interleaved per iteration to
+//                       hide PCLMULQDQ latency (x86-64 only).
+//   kLaneVpclmul512   — VPCLMULQDQ mega-lanes: 8–16 lanes ZMM-resident
+//                       through mul/sqr and the fused forms, vector
+//                       shift-reduce fold (needs VPCLMULQDQ +
+//                       AVX-512F/BW/VL).
+//   kLaneVpclmul256   — the 4-wide YMM variant of the same kernels for
+//                       VPCLMULQDQ+AVX2 hosts without AVX-512.
+//   kLaneBitsliced256 — the bitsliced backend widened to 256-lane blocks
+//                       on AVX2 plane words, with the SoA <-> plane
+//                       transposes vectorized (AVX2 / AVX-512 / GFNI,
+//                       runtime-dispatched).
 //
 // Selection follows the scalar registry: set_backend() / the
 // MEDSEC_GF2M_BACKEND override pick the matching lane backend (clmul →
-// kLaneClmulWide where available, portable → kLaneBitsliced, karatsuba →
-// kLaneScalar). MEDSEC_GF2M_LANES (scalar | bitsliced | clmul | auto) or
-// set_lane_backend() force a specific one regardless.
+// the widest available of vpclmul512 > vpclmul256 > clmulwide, portable →
+// kLaneBitsliced, karatsuba → kLaneScalar). MEDSEC_GF2M_LANES
+// (scalar | bitsliced | bitsliced256 | clmul | vpclmul512 | vpclmul256 |
+// auto) or set_lane_backend() force a specific one regardless; an
+// unknown name aborts with the list of compiled-in backends.
 
 enum class LaneBackend {
   kLaneScalar,
   kLaneBitsliced,
   kLaneClmulWide,
+  kLaneVpclmul512,
+  kLaneVpclmul256,
+  kLaneBitsliced256,
 };
 
 /// Structure-of-arrays views over N field elements: limb l of lane i is
@@ -152,5 +179,13 @@ void reset_lane_backend();
 const LaneVTable* lane_vtable(LaneBackend b);
 /// All lane backends this build knows about, in preference order.
 std::vector<LaneBackend> known_lane_backends();
+
+/// Parse a lane-backend name (canonical name or alias, as accepted by
+/// MEDSEC_GF2M_LANES). Returns false on unknown names.
+bool lane_backend_from_name(std::string_view name, LaneBackend& out);
+
+/// Human-readable ISA requirement for --list-backends output and
+/// dispatch diagnostics.
+const char* lane_backend_requirement(LaneBackend b);
 
 }  // namespace medsec::gf2m

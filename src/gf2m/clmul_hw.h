@@ -12,20 +12,7 @@
 
 #include <cstdint>
 
-#if (defined(__x86_64__) || defined(_M_X64)) && \
-    (defined(__GNUC__) || defined(__clang__))
-#define MEDSEC_ARCH_X86_64 1
-#include <immintrin.h>
-#endif
-
-#if defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
-#define MEDSEC_ARCH_AARCH64 1
-#include <arm_neon.h>
-#if __has_include(<sys/auxv.h>)
-#include <sys/auxv.h>
-#define MEDSEC_HAVE_AUXV 1
-#endif
-#endif
+#include "gf2m/arch.h"
 
 namespace medsec::gf2m::hwclmul {
 

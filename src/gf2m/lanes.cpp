@@ -1,6 +1,6 @@
 // lanes.cpp — wide-lane kernels for the batch field layer.
 //
-// Three implementations of the LaneVTable contract (see backend.h):
+// Six implementations of the LaneVTable contract (see backend.h):
 //
 //   * scalar loop — per-lane calls into the active scalar backend. The
 //     reference every other lane backend is cross-checked against.
@@ -14,6 +14,12 @@
 //     by construction (the property the paper's co-processor gets from
 //     hardware, recovered here in portable C++).
 //
+//   * bitsliced256 — the same plane-domain pipeline widened to 256-lane
+//     blocks: one __m256i per plane word (four 64-lane groups in
+//     lockstep), AVX2 plane Karatsuba, and the SoA <-> plane transposes
+//     going through the vectorized 64x64 transpose (transpose_bits.h:
+//     GFNI / AVX-512 / AVX2, runtime-dispatched).
+//
 //   * interleaved clmul — the 3-limb Karatsuba schedule on hardware
 //     carry-less multiplies, two independent lanes per loop iteration
 //     (plus the fused two-product forms: up to four independent 128-bit
@@ -21,13 +27,24 @@
 //     bound; feeding the unit independent products converts it to
 //     *throughput* bound, which is where the wide campaign engine gets
 //     its single-core speedup.
+//
+//   * vpclmul512 / vpclmul256 — the mega-lane backends: VPCLMULQDQ packs
+//     four (ZMM) or two (YMM) carry-less multiplies per instruction, so
+//     8 (resp. 4) SoA lanes run one shared 3-limb Karatsuba schedule with
+//     products and the shift-reduce fold staying vector-resident
+//     (clmul_vec.h). The plain mul/sqr kernels keep two 8-lane groups in
+//     flight (16 lanes per iteration); the fused forms already carry two
+//     independent products per group. Tails (< one group) fall back to
+//     the scalar 128-bit clmul kernel — bit-identical by the shared fold.
 #include <bit>
 #include <cstring>
 
 #include "gf2m/backend.h"
 #include "gf2m/clmul_hw.h"
+#include "gf2m/clmul_vec.h"
 #include "gf2m/gf163_lanes.h"
 #include "gf2m/reduce_163.h"
+#include "gf2m/transpose_bits.h"
 
 namespace medsec::gf2m {
 
@@ -110,21 +127,10 @@ constexpr std::size_t kBsWidth = 64;    ///< lanes per bitsliced block
 constexpr std::size_t kBits = 163;      ///< planes per operand
 constexpr std::size_t kProdBits = 325;  ///< planes per unreduced product
 
-/// In-place 64x64 bit-matrix transpose, LSB convention: after the call,
-/// bit i of word j is the old bit j of word i.
-void transpose64(std::uint64_t a[64]) {
-  std::uint64_t m = 0x00000000FFFFFFFFULL;
-  for (unsigned j = 32; j != 0; j >>= 1, m ^= m << j) {
-    for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
-      const std::uint64_t t = ((a[k] >> j) ^ a[k + j]) & m;
-      a[k] ^= t << j;
-      a[k + j] ^= t;
-    }
-  }
-}
-
 /// Lanes [base, base+count) of v -> bit planes (count <= 64; missing
-/// lanes read as zero). planes[p] bit i = bit p of lane base+i.
+/// lanes read as zero). planes[p] bit i = bit p of lane base+i. The
+/// transpose runs through the widest ISA variant the host offers
+/// (transpose_bits.h).
 void gather_planes(LaneView v, std::size_t base, std::size_t count,
                    std::uint64_t planes[192]) {
   const std::uint64_t* limbs[3] = {v.l0, v.l1, v.l2};
@@ -132,7 +138,7 @@ void gather_planes(LaneView v, std::size_t base, std::size_t count,
     std::uint64_t* m = planes + 64 * l;
     for (std::size_t i = 0; i < kBsWidth; ++i)
       m[i] = i < count ? limbs[l][base + i] : 0;
-    transpose64(m);
+    bits::transpose64(m);
   }
 }
 
@@ -144,7 +150,7 @@ void scatter_planes(const std::uint64_t planes[192], LaneSpan out,
   std::uint64_t m[64];
   for (std::size_t l = 0; l < 3; ++l) {
     std::memcpy(m, planes + 64 * l, sizeof m);
-    transpose64(m);
+    bits::transpose64(m);
     for (std::size_t i = 0; i < count; ++i) limbs[l][base + i] = m[i];
   }
 }
@@ -199,20 +205,9 @@ void bs_mul_rec(const std::uint64_t* a, const std::uint64_t* b, std::size_t n,
   for (std::size_t i = 0; i < 2 * w - 1; ++i) c[h + i] ^= pm[i] ^ p2[i];
 }
 
-/// Shift-reduce in the plane domain: fold planes 324..163 down onto
-/// {e-163, e-160, e-157, e-156} (x^163 = x^7 + x^6 + x^3 + 1). Iterating
-/// downward handles the cascade (a fold target >= 163 is itself folded
-/// later in the loop).
-void bs_reduce(std::uint64_t c[kProdBits]) {
-  for (std::size_t e = kProdBits - 1; e >= kBits; --e) {
-    const std::uint64_t t = c[e];
-    c[e - 163] ^= t;
-    c[e - 160] ^= t;
-    c[e - 157] ^= t;
-    c[e - 156] ^= t;
-    c[e] = 0;
-  }
-}
+/// Shift-reduce in the plane domain: the shared fold from reduce_163.h
+/// instantiated on one machine word per plane.
+void bs_reduce(std::uint64_t c[kProdBits]) { reduce_planes(c, kProdBits); }
 
 /// Karatsuba scratch: 6n at the top level + 6(n/2) + ... < 12n. 2048
 /// words is comfortably above 12*163.
@@ -300,6 +295,196 @@ constexpr LaneVTable kLaneBitslicedVTable{
     LaneBackend::kLaneBitsliced, "bitsliced", kBsWidth,
     &lane_mul_bitsliced, &lane_sqr_bitsliced,
     &lane_mul_add_mul_bitsliced, &lane_sqr_add_mul_bitsliced};
+
+// --- 256-lane bitsliced kernels (AVX2 plane words) --------------------------
+//
+// Identical pipeline to the 64-lane backend with one __m256i per plane
+// word: word w of plane p covers lanes 64w..64w+63, so the SoA <-> plane
+// conversion is four independent 64x64 transposes per limb (the
+// vectorized transpose dispatch in transpose_bits.h), and every plane
+// operation processes four 64-lane groups per instruction. Same
+// branch-free/constant-time structure: the instruction stream never
+// depends on lane values.
+
+#if MEDSEC_ARCH_X86_64
+
+constexpr std::size_t kBs4Width = 256;  ///< lanes per widened block
+constexpr std::size_t kBs4Words = 4;    ///< 64-lane groups per block
+
+#define MEDSEC_TARGET_AVX2 __attribute__((target("avx2")))
+
+/// Lanes [base, base+count) -> planes (count <= 256, missing lanes
+/// zero). Plane words are written through a scalar view: the transpose
+/// itself is the vectorized one.
+void gather_planes_x4(LaneView v, std::size_t base, std::size_t count,
+                      __m256i planes[192]) {
+  const std::uint64_t* limbs[3] = {v.l0, v.l1, v.l2};
+  std::uint64_t* pw = reinterpret_cast<std::uint64_t*>(planes);
+  std::uint64_t m[64];
+  for (std::size_t l = 0; l < 3; ++l) {
+    for (std::size_t w = 0; w < kBs4Words; ++w) {
+      const std::size_t group = 64 * w;
+      for (std::size_t i = 0; i < 64; ++i)
+        m[i] = group + i < count ? limbs[l][base + group + i] : 0;
+      bits::transpose64(m);
+      for (std::size_t k = 0; k < 64; ++k)
+        pw[kBs4Words * (64 * l + k) + w] = m[k];
+    }
+  }
+}
+
+void scatter_planes_x4(const __m256i planes[192], LaneSpan out,
+                       std::size_t base, std::size_t count) {
+  std::uint64_t* limbs[3] = {out.l0, out.l1, out.l2};
+  const std::uint64_t* pw = reinterpret_cast<const std::uint64_t*>(planes);
+  std::uint64_t m[64];
+  for (std::size_t l = 0; l < 3; ++l) {
+    for (std::size_t w = 0; w < kBs4Words; ++w) {
+      const std::size_t group = 64 * w;
+      if (group >= count) break;
+      for (std::size_t k = 0; k < 64; ++k)
+        m[k] = pw[kBs4Words * (64 * l + k) + w];
+      bits::transpose64(m);
+      const std::size_t lim = count - group < 64 ? count - group : 64;
+      for (std::size_t i = 0; i < lim; ++i)
+        limbs[l][base + group + i] = m[i];
+    }
+  }
+}
+
+MEDSEC_TARGET_AVX2 void bs_mul_schoolbook_x4(const __m256i* a, std::size_t na,
+                                             const __m256i* b, std::size_t nb,
+                                             __m256i* c) {
+  for (std::size_t i = 0; i < na; ++i) {
+    const __m256i ai = a[i];
+    __m256i* ci = c + i;
+    for (std::size_t j = 0; j < nb; ++j)
+      ci[j] = _mm256_xor_si256(ci[j], _mm256_and_si256(ai, b[j]));
+  }
+}
+
+/// Same recursion and scratch discipline as bs_mul_rec, on vector plane
+/// words.
+MEDSEC_TARGET_AVX2 void bs_mul_rec_x4(const __m256i* a, const __m256i* b,
+                                      std::size_t n, __m256i* c,
+                                      __m256i* scratch) {
+  if (n <= 24) {
+    bs_mul_schoolbook_x4(a, n, b, n, c);
+    return;
+  }
+  const std::size_t h = n / 2;
+  const std::size_t w = n - h;
+
+  __m256i* sa = scratch;
+  __m256i* sb = sa + w;
+  __m256i* p0 = sb + w;
+  __m256i* p2 = p0 + (2 * h - 1);
+  __m256i* pm = p2 + (2 * w - 1);
+  __m256i* next = pm + (2 * w - 1);
+
+  for (std::size_t i = 0; i < w; ++i) {
+    sa[i] = _mm256_xor_si256(i < h ? a[i] : _mm256_setzero_si256(), a[h + i]);
+    sb[i] = _mm256_xor_si256(i < h ? b[i] : _mm256_setzero_si256(), b[h + i]);
+  }
+  std::memset(p0, 0, (2 * h - 1) * sizeof(__m256i));
+  std::memset(p2, 0, (2 * w - 1) * sizeof(__m256i));
+  std::memset(pm, 0, (2 * w - 1) * sizeof(__m256i));
+  bs_mul_rec_x4(a, b, h, p0, next);
+  bs_mul_rec_x4(a + h, b + h, w, p2, next);
+  bs_mul_rec_x4(sa, sb, w, pm, next);
+
+  for (std::size_t i = 0; i < 2 * h - 1; ++i)
+    c[i] = _mm256_xor_si256(c[i], p0[i]);
+  for (std::size_t i = 0; i < 2 * w - 1; ++i)
+    c[2 * h + i] = _mm256_xor_si256(c[2 * h + i], p2[i]);
+  for (std::size_t i = 0; i < 2 * h - 1; ++i)
+    c[h + i] = _mm256_xor_si256(c[h + i], p0[i]);
+  for (std::size_t i = 0; i < 2 * w - 1; ++i)
+    c[h + i] = _mm256_xor_si256(c[h + i], _mm256_xor_si256(pm[i], p2[i]));
+}
+
+struct Bs4Scratch {
+  __m256i prod[kProdBits];
+  __m256i karat[2048];
+};
+
+MEDSEC_TARGET_AVX2 void bs_mul_block_x4(const __m256i a[192],
+                                        const __m256i b[192], __m256i* prod,
+                                        __m256i* karat) {
+  std::memset(prod, 0, kProdBits * sizeof(__m256i));
+  bs_mul_rec_x4(a, b, kBits, prod, karat);
+}
+
+MEDSEC_TARGET_AVX2 void bs_sqr_block_x4(const __m256i a[192], __m256i* prod) {
+  std::memset(prod, 0, kProdBits * sizeof(__m256i));
+  for (std::size_t i = 0; i < kBits; ++i) prod[2 * i] = a[i];
+}
+
+MEDSEC_TARGET_AVX2 void lane_mul_bitsliced256(LaneView a, LaneView b, LaneSpan out,
+                           std::size_t n) {
+  Bs4Scratch s;
+  __m256i pa[192], pb[192];
+  for (std::size_t base = 0; base < n; base += kBs4Width) {
+    const std::size_t count = n - base < kBs4Width ? n - base : kBs4Width;
+    gather_planes_x4(a, base, count, pa);
+    gather_planes_x4(b, base, count, pb);
+    bs_mul_block_x4(pa, pb, s.prod, s.karat);
+    reduce_planes_x4(s.prod, kProdBits);
+    scatter_planes_x4(s.prod, out, base, count);
+  }
+}
+
+MEDSEC_TARGET_AVX2 void lane_sqr_bitsliced256(LaneView a, LaneSpan out, std::size_t n) {
+  Bs4Scratch s;
+  __m256i pa[192];
+  for (std::size_t base = 0; base < n; base += kBs4Width) {
+    const std::size_t count = n - base < kBs4Width ? n - base : kBs4Width;
+    gather_planes_x4(a, base, count, pa);
+    bs_sqr_block_x4(pa, s.prod);
+    reduce_planes_x4(s.prod, kProdBits);
+    scatter_planes_x4(s.prod, out, base, count);
+  }
+}
+
+MEDSEC_TARGET_AVX2 void lane_mul_add_mul_bitsliced256(LaneView a, LaneView b, LaneView c,
+                                   LaneView d, LaneSpan out, std::size_t n) {
+  Bs4Scratch s;
+  __m256i pa[192], pb[192];
+  for (std::size_t base = 0; base < n; base += kBs4Width) {
+    const std::size_t count = n - base < kBs4Width ? n - base : kBs4Width;
+    gather_planes_x4(a, base, count, pa);
+    gather_planes_x4(b, base, count, pb);
+    bs_mul_block_x4(pa, pb, s.prod, s.karat);
+    gather_planes_x4(c, base, count, pa);
+    gather_planes_x4(d, base, count, pb);
+    bs_mul_rec_x4(pa, pb, kBits, s.prod, s.karat);
+    reduce_planes_x4(s.prod, kProdBits);
+    scatter_planes_x4(s.prod, out, base, count);
+  }
+}
+
+MEDSEC_TARGET_AVX2 void lane_sqr_add_mul_bitsliced256(LaneView a, LaneView b, LaneView c,
+                                   LaneSpan out, std::size_t n) {
+  Bs4Scratch s;
+  __m256i pa[192], pb[192];
+  for (std::size_t base = 0; base < n; base += kBs4Width) {
+    const std::size_t count = n - base < kBs4Width ? n - base : kBs4Width;
+    gather_planes_x4(a, base, count, pa);
+    bs_sqr_block_x4(pa, s.prod);
+    gather_planes_x4(b, base, count, pa);
+    gather_planes_x4(c, base, count, pb);
+    bs_mul_rec_x4(pa, pb, kBits, s.prod, s.karat);
+    reduce_planes_x4(s.prod, kProdBits);
+    scatter_planes_x4(s.prod, out, base, count);
+  }
+}
+
+constexpr LaneVTable kLaneBitsliced256VTable{
+    LaneBackend::kLaneBitsliced256, "bitsliced256", kBs4Width,
+    &lane_mul_bitsliced256, &lane_sqr_bitsliced256,
+    &lane_mul_add_mul_bitsliced256, &lane_sqr_add_mul_bitsliced256};
+
+#endif  // MEDSEC_ARCH_X86_64
 
 // --- interleaved hardware-clmul lane kernels (x86-64) -----------------------
 //
@@ -439,6 +624,258 @@ constexpr LaneVTable kLaneClmulWideVTable{
     &lane_mul_clmulwide, &lane_sqr_clmulwide,
     &lane_mul_add_mul_clmulwide, &lane_sqr_add_mul_clmulwide};
 
+// --- VPCLMULQDQ mega-lane kernels (x86-64) ----------------------------------
+//
+// Kernel blocks in clmul_vec.h; here the loop structure. mul/sqr run two
+// independent 8-lane ZMM groups per iteration (16 lanes, 24 VPCLMULQDQ
+// in flight for mul); the fused forms run one group per iteration but
+// already carry two independent products (24 VPCLMULQDQ). Lane counts
+// that are not a multiple of the group width finish on the scalar
+// 128-bit clmul kernel — the shared reduce_163.h fold keeps every path
+// bit-identical. All loads of a group happen before its stores, so `out`
+// aliasing an input stays safe.
+
+MEDSEC_TARGET_VPCLMUL512 void lane_mul_vpclmul512(LaneView a, LaneView b,
+                                                  LaneSpan out,
+                                                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const vclmul::Soa512 aA = vclmul::load_x8(a.l0, a.l1, a.l2, i);
+    const vclmul::Soa512 bA = vclmul::load_x8(b.l0, b.l1, b.l2, i);
+    const vclmul::Soa512 aB = vclmul::load_x8(a.l0, a.l1, a.l2, i + 8);
+    const vclmul::Soa512 bB = vclmul::load_x8(b.l0, b.l1, b.l2, i + 8);
+    __m512i pA[6], pB[6];
+    vclmul::mul326_x8(aA, bA, pA);
+    vclmul::mul326_x8(aB, bB, pB);
+    vclmul::reduce_store_x8(pA, out.l0, out.l1, out.l2, i);
+    vclmul::reduce_store_x8(pB, out.l0, out.l1, out.l2, i + 8);
+  }
+  for (; i + 8 <= n; i += 8) {
+    const vclmul::Soa512 av = vclmul::load_x8(a.l0, a.l1, a.l2, i);
+    const vclmul::Soa512 bv = vclmul::load_x8(b.l0, b.l1, b.l2, i);
+    __m512i p[6];
+    vclmul::mul326_x8(av, bv, p);
+    vclmul::reduce_store_x8(p, out.l0, out.l1, out.l2, i);
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t av[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    const std::uint64_t bv[3] = {b.l0[i], b.l1[i], b.l2[i]};
+    std::uint64_t p[6];
+    hwclmul::mul326_clmul(av, bv, p);
+    load_reduce_store(p, out, i);
+  }
+}
+
+MEDSEC_TARGET_VPCLMUL512 void lane_sqr_vpclmul512(LaneView a, LaneSpan out,
+                                                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const vclmul::Soa512 aA = vclmul::load_x8(a.l0, a.l1, a.l2, i);
+    const vclmul::Soa512 aB = vclmul::load_x8(a.l0, a.l1, a.l2, i + 8);
+    __m512i pA[6], pB[6];
+    vclmul::sqr326_x8(aA, pA);
+    vclmul::sqr326_x8(aB, pB);
+    vclmul::reduce_store_x8(pA, out.l0, out.l1, out.l2, i);
+    vclmul::reduce_store_x8(pB, out.l0, out.l1, out.l2, i + 8);
+  }
+  for (; i + 8 <= n; i += 8) {
+    const vclmul::Soa512 av = vclmul::load_x8(a.l0, a.l1, a.l2, i);
+    __m512i p[6];
+    vclmul::sqr326_x8(av, p);
+    vclmul::reduce_store_x8(p, out.l0, out.l1, out.l2, i);
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t av[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    std::uint64_t p[6];
+    hwclmul::sqr326_clmul(av, p);
+    load_reduce_store(p, out, i);
+  }
+}
+
+MEDSEC_TARGET_VPCLMUL512 void lane_mul_add_mul_vpclmul512(
+    LaneView a, LaneView b, LaneView c, LaneView d, LaneSpan out,
+    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const vclmul::Soa512 av = vclmul::load_x8(a.l0, a.l1, a.l2, i);
+    const vclmul::Soa512 bv = vclmul::load_x8(b.l0, b.l1, b.l2, i);
+    const vclmul::Soa512 cv = vclmul::load_x8(c.l0, c.l1, c.l2, i);
+    const vclmul::Soa512 dv = vclmul::load_x8(d.l0, d.l1, d.l2, i);
+    __m512i p[6], q[6];
+    vclmul::mul326_x8(av, bv, p);
+    vclmul::mul326_x8(cv, dv, q);
+    // Accumulate before the single fold (the lane-domain lazy reduction).
+    for (std::size_t w = 0; w < 6; ++w) p[w] = _mm512_xor_si512(p[w], q[w]);
+    vclmul::reduce_store_x8(p, out.l0, out.l1, out.l2, i);
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t av[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    const std::uint64_t bv[3] = {b.l0[i], b.l1[i], b.l2[i]};
+    const std::uint64_t cv[3] = {c.l0[i], c.l1[i], c.l2[i]};
+    const std::uint64_t dv[3] = {d.l0[i], d.l1[i], d.l2[i]};
+    std::uint64_t p[6], q[6];
+    hwclmul::mul326_clmul(av, bv, p);
+    hwclmul::mul326_clmul(cv, dv, q);
+    for (std::size_t w = 0; w < 6; ++w) p[w] ^= q[w];
+    load_reduce_store(p, out, i);
+  }
+}
+
+MEDSEC_TARGET_VPCLMUL512 void lane_sqr_add_mul_vpclmul512(LaneView a,
+                                                          LaneView b,
+                                                          LaneView c,
+                                                          LaneSpan out,
+                                                          std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const vclmul::Soa512 av = vclmul::load_x8(a.l0, a.l1, a.l2, i);
+    const vclmul::Soa512 bv = vclmul::load_x8(b.l0, b.l1, b.l2, i);
+    const vclmul::Soa512 cv = vclmul::load_x8(c.l0, c.l1, c.l2, i);
+    __m512i p[6], q[6];
+    vclmul::sqr326_x8(av, p);
+    vclmul::mul326_x8(bv, cv, q);
+    for (std::size_t w = 0; w < 6; ++w) p[w] = _mm512_xor_si512(p[w], q[w]);
+    vclmul::reduce_store_x8(p, out.l0, out.l1, out.l2, i);
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t av[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    const std::uint64_t bv[3] = {b.l0[i], b.l1[i], b.l2[i]};
+    const std::uint64_t cv[3] = {c.l0[i], c.l1[i], c.l2[i]};
+    std::uint64_t p[6], q[6];
+    hwclmul::sqr326_clmul(av, p);
+    hwclmul::mul326_clmul(bv, cv, q);
+    for (std::size_t w = 0; w < 6; ++w) p[w] ^= q[w];
+    load_reduce_store(p, out, i);
+  }
+}
+
+constexpr LaneVTable kLaneVpclmul512VTable{
+    LaneBackend::kLaneVpclmul512, "vpclmul512", 16,
+    &lane_mul_vpclmul512, &lane_sqr_vpclmul512,
+    &lane_mul_add_mul_vpclmul512, &lane_sqr_add_mul_vpclmul512};
+
+// The 4-wide YMM analog for VPCLMULQDQ+AVX2 hosts without AVX-512:
+// identical structure at half group width (8 lanes per mul/sqr
+// iteration, 4 per fused iteration).
+
+MEDSEC_TARGET_VPCLMUL256 void lane_mul_vpclmul256(LaneView a, LaneView b,
+                                                  LaneSpan out,
+                                                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const vclmul::Soa256 aA = vclmul::load_x4(a.l0, a.l1, a.l2, i);
+    const vclmul::Soa256 bA = vclmul::load_x4(b.l0, b.l1, b.l2, i);
+    const vclmul::Soa256 aB = vclmul::load_x4(a.l0, a.l1, a.l2, i + 4);
+    const vclmul::Soa256 bB = vclmul::load_x4(b.l0, b.l1, b.l2, i + 4);
+    __m256i pA[6], pB[6];
+    vclmul::mul326_x4(aA, bA, pA);
+    vclmul::mul326_x4(aB, bB, pB);
+    vclmul::reduce_store_x4(pA, out.l0, out.l1, out.l2, i);
+    vclmul::reduce_store_x4(pB, out.l0, out.l1, out.l2, i + 4);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const vclmul::Soa256 av = vclmul::load_x4(a.l0, a.l1, a.l2, i);
+    const vclmul::Soa256 bv = vclmul::load_x4(b.l0, b.l1, b.l2, i);
+    __m256i p[6];
+    vclmul::mul326_x4(av, bv, p);
+    vclmul::reduce_store_x4(p, out.l0, out.l1, out.l2, i);
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t av[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    const std::uint64_t bv[3] = {b.l0[i], b.l1[i], b.l2[i]};
+    std::uint64_t p[6];
+    hwclmul::mul326_clmul(av, bv, p);
+    load_reduce_store(p, out, i);
+  }
+}
+
+MEDSEC_TARGET_VPCLMUL256 void lane_sqr_vpclmul256(LaneView a, LaneSpan out,
+                                                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const vclmul::Soa256 aA = vclmul::load_x4(a.l0, a.l1, a.l2, i);
+    const vclmul::Soa256 aB = vclmul::load_x4(a.l0, a.l1, a.l2, i + 4);
+    __m256i pA[6], pB[6];
+    vclmul::sqr326_x4(aA, pA);
+    vclmul::sqr326_x4(aB, pB);
+    vclmul::reduce_store_x4(pA, out.l0, out.l1, out.l2, i);
+    vclmul::reduce_store_x4(pB, out.l0, out.l1, out.l2, i + 4);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const vclmul::Soa256 av = vclmul::load_x4(a.l0, a.l1, a.l2, i);
+    __m256i p[6];
+    vclmul::sqr326_x4(av, p);
+    vclmul::reduce_store_x4(p, out.l0, out.l1, out.l2, i);
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t av[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    std::uint64_t p[6];
+    hwclmul::sqr326_clmul(av, p);
+    load_reduce_store(p, out, i);
+  }
+}
+
+MEDSEC_TARGET_VPCLMUL256 void lane_mul_add_mul_vpclmul256(
+    LaneView a, LaneView b, LaneView c, LaneView d, LaneSpan out,
+    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const vclmul::Soa256 av = vclmul::load_x4(a.l0, a.l1, a.l2, i);
+    const vclmul::Soa256 bv = vclmul::load_x4(b.l0, b.l1, b.l2, i);
+    const vclmul::Soa256 cv = vclmul::load_x4(c.l0, c.l1, c.l2, i);
+    const vclmul::Soa256 dv = vclmul::load_x4(d.l0, d.l1, d.l2, i);
+    __m256i p[6], q[6];
+    vclmul::mul326_x4(av, bv, p);
+    vclmul::mul326_x4(cv, dv, q);
+    for (std::size_t w = 0; w < 6; ++w) p[w] = _mm256_xor_si256(p[w], q[w]);
+    vclmul::reduce_store_x4(p, out.l0, out.l1, out.l2, i);
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t av[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    const std::uint64_t bv[3] = {b.l0[i], b.l1[i], b.l2[i]};
+    const std::uint64_t cv[3] = {c.l0[i], c.l1[i], c.l2[i]};
+    const std::uint64_t dv[3] = {d.l0[i], d.l1[i], d.l2[i]};
+    std::uint64_t p[6], q[6];
+    hwclmul::mul326_clmul(av, bv, p);
+    hwclmul::mul326_clmul(cv, dv, q);
+    for (std::size_t w = 0; w < 6; ++w) p[w] ^= q[w];
+    load_reduce_store(p, out, i);
+  }
+}
+
+MEDSEC_TARGET_VPCLMUL256 void lane_sqr_add_mul_vpclmul256(LaneView a,
+                                                          LaneView b,
+                                                          LaneView c,
+                                                          LaneSpan out,
+                                                          std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const vclmul::Soa256 av = vclmul::load_x4(a.l0, a.l1, a.l2, i);
+    const vclmul::Soa256 bv = vclmul::load_x4(b.l0, b.l1, b.l2, i);
+    const vclmul::Soa256 cv = vclmul::load_x4(c.l0, c.l1, c.l2, i);
+    __m256i p[6], q[6];
+    vclmul::sqr326_x4(av, p);
+    vclmul::mul326_x4(bv, cv, q);
+    for (std::size_t w = 0; w < 6; ++w) p[w] = _mm256_xor_si256(p[w], q[w]);
+    vclmul::reduce_store_x4(p, out.l0, out.l1, out.l2, i);
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t av[3] = {a.l0[i], a.l1[i], a.l2[i]};
+    const std::uint64_t bv[3] = {b.l0[i], b.l1[i], b.l2[i]};
+    const std::uint64_t cv[3] = {c.l0[i], c.l1[i], c.l2[i]};
+    std::uint64_t p[6], q[6];
+    hwclmul::sqr326_clmul(av, p);
+    hwclmul::mul326_clmul(bv, cv, q);
+    for (std::size_t w = 0; w < 6; ++w) p[w] ^= q[w];
+    load_reduce_store(p, out, i);
+  }
+}
+
+constexpr LaneVTable kLaneVpclmul256VTable{
+    LaneBackend::kLaneVpclmul256, "vpclmul256", 8,
+    &lane_mul_vpclmul256, &lane_sqr_vpclmul256,
+    &lane_mul_add_mul_vpclmul256, &lane_sqr_add_mul_vpclmul256};
+
 #endif  // MEDSEC_ARCH_X86_64
 
 }  // namespace
@@ -452,6 +889,21 @@ const LaneVTable* lane_vtable(LaneBackend b) {
     case LaneBackend::kLaneClmulWide:
 #if MEDSEC_ARCH_X86_64
       if (hwclmul::clmul_supported()) return &kLaneClmulWideVTable;
+#endif
+      return nullptr;
+    case LaneBackend::kLaneVpclmul512:
+#if MEDSEC_ARCH_X86_64
+      if (cpu::has_vpclmul512()) return &kLaneVpclmul512VTable;
+#endif
+      return nullptr;
+    case LaneBackend::kLaneVpclmul256:
+#if MEDSEC_ARCH_X86_64
+      if (cpu::has_vpclmul256()) return &kLaneVpclmul256VTable;
+#endif
+      return nullptr;
+    case LaneBackend::kLaneBitsliced256:
+#if MEDSEC_ARCH_X86_64
+      if (cpu::has_avx2()) return &kLaneBitsliced256VTable;
 #endif
       return nullptr;
   }

@@ -1,0 +1,348 @@
+// transpose_bits.h — 64x64 bit-matrix transpose, scalar and vectorized.
+//
+// The bitsliced lane backends spend their gather/scatter phase here: a
+// block of 64 lanes x 64 coefficient bits is one 64x64 bit matrix, and
+// the SoA <-> bit-plane conversion is its transpose (12 of them per
+// 64-lane block operand: 3 limbs x gather + scatter x 2 operands).
+//
+// Four implementations of the same in-place LSB-convention transpose
+// (after the call, bit i of word j is the old bit j of word i):
+//
+//   * portable — the classic Hacker's Delight butterfly network: 6
+//     rounds of masked block swaps at distances 32..1, 32 word-pairs per
+//     round.
+//   * AVX2 — the same butterfly with the 64 rows held in 16 YMM
+//     registers. Rounds at distance >= 4 become register-pair swaps; the
+//     distance-1/2 rounds run within registers via qword permutes.
+//   * AVX-512 — 8 ZMM registers; rounds at distance >= 8 are
+//     register-pair swaps, distances 1/2/4 run within registers
+//     (permutex / shuffle_i64x2) with masked parity blends.
+//   * GFNI — replaces the three within-register butterfly rounds with
+//     per-register 8x8 tile transposes: VPERMB gathers each byte column
+//     into a qword, VGF2P8AFFINEQB transposes the 8x8 bit tile (two
+//     affine applications: A <- I·A^T via the matrix-operand slot, then a
+//     per-byte bit reversal), VPERMB scatters back. The byte-gather index
+//     is an involution, so one shuffle vector serves both directions.
+//
+// The butterfly rounds commute (each round swaps a disjoint
+// (row-bit, column-bit) index pair), so the vector paths are free to run
+// the cross-register rounds first; all variants are bit-identical and
+// cross-checked by the transpose round-trip property tests.
+#pragma once
+
+#include <cstdint>
+
+#include "gf2m/arch.h"
+
+namespace medsec::gf2m::bits {
+
+/// In-place 64x64 bit-matrix transpose, portable butterfly reference.
+inline void transpose64_portable(std::uint64_t a[64]) {
+  std::uint64_t m = 0x00000000FFFFFFFFULL;
+  for (unsigned j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((a[k] >> j) ^ a[k + j]) & m;
+      a[k] ^= t << j;
+      a[k + j] ^= t;
+    }
+  }
+}
+
+#if MEDSEC_ARCH_X86_64
+
+// GCC's unmasked AVX-512 shift/shuffle intrinsics expand through
+// _mm512_undefined_epi32(), which GCC 12 flags as use-of-uninitialized
+// (bug PR105593). Header-wide false positive, not ours.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace detail {
+
+/// Column masks of the butterfly rounds: bits where the column index has
+/// its distance-j bit clear.
+inline constexpr std::uint64_t kButterflyMask[7] = {
+    0,                       // unused (index by shift distance log)
+    0x5555555555555555ULL,   // j = 1
+    0x3333333333333333ULL,   // j = 2
+    0x0F0F0F0F0F0F0F0FULL,   // j = 4 (log 3... see table use below)
+    0x00FF00FF00FF00FFULL,   // j = 8
+    0x0000FFFF0000FFFFULL,   // j = 16
+    0x00000000FFFFFFFFULL};  // j = 32
+
+}  // namespace detail
+
+/// AVX-512 butterfly: rows 8g..8g+7 live in zmm register g.
+__attribute__((target("avx512f"))) inline void transpose64_avx512(
+    std::uint64_t a[64]) {
+  __m512i r[8];
+  for (int g = 0; g < 8; ++g) r[g] = _mm512_loadu_si512(a + 8 * g);
+
+  // Cross-register rounds: j = 8, 16, 32 (register distance j/8).
+  for (unsigned lg = 3; lg <= 5; ++lg) {
+    const unsigned j = 1u << lg;
+    const int d = static_cast<int>(j >> 3);
+    const __m512i m = _mm512_set1_epi64(
+        static_cast<long long>(detail::kButterflyMask[lg + 1]));
+    for (int g = 0; g < 8; ++g) {
+      if (g & d) continue;
+      const __m512i t = _mm512_and_si512(
+          _mm512_xor_si512(_mm512_srli_epi64(r[g], static_cast<int>(j)),
+                           r[g + d]),
+          m);
+      r[g] = _mm512_xor_si512(r[g], _mm512_slli_epi64(t, static_cast<int>(j)));
+      r[g + d] = _mm512_xor_si512(r[g + d], t);
+    }
+  }
+
+  // Within-register rounds: j = 1, 2, 4. V = rows swapped at distance j;
+  // t is valid at even positions (row index bit j clear), the swapped
+  // copy of t lands on the odd positions.
+  for (unsigned lg = 0; lg <= 2; ++lg) {
+    const unsigned j = 1u << lg;
+    const __m512i m = _mm512_set1_epi64(
+        static_cast<long long>(detail::kButterflyMask[lg + 1]));
+    const __mmask8 even = lg == 0 ? 0x55 : lg == 1 ? 0x33 : 0x0F;
+    for (int g = 0; g < 8; ++g) {
+      __m512i v;
+      if (lg == 0) {
+        v = _mm512_permutex_epi64(r[g], 0xB1);  // 1,0,3,2 per 256-bit half
+      } else if (lg == 1) {
+        v = _mm512_permutex_epi64(r[g], 0x4E);  // 2,3,0,1 per 256-bit half
+      } else {
+        v = _mm512_shuffle_i64x2(r[g], r[g], 0x4E);  // swap 256-bit halves
+      }
+      const __m512i t = _mm512_and_si512(
+          _mm512_xor_si512(_mm512_srli_epi64(r[g], static_cast<int>(j)), v),
+          m);
+      __m512i tsw;
+      if (lg == 0) {
+        tsw = _mm512_permutex_epi64(t, 0xB1);
+      } else if (lg == 1) {
+        tsw = _mm512_permutex_epi64(t, 0x4E);
+      } else {
+        tsw = _mm512_shuffle_i64x2(t, t, 0x4E);
+      }
+      r[g] = _mm512_mask_xor_epi64(r[g], even, r[g],
+                                   _mm512_slli_epi64(t, static_cast<int>(j)));
+      r[g] = _mm512_mask_xor_epi64(r[g], static_cast<__mmask8>(~even), r[g],
+                                   tsw);
+    }
+  }
+
+  for (int g = 0; g < 8; ++g) _mm512_storeu_si512(a + 8 * g, r[g]);
+}
+
+/// GFNI variant: cross-register butterfly rounds as above, then one
+/// VPERMB / VGF2P8AFFINEQB x2 / VPERMB sequence per register transposes
+/// all eight 8x8 byte tiles at once.
+__attribute__((target("avx512f,avx512bw,avx512vbmi,gfni"))) inline void
+transpose64_gfni(std::uint64_t a[64]) {
+  __m512i r[8];
+  for (int g = 0; g < 8; ++g) r[g] = _mm512_loadu_si512(a + 8 * g);
+
+  for (unsigned lg = 3; lg <= 5; ++lg) {
+    const unsigned j = 1u << lg;
+    const int d = static_cast<int>(j >> 3);
+    const __m512i m = _mm512_set1_epi64(
+        static_cast<long long>(detail::kButterflyMask[lg + 1]));
+    for (int g = 0; g < 8; ++g) {
+      if (g & d) continue;
+      const __m512i t = _mm512_and_si512(
+          _mm512_xor_si512(_mm512_srli_epi64(r[g], static_cast<int>(j)),
+                           r[g + d]),
+          m);
+      r[g] = _mm512_xor_si512(r[g], _mm512_slli_epi64(t, static_cast<int>(j)));
+      r[g + d] = _mm512_xor_si512(r[g + d], t);
+    }
+  }
+
+  // Byte gather: qword c of the shuffled register collects byte c of
+  // rows 0..7 — the 8x8 tile of byte-column c, one row per byte. The
+  // index (byte 8c+r <- byte 8r+c) is symmetric, so the same vector
+  // scatters the transposed tiles back.
+  alignas(64) std::uint8_t gather_idx[64];
+  for (int c = 0; c < 8; ++c)
+    for (int row = 0; row < 8; ++row)
+      gather_idx[8 * c + row] = static_cast<std::uint8_t>(8 * row + c);
+  const __m512i gidx = _mm512_load_si512(gather_idx);
+  // I = the anti-identity affine operand: gf2p8affine(x=I, A=tile) yields
+  // tile^T with the bit index within each byte reversed; a second
+  // application with A=I is exactly that per-byte bit reversal.
+  const __m512i ident = _mm512_set1_epi64(0x8040201008040201LL);
+
+  for (int g = 0; g < 8; ++g) {
+    const __m512i tiles = _mm512_permutexvar_epi8(gidx, r[g]);
+    const __m512i tr = _mm512_gf2p8affine_epi64_epi8(ident, tiles, 0);
+    const __m512i fixed = _mm512_gf2p8affine_epi64_epi8(tr, ident, 0);
+    r[g] = _mm512_permutexvar_epi8(gidx, fixed);
+  }
+
+  for (int g = 0; g < 8; ++g) _mm512_storeu_si512(a + 8 * g, r[g]);
+}
+
+/// AVX2 butterfly: rows 4g..4g+3 live in ymm register g.
+__attribute__((target("avx2"))) inline void transpose64_avx2(
+    std::uint64_t a[64]) {
+  __m256i r[16];
+  for (int g = 0; g < 16; ++g)
+    r[g] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 4 * g));
+
+  // Cross-register rounds: j = 4, 8, 16, 32 (register distance j/4).
+  for (unsigned lg = 2; lg <= 5; ++lg) {
+    const unsigned j = 1u << lg;
+    const int d = static_cast<int>(j >> 2);
+    const __m256i m = _mm256_set1_epi64x(
+        static_cast<long long>(detail::kButterflyMask[lg + 1]));
+    for (int g = 0; g < 16; ++g) {
+      if (g & d) continue;
+      const __m256i t = _mm256_and_si256(
+          _mm256_xor_si256(_mm256_srli_epi64(r[g], static_cast<int>(j)),
+                           r[g + d]),
+          m);
+      r[g] = _mm256_xor_si256(r[g], _mm256_slli_epi64(t, static_cast<int>(j)));
+      r[g + d] = _mm256_xor_si256(r[g + d], t);
+    }
+  }
+
+  // Within-register rounds: j = 1, 2. The parity blend picks t<<j on the
+  // even qwords and the swapped t on the odd ones (dword-granular blend
+  // immediates 0xCC / 0xF0 = qwords {1,3} / {2,3}).
+  for (unsigned lg = 0; lg <= 1; ++lg) {
+    const unsigned j = 1u << lg;
+    const __m256i m = _mm256_set1_epi64x(
+        static_cast<long long>(detail::kButterflyMask[lg + 1]));
+    for (int g = 0; g < 16; ++g) {
+      const __m256i v = lg == 0 ? _mm256_permute4x64_epi64(r[g], 0xB1)
+                                : _mm256_permute4x64_epi64(r[g], 0x4E);
+      const __m256i t = _mm256_and_si256(
+          _mm256_xor_si256(_mm256_srli_epi64(r[g], static_cast<int>(j)), v),
+          m);
+      const __m256i tsw = lg == 0 ? _mm256_permute4x64_epi64(t, 0xB1)
+                                  : _mm256_permute4x64_epi64(t, 0x4E);
+      const __m256i u =
+          lg == 0
+              ? _mm256_blend_epi32(_mm256_slli_epi64(t, 1), tsw, 0xCC)
+              : _mm256_blend_epi32(_mm256_slli_epi64(t, 2), tsw, 0xF0);
+      r[g] = _mm256_xor_si256(r[g], u);
+    }
+  }
+
+  for (int g = 0; g < 16; ++g)
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + 4 * g), r[g]);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // MEDSEC_ARCH_X86_64
+
+/// The transpose implementations this build knows about, for the
+/// cross-check tests and the dispatch below.
+enum class TransposeImpl {
+  kPortable,
+  kAvx2,
+  kAvx512,
+  kGfni,
+};
+
+inline bool transpose64_available(TransposeImpl impl) {
+  switch (impl) {
+    case TransposeImpl::kPortable:
+      return true;
+#if MEDSEC_ARCH_X86_64
+    case TransposeImpl::kAvx2:
+      return cpu::has_avx2();
+    case TransposeImpl::kAvx512:
+      return cpu::has_avx512();
+    case TransposeImpl::kGfni:
+      return cpu::has_gfni512();
+#else
+    case TransposeImpl::kAvx2:
+    case TransposeImpl::kAvx512:
+    case TransposeImpl::kGfni:
+      return false;
+#endif
+  }
+  return false;
+}
+
+inline const char* transpose_impl_name(TransposeImpl impl) {
+  switch (impl) {
+    case TransposeImpl::kPortable:
+      return "portable";
+    case TransposeImpl::kAvx2:
+      return "avx2";
+    case TransposeImpl::kAvx512:
+      return "avx512";
+    case TransposeImpl::kGfni:
+      return "gfni";
+  }
+  return "?";
+}
+
+/// Run one specific implementation (caller must check availability).
+inline void transpose64_run(TransposeImpl impl, std::uint64_t a[64]) {
+  switch (impl) {
+    case TransposeImpl::kPortable:
+      transpose64_portable(a);
+      return;
+#if MEDSEC_ARCH_X86_64
+    case TransposeImpl::kAvx2:
+      transpose64_avx2(a);
+      return;
+    case TransposeImpl::kAvx512:
+      transpose64_avx512(a);
+      return;
+    case TransposeImpl::kGfni:
+      transpose64_gfni(a);
+      return;
+#else
+    case TransposeImpl::kAvx2:
+    case TransposeImpl::kAvx512:
+    case TransposeImpl::kGfni:
+      break;
+#endif
+  }
+  transpose64_portable(a);
+}
+
+using TransposeFn = void (*)(std::uint64_t[64]);
+
+inline TransposeFn select_transpose64() {
+#if MEDSEC_ARCH_X86_64
+  if (cpu::has_gfni512()) return &transpose64_gfni;
+  if (cpu::has_avx512()) return &transpose64_avx512;
+  if (cpu::has_avx2()) return &transpose64_avx2;
+#endif
+  return &transpose64_portable;
+}
+
+inline TransposeImpl select_transpose64_impl() {
+#if MEDSEC_ARCH_X86_64
+  if (cpu::has_gfni512()) return TransposeImpl::kGfni;
+  if (cpu::has_avx512()) return TransposeImpl::kAvx512;
+  if (cpu::has_avx2()) return TransposeImpl::kAvx2;
+#endif
+  return TransposeImpl::kPortable;
+}
+
+/// In-place 64x64 bit transpose through the widest ISA the host offers
+/// (resolved once per process).
+inline void transpose64(std::uint64_t a[64]) {
+  static const TransposeFn fn = select_transpose64();
+  fn(a);
+}
+
+/// Multi-group form: `groups` independent 64x64 transposes on
+/// consecutive 64-word blocks — the 128/256-lane bitsliced block shapes
+/// (a W-lane block is W/64 independent 64x64 transposes per limb because
+/// plane words are lane-major).
+inline void transpose64_blocks(std::uint64_t* a, std::size_t groups) {
+  for (std::size_t g = 0; g < groups; ++g) transpose64(a + 64 * g);
+}
+
+}  // namespace medsec::gf2m::bits

@@ -10,6 +10,7 @@
 #include "ecc/ladder_many.h"
 #include "gf2m/backend.h"
 #include "gf2m/gf163_lanes.h"
+#include "gf2m/transpose_bits.h"
 #include "rng/xoshiro.h"
 
 namespace {
@@ -178,15 +179,24 @@ TEST_P(LaneBackends, BatchedLadderMatchesScalarLadder) {
 INSTANTIATE_TEST_SUITE_P(
     AllLaneBackends, LaneBackends,
     ::testing::Values(LaneBackend::kLaneScalar, LaneBackend::kLaneBitsliced,
-                      LaneBackend::kLaneClmulWide),
+                      LaneBackend::kLaneClmulWide,
+                      LaneBackend::kLaneVpclmul512,
+                      LaneBackend::kLaneVpclmul256,
+                      LaneBackend::kLaneBitsliced256),
     [](const auto& info) {
       switch (info.param) {
         case LaneBackend::kLaneScalar:
           return "Scalar";
         case LaneBackend::kLaneBitsliced:
           return "Bitsliced";
-        default:
+        case LaneBackend::kLaneClmulWide:
           return "ClmulWide";
+        case LaneBackend::kLaneVpclmul512:
+          return "Vpclmul512";
+        case LaneBackend::kLaneVpclmul256:
+          return "Vpclmul256";
+        default:
+          return "Bitsliced256";
       }
     });
 
@@ -225,13 +235,20 @@ TEST(Gf163xN, AddIsLaneWiseXor) {
 }
 
 TEST(LaneRegistry, DispatchFollowsScalarBackendAndEnvOverride) {
-  // Auto selection maps the scalar backend to its wide counterpart.
+  // Auto selection maps the scalar backend to its wide counterpart: for
+  // clmul, the widest vector backend the host supports.
   const gf::Backend prev = gf::active_backend();
   gf::reset_lane_backend();
   if (gf::backend_available(gf::Backend::kClmul) &&
       gf::lane_backend_available(LaneBackend::kLaneClmulWide)) {
     gf::set_backend(gf::Backend::kClmul);
-    EXPECT_EQ(gf::active_lane_backend(), LaneBackend::kLaneClmulWide);
+    const LaneBackend expected =
+        gf::lane_backend_available(LaneBackend::kLaneVpclmul512)
+            ? LaneBackend::kLaneVpclmul512
+        : gf::lane_backend_available(LaneBackend::kLaneVpclmul256)
+            ? LaneBackend::kLaneVpclmul256
+            : LaneBackend::kLaneClmulWide;
+    EXPECT_EQ(gf::active_lane_backend(), expected);
   }
   gf::set_backend(gf::Backend::kPortable);
   EXPECT_EQ(gf::active_lane_backend(), LaneBackend::kLaneBitsliced);
@@ -256,6 +273,89 @@ TEST(LaneRegistry, DispatchFollowsScalarBackendAndEnvOverride) {
       EXPECT_EQ(vt->id, b);
     }
   }
+}
+
+TEST(LaneRegistry, NameParsingRoundTripsAndRejectsUnknown) {
+  // Every compiled-in backend parses back from its canonical name and
+  // reports a real requirement string.
+  for (const gf::Backend b : gf::known_backends()) {
+    gf::Backend parsed;
+    ASSERT_TRUE(gf::backend_from_name(gf::backend_name(b), parsed));
+    EXPECT_EQ(parsed, b);
+    EXPECT_STRNE(gf::backend_requirement(b), "?");
+  }
+  for (const LaneBackend b : gf::known_lane_backends()) {
+    LaneBackend parsed;
+    ASSERT_TRUE(gf::lane_backend_from_name(gf::lane_backend_name(b), parsed));
+    EXPECT_EQ(parsed, b);
+    EXPECT_STRNE(gf::lane_backend_requirement(b), "?");
+  }
+
+  // Aliases accepted by the env overrides.
+  LaneBackend lb;
+  EXPECT_TRUE(gf::lane_backend_from_name("clmul", lb));
+  EXPECT_EQ(lb, LaneBackend::kLaneClmulWide);
+  EXPECT_TRUE(gf::lane_backend_from_name("vpclmul", lb));
+  EXPECT_EQ(lb, LaneBackend::kLaneVpclmul512);
+  gf::Backend sb;
+  EXPECT_TRUE(gf::backend_from_name("hw", sb));
+  EXPECT_EQ(sb, gf::Backend::kClmul);
+
+  // Unknown names must be reported, not silently mapped (the env-var
+  // startup path aborts on these — this is the parse primitive it uses).
+  EXPECT_FALSE(gf::lane_backend_from_name("bitsilced", lb));
+  EXPECT_FALSE(gf::lane_backend_from_name("", lb));
+  EXPECT_FALSE(gf::lane_backend_from_name("auto", lb));  // not a backend
+  EXPECT_FALSE(gf::backend_from_name("clmull", sb));
+}
+
+// Forward ∘ inverse ≡ identity for the 64x64 bit transpose, every
+// compiled-in implementation, at block widths 64/128/256 (a W-lane block
+// is W/64 independent 64x64 transposes) — plus bit-identity of each
+// vector variant against the portable butterfly.
+TEST(TransposeBits, RoundTripAndVariantsMatchPortableAtAllWidths) {
+  namespace bits = medsec::gf2m::bits;
+  Xoshiro256 rng(321);
+  const bits::TransposeImpl impls[] = {
+      bits::TransposeImpl::kPortable, bits::TransposeImpl::kAvx2,
+      bits::TransposeImpl::kAvx512, bits::TransposeImpl::kGfni};
+  for (const bits::TransposeImpl impl : impls) {
+    if (!bits::transpose64_available(impl)) {
+      GTEST_LOG_(INFO) << "transpose " << bits::transpose_impl_name(impl)
+                       << " unavailable on this CPU; skipped";
+      continue;
+    }
+    for (const std::size_t width : {64u, 128u, 256u}) {
+      const std::size_t groups = width / 64;
+      for (int trial = 0; trial < 50; ++trial) {
+        std::vector<std::uint64_t> block(width), ref(width), orig(width);
+        for (auto& w : block) w = rng.next_u64();
+        ref = block;
+        orig = block;
+        for (std::size_t g = 0; g < groups; ++g) {
+          bits::transpose64_run(impl, block.data() + 64 * g);
+          bits::transpose64_portable(ref.data() + 64 * g);
+        }
+        ASSERT_EQ(block, ref) << bits::transpose_impl_name(impl) << " width "
+                              << width << " trial " << trial;
+        for (std::size_t g = 0; g < groups; ++g)
+          bits::transpose64_run(impl, block.data() + 64 * g);
+        ASSERT_EQ(block, orig)
+            << bits::transpose_impl_name(impl) << " not an involution, width "
+            << width << " trial " << trial;
+      }
+    }
+  }
+
+  // The dispatched entry (what gather/scatter_planes actually call) is
+  // also exercised through the multi-group block helper.
+  std::vector<std::uint64_t> block(256), ref(256);
+  for (auto& w : block) w = rng.next_u64();
+  ref = block;
+  bits::transpose64_blocks(block.data(), 4);
+  for (std::size_t g = 0; g < 4; ++g)
+    bits::transpose64_portable(ref.data() + 64 * g);
+  EXPECT_EQ(block, ref);
 }
 
 TEST(LadderMany, RejectsBadInputsAndReusesWorkspace) {
