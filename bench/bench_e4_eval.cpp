@@ -85,6 +85,49 @@ void print_matrix_and_check() {
               "%s\n",
               ok ? "yes" : "NO (BUG)");
   if (!ok) std::exit(1);
+
+  // Fault-adversary acceptance shape. The matrix must carry both fault
+  // attacks against at least three fault-countermeasure columns, the
+  // bare and rpc-only (paper's shipped) chips must FALL to both, and the
+  // detector rows must HOLD with a dead oracle.
+  bool fault_ok = true;
+  const auto expect = [&](const sc::EvalCell& c, bool holds) {
+    const bool cell_ok =
+        c.defense_holds == holds &&
+        (holds ? c.informative_shots == 0 : c.key_recovered);
+    if (!cell_ok) {
+      std::fprintf(stderr, "fault cell %s x %s: expected %s, got %s "
+                           "(informative=%zu, recovered=%d)\n",
+                   c.attack.c_str(), c.countermeasure.c_str(),
+                   holds ? "HOLDS" : "BROKEN",
+                   c.defense_holds ? "HOLDS" : "BROKEN",
+                   c.informative_shots, int(c.key_recovered));
+      fault_ok = false;
+    }
+  };
+  std::size_t fault_cm_columns = 0;
+  for (const sc::EvalCell& c : matrix.cells)
+    if (c.attack == "fault-safe-error" &&
+        (c.countermeasure.find("validate") != std::string::npos ||
+         c.countermeasure.find("infect") != std::string::npos))
+      ++fault_cm_columns;
+  if (fault_cm_columns < 3) {
+    std::fprintf(stderr, "only %zu fault-countermeasure columns (need 3)\n",
+                 fault_cm_columns);
+    fault_ok = false;
+  }
+  const std::string validated = sc::CountermeasureConfig::validated().name();
+  const std::string infective = sc::CountermeasureConfig::infective().name();
+  for (const char* atk : {"fault-safe-error", "fault-invalid-point"}) {
+    expect(find(atk, "none"), false);
+    expect(find(atk, "rpc"), false);
+    expect(find(atk, validated.c_str()), true);
+    expect(find(atk, infective.c_str()), true);
+  }
+  std::printf("fault acceptance shape (bare/rpc broken, validated & "
+              "infective hold, %zu fault-cm columns): %s\n",
+              fault_cm_columns, fault_ok ? "yes" : "NO (BUG)");
+  if (!fault_ok) std::exit(1);
 }
 
 void BM_EvalCell_CpaWhiteBox_Blind(benchmark::State& state) {

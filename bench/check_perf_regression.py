@@ -38,6 +38,42 @@ import sys
 # SkipWithError, which google-benchmark records as error_occurred; those
 # rows are collected as "skipped" and any gate touching one is skipped,
 # not failed — a machine without VPCLMULQDQ must still pass the gate.
+# Exact verdict-cell gates on the machine-readable eval matrix
+# (BENCH_eval_matrix.json, schema medsec-eval-matrix-v1, written by
+# bench_e4_eval). Unlike timings these are bit-deterministic — the
+# campaigns are counter-seeded — so the gate is exact equality: the PR 8
+# fault-adversary acceptance shape (bare and the paper's shipped rpc-only
+# chip FALL to both fault attacks; the detector columns HOLD with a dead
+# oracle) must never drift silently. Each row is
+#   (attack, countermeasure, expected) with expected keys matched exactly
+# against the cell's JSON fields.
+FAULT_VERDICT_GATES = [
+    ("fault-safe-error", "none",
+     {"defense_holds": False, "key_recovered": True, "accuracy": 1.0}),
+    ("fault-safe-error", "rpc",
+     {"defense_holds": False, "key_recovered": True}),
+    # Validation alone cannot see a select glitch (points stay on-curve).
+    ("fault-safe-error", "validate",
+     {"defense_holds": False, "key_recovered": True}),
+    ("fault-safe-error", "validate+cohere",
+     {"defense_holds": True, "key_recovered": False,
+      "informative_shots": 0}),
+    ("fault-safe-error", "rpc+blind+validate+cohere+infect",
+     {"defense_holds": True, "key_recovered": False,
+      "informative_shots": 0}),
+    ("fault-invalid-point", "none",
+     {"defense_holds": False, "key_recovered": True}),
+    ("fault-invalid-point", "rpc",
+     {"defense_holds": False, "key_recovered": True}),
+    # ...but validation is exactly the right answer to off-curve points.
+    ("fault-invalid-point", "validate",
+     {"defense_holds": True, "informative_shots": 0}),
+    ("fault-invalid-point", "validate+cohere",
+     {"defense_holds": True, "informative_shots": 0}),
+    ("fault-invalid-point", "rpc+blind+validate+cohere+infect",
+     {"defense_holds": True, "informative_shots": 0}),
+]
+
 RATIO_GATES = [
     ("BENCH_coproc.json", "BM_CaptureCycleTracePr4Baseline",
      "BM_CaptureCycleTraceFused", 3.0),
@@ -162,6 +198,35 @@ def main():
             failures.append(
                 f"{name}: speedup {ratio:.2f}x below required "
                 f"{min_ratio:.1f}x ({slow} vs {fast})")
+
+    matrix_path = os.path.join(args.fresh, "BENCH_eval_matrix.json")
+    if not os.path.exists(matrix_path):
+        failures.append("BENCH_eval_matrix.json: fresh run missing "
+                        "(fault verdict gate)")
+    else:
+        try:
+            with open(matrix_path) as f:
+                matrix = json.load(f)
+            cells = {(c["attack"], c["countermeasure"]): c
+                     for c in matrix.get("cells", [])}
+        except (json.JSONDecodeError, OSError, KeyError, TypeError) as e:
+            cells = None
+            failures.append(f"BENCH_eval_matrix.json: unreadable ({e})")
+        if cells is not None:
+            for attack, cm, expected in FAULT_VERDICT_GATES:
+                cell = cells.get((attack, cm))
+                if cell is None:
+                    failures.append(
+                        f"eval matrix: missing fault cell {attack} x {cm}")
+                    continue
+                bad = [f"{k}={cell.get(k)!r} (want {v!r})"
+                       for k, v in expected.items() if cell.get(k) != v]
+                verdict = "FAIL" if bad else "ok"
+                print(f"{verdict:4s} eval:{attack} x {cm}: " +
+                      ("; ".join(bad) if bad else "verdict exact"))
+                if bad:
+                    failures.append(
+                        f"eval matrix {attack} x {cm}: " + "; ".join(bad))
 
     if failures:
         print("\nPERF REGRESSION GATE FAILED:")

@@ -81,48 +81,102 @@ PointMultOutcome SecureEccProcessor::Session::point_mult(const Scalar& k,
     throw std::invalid_argument(
         "SecureEccProcessor::point_mult: invalid input point");
 
-  // The countermeasure-dependent inputs — masked base, (possibly
-  // blinded) key bits, microcode options — come from the shared planner,
-  // so this victim and the trace simulator's cycle-accurate victim can
-  // never drift apart in draw order or encoding.
-  const sidechannel::HardenedCoprocPlan plan =
-      sidechannel::plan_hardened_coproc_mult(*curve_, config_.ladder, k, p,
-                                             drbg_, blinding_pair_,
-                                             blinding_key_);
-
-  auto r = coproc_.point_mult(plan.key_bits, plan.base.x, plan.options);
-
   PointMultOutcome out;
-  out.cycles = r.exec.cycles;
-  out.energy_j = r.energy_j;
-  out.avg_power_w = r.avg_power_w;
-  out.seconds = r.seconds;
+  std::uint64_t backoff = config_.fault_backoff_cycles;
+  for (std::size_t attempt = 0;; ++attempt) {
+    // The countermeasure-dependent inputs — masked base, (possibly
+    // blinded) key bits, microcode options — come from the shared
+    // planner, so this victim and the trace simulator's cycle-accurate
+    // victim can never drift apart in draw order or encoding. A fresh
+    // plan per attempt is the recovery policy's re-randomization: every
+    // retry draws new blinds and randomizers from the DRBG.
+    const sidechannel::HardenedCoprocPlan plan =
+        sidechannel::plan_hardened_coproc_mult(*curve_, config_.ladder, k, p,
+                                               drbg_, blinding_pair_,
+                                               blinding_key_);
 
-  // Insecure-zone software: y-recovery from the projective outputs. The
-  // recovery validates the result against the curve equation (the fault
-  // canary) and throws std::logic_error on mismatch.
-  out.result = r.result_is_infinity
-                   ? Point::at_infinity()
-                   : ecc::recover_from_ladder(*curve_, plan.base, r.x1, r.z1,
-                                              r.x2, r.z2);
+    bool detected = false;
+    // Entry validation of the masked base (on-the-fly curve membership):
+    // a corrupted blinding pair or masked point never reaches the ladder.
+    if (config_.ladder.validate_points &&
+        (plan.base.infinity || !curve_->is_on_curve(plan.base)))
+      detected = true;
 
-  if (config_.ladder.base_point_blinding) {
-    out.result =
-        curve_->add(out.result, curve_->negate(blinding_pair_->correction()));
-    blinding_pair_->update(*curve_);
+    hw::PointMultResult r{};
+    bool ran = false;
+    if (!detected) {
+      r = coproc_.point_mult(plan.key_bits, plan.base.x, plan.options);
+      out.cycles += r.exec.cycles;
+      out.energy_j += r.energy_j;
+      out.seconds += r.seconds;
+      ran = true;
+      // Cycle coherence against the compiled schedule constant — the
+      // detector that catches computationally-absorbed glitches.
+      if (config_.ladder.coherence_check &&
+          r.exec.cycles !=
+              coproc_.point_mult_cycles(plan.key_bits.size(), plan.options))
+        detected = true;
+    }
+
+    // Insecure-zone software: y-recovery from the projective outputs.
+    // The recovery validates the result against the curve equation — the
+    // always-on fault canary, independent of the ladder config.
+    Point result = Point::at_infinity();
+    if (ran && !detected) {
+      try {
+        result = r.result_is_infinity
+                     ? Point::at_infinity()
+                     : ecc::recover_from_ladder(*curve_, plan.base, r.x1,
+                                                r.z1, r.x2, r.z2);
+      } catch (const std::logic_error&) {
+        detected = true;
+      }
+    }
+
+    if (config_.ladder.base_point_blinding && blinding_pair_) {
+      if (!detected)
+        result = curve_->add(result,
+                             curve_->negate(blinding_pair_->correction()));
+      // The pair advances even on a faulty run — a mask is burned the
+      // moment it was used, recovered result or not.
+      blinding_pair_->update(*curve_);
+    }
+
+    if (!detected) {
+      out.result = result;
+      out.avg_power_w =
+          out.seconds > 0.0 ? out.energy_j / out.seconds : 0.0;
+      // With telemetry off the coprocessor ran the record-free energy
+      // path; clear instead of keeping a stale buffer from an earlier
+      // config.
+      last_records_ = std::move(r.exec.records);
+      if (config_.zeroize_after_use) {
+        // Result stays in X1 (it is the output); everything else is
+        // cleared through the cached compiled fragment (energy-only sink
+        // — the controller discards this step's telemetry).
+        coproc_.zeroize(/*keep_result=*/true);
+      }
+      return out;
+    }
+
+    // Detected fault: nothing leaves the device. Zeroize everything
+    // (result register included — it may hold faulty key-dependent
+    // state), drop the telemetry of the poisoned run, and either retry
+    // after a doubling backoff or give up on a persistent fault.
+    ++out.faults_detected;
+    last_records_.clear();
+    coproc_.zeroize(/*keep_result=*/false);
+    if (attempt == config_.fault_retry_budget)
+      throw std::logic_error(
+          "SecureEccProcessor::point_mult: fault persisted after " +
+          std::to_string(config_.fault_retry_budget) +
+          " recovery retries; session quarantine required");
+    ++out.retries;
+    out.cycles += backoff;
+    out.seconds +=
+        static_cast<double>(backoff) / coproc_.config().tech.clock_hz;
+    backoff *= 2;
   }
-
-  // With telemetry off the coprocessor ran the record-free energy path;
-  // clear instead of keeping a stale buffer from an earlier config.
-  last_records_ = std::move(r.exec.records);
-
-  if (config_.zeroize_after_use) {
-    // Result stays in X1 (it is the output); everything else is cleared
-    // through the cached compiled fragment (energy-only sink — the
-    // controller discards this step's telemetry).
-    coproc_.zeroize(/*keep_result=*/true);
-  }
-  return out;
 }
 
 }  // namespace medsec::core

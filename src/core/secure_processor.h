@@ -49,6 +49,15 @@ struct CountermeasureConfig {
   // the energy sink — no record storage at all; the energy / power /
   // cycle telemetry in PointMultOutcome is identical either way.
   bool record_cycles = true;
+  // Graceful degradation under detected faults (the §5 controller's
+  // recovery policy). A detection — ladder-invariant canary, or cycle
+  // coherence when ladder.coherence_check is set — zeroizes the register
+  // file, re-randomizes every blind (fresh DRBG draws on the next plan),
+  // waits out a backoff, and retries. The budget bounds how many retries
+  // a persistent (stuck-at) fault can consume before the session gives
+  // up and throws; nothing is ever released from a detected-faulty run.
+  std::size_t fault_retry_budget = 2;     ///< retries before giving up
+  std::uint64_t fault_backoff_cycles = 4096;  ///< first backoff, doubles
 
   /// The paper's shipped configuration (everything on).
   static CountermeasureConfig protected_default() { return {}; }
@@ -58,13 +67,18 @@ struct CountermeasureConfig {
   static CountermeasureConfig hardened();
 };
 
-/// One point multiplication's outcome + telemetry.
+/// One point multiplication's outcome + telemetry. Cycles / energy /
+/// seconds accumulate across fault-recovery retries (backoff included):
+/// the ledger charges what the device actually spent, not just the
+/// attempt that succeeded.
 struct PointMultOutcome {
   ecc::Point result;
   std::size_t cycles = 0;
   double energy_j = 0.0;
   double avg_power_w = 0.0;
   double seconds = 0.0;
+  std::size_t faults_detected = 0;  ///< detector trips during this call
+  std::size_t retries = 0;          ///< recovery re-executions performed
 };
 
 class SecureEccProcessor {
@@ -81,9 +95,19 @@ class SecureEccProcessor {
             std::uint64_t seed);
 
     /// Validated k·P. Throws std::invalid_argument if P is not a valid
-    /// prime-order subgroup point (invalid-curve / small-subgroup gate)
-    /// and std::logic_error if the fault canary fires (off-curve result).
+    /// prime-order subgroup point (invalid-curve / small-subgroup gate).
+    /// A detected fault (ladder-invariant canary, cycle coherence)
+    /// zeroizes, re-randomizes blinds and retries under
+    /// config.fault_retry_budget with doubling backoff; when the budget
+    /// is exhausted — a persistent fault — it throws std::logic_error
+    /// with nothing released. Transient glitches recover transparently
+    /// (outcome.retries > 0 is the only trace).
     PointMultOutcome point_mult(const ecc::Scalar& k, const ecc::Point& p);
+
+    /// Arm / clear a physical fault on this session's co-processor — the
+    /// fault-drill and test hook (a fielded chip has no such port).
+    void arm_fault(const hw::FaultSpec& fault) { coproc_.arm_fault(fault); }
+    void disarm_fault() { coproc_.disarm_fault(); }
 
     /// Telemetry from this session's last operation (empty if
     /// record_cycles is off or nothing ran yet).

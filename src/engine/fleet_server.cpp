@@ -65,6 +65,8 @@ std::uint32_t FleetServer::enroll(const ecc::Point& X) {
     if (existing == X)
       throw std::invalid_argument("FleetServer::enroll: key already enrolled");
   devices_.push_back(X);
+  device_unrecovered_.push_back(0);
+  device_quarantined_.push_back(false);
   {
     const std::lock_guard<std::mutex> slock(stats_mu_);
     stats_.devices = devices_.size();
@@ -105,6 +107,17 @@ std::uint64_t FleetServer::register_session(
 }
 
 std::uint64_t FleetServer::open_schnorr_session(std::uint32_t device) {
+  {
+    // Quarantined devices are refused before admission control: a device
+    // that keeps failing its fault recovery gets no further sessions
+    // until an operator clears it (re-enrollment in this model).
+    const std::lock_guard<std::mutex> lock(registry_mu_);
+    if (device < device_quarantined_.size() && device_quarantined_[device]) {
+      const std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.sessions_refused_quarantine;
+      return 0;
+    }
+  }
   auto s = std::make_shared<Session>();
   s->record.device = device;
   s->deferred_schnorr = true;
@@ -145,6 +158,45 @@ void FleetServer::report_tag_energy(std::uint64_t session,
   }
   const std::lock_guard<std::mutex> slock(stats_mu_);
   stats_.fleet_tag_energy += ledger;
+}
+
+void FleetServer::report_fault_telemetry(std::uint64_t session,
+                                         std::size_t detected,
+                                         std::size_t retries,
+                                         bool unrecovered) {
+  const auto s = find(session);
+  if (!s) return;
+  std::uint32_t device;
+  {
+    const std::lock_guard<std::mutex> lock(s->mu);
+    s->record.faults_detected += detected;
+    s->record.fault_retries += retries;
+    s->record.fault_unrecovered = s->record.fault_unrecovered || unrecovered;
+    device = s->record.device;
+  }
+  bool newly_quarantined = false;
+  if (unrecovered) {
+    const std::lock_guard<std::mutex> lock(registry_mu_);
+    if (device < device_unrecovered_.size()) {
+      ++device_unrecovered_[device];
+      if (config_.device_fault_threshold != 0 &&
+          !device_quarantined_[device] &&
+          device_unrecovered_[device] >= config_.device_fault_threshold) {
+        device_quarantined_[device] = true;
+        newly_quarantined = true;
+      }
+    }
+  }
+  const std::lock_guard<std::mutex> slock(stats_mu_);
+  stats_.faults_detected += detected;
+  stats_.fault_retries += retries;
+  if (unrecovered) ++stats_.faults_unrecovered;
+  if (newly_quarantined) ++stats_.devices_quarantined;
+}
+
+bool FleetServer::device_quarantined(std::uint32_t device) const {
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  return device < device_quarantined_.size() && device_quarantined_[device];
 }
 
 std::shared_ptr<FleetServer::Session> FleetServer::find(

@@ -65,6 +65,13 @@ struct FleetConfig {
   /// session fails all of them; one that sheds keeps its promises to the
   /// sessions it admitted.
   std::size_t max_live_sessions = 0;
+  /// Device fault quarantine: once a device has reported this many
+  /// UNRECOVERED faults (its processor exhausted the retry budget and
+  /// released nothing), open_schnorr_session refuses it (returns 0). A
+  /// device under physical fault attack — or simply dying — must not
+  /// keep consuming server sessions, and must never ship a result the
+  /// server would act on. 0 disables device quarantine.
+  std::size_t device_fault_threshold = 3;
 };
 
 /// Registry entry: one session's telemetry, readable after completion.
@@ -78,6 +85,12 @@ struct SessionRecord {
   std::size_t rx_bits = 0;                  ///< device -> server
   std::size_t tx_bits = 0;                  ///< server -> device
   protocol::EnergyLedger tag_ledger;        ///< attached by the front-end
+  // Device-side fault telemetry (attached by the front-end, like the
+  // energy ledger): what the tag's processor detected and survived while
+  // serving this session.
+  std::size_t faults_detected = 0;   ///< detector trips on the device
+  std::size_t fault_retries = 0;     ///< successful recovery re-executions
+  bool fault_unrecovered = false;    ///< retry budget exhausted, no release
 };
 
 struct FleetStats {
@@ -89,6 +102,12 @@ struct FleetStats {
   std::size_t messages_processed = 0;
   std::size_t sessions_shed = 0;         ///< refused at admission
   std::size_t sessions_quarantined = 0;  ///< machine threw; isolated
+  // Fleet-wide fault ledger (sums of the per-session telemetry).
+  std::size_t faults_detected = 0;
+  std::size_t fault_retries = 0;
+  std::size_t faults_unrecovered = 0;
+  std::size_t devices_quarantined = 0;   ///< crossed the fault threshold
+  std::size_t sessions_refused_quarantine = 0;  ///< opens against them
   BatchVerifierStats verifier;
   protocol::EnergyLedger fleet_tag_energy;  ///< sum of attached tag ledgers
 };
@@ -148,6 +167,17 @@ class FleetServer {
   void report_tag_energy(std::uint64_t session,
                          const protocol::EnergyLedger& ledger);
 
+  /// Attach the device's fault-recovery telemetry for this session (the
+  /// front-end reports what core::PointMultOutcome / the device's abort
+  /// said). An unrecovered fault counts against the device's quarantine
+  /// threshold; crossing it quarantines the device — subsequent
+  /// open_schnorr_session calls for it return 0.
+  void report_fault_telemetry(std::uint64_t session, std::size_t detected,
+                              std::size_t retries, bool unrecovered);
+
+  /// Has this device crossed config.device_fault_threshold?
+  bool device_quarantined(std::uint32_t device) const;
+
   /// Block until every queued message is processed and every pending
   /// verification has flushed.
   void drain();
@@ -189,6 +219,10 @@ class FleetServer {
   mutable std::mutex registry_mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;
   std::vector<ecc::Point> devices_;
+  /// Per-device unrecovered-fault count and quarantine flag (indexed like
+  /// devices_, guarded by registry_mu_).
+  std::vector<std::size_t> device_unrecovered_;
+  std::vector<bool> device_quarantined_;
   std::uint64_t next_id_ = 1;
 
   mutable std::mutex stats_mu_;

@@ -228,6 +228,26 @@ const DeliveryStats* GatewayServer::delivery_stats(std::uint64_t id) const {
   return it == sessions_.end() ? nullptr : &it->second.endpoint->stats();
 }
 
+void GatewayServer::report_fault_telemetry(std::uint64_t id,
+                                           std::uint64_t detected,
+                                           std::uint64_t retries,
+                                           bool unrecovered) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  GatewayFaultTelemetry& f = it->second.faults;
+  f.detected += detected;
+  f.retries += retries;
+  f.unrecovered = f.unrecovered || unrecovered;
+  stats_.faults_detected += detected;
+  stats_.fault_retries += retries;
+  if (unrecovered) ++stats_.faults_unrecovered;
+}
+
+GatewayFaultTelemetry GatewayServer::fault_telemetry(std::uint64_t id) const {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? GatewayFaultTelemetry{} : it->second.faults;
+}
+
 std::vector<std::uint64_t> GatewayServer::session_ids() const {
   std::vector<std::uint64_t> ids;
   ids.reserve(sessions_.size());
@@ -245,6 +265,9 @@ std::vector<std::uint8_t> GatewayServer::snapshot_session(
   w.u32(kSessionSnapshotMagic);
   w.u8(static_cast<std::uint8_t>(s.status));
   w.boolean(s.accepted);
+  w.u64(s.faults.detected);
+  w.u64(s.faults.retries);
+  w.boolean(s.faults.unrecovered);
   w.u64(s.settled_at);
   w.boolean(s.rng != nullptr);
   if (s.rng) {
@@ -276,6 +299,9 @@ void GatewayServer::restore_session(
   Sess s;
   s.status = static_cast<GatewaySessionStatus>(status_byte);
   s.accepted = r.boolean();
+  s.faults.detected = r.u64();
+  s.faults.retries = r.u64();
+  s.faults.unrecovered = r.boolean();
   s.settled_at = r.u64();
   const bool has_rng = r.boolean();
   if (has_rng != (rng != nullptr))
@@ -301,6 +327,11 @@ void GatewayServer::restore_session(
   if (it->second.status == GatewaySessionStatus::kActive)
     arm_policy_timers(id, it->second);
   ++stats_.restored;
+  // The replacement node's ledger inherits the device's fault history —
+  // failover must not launder a faulty device back to a clean slate.
+  stats_.faults_detected += it->second.faults.detected;
+  stats_.fault_retries += it->second.faults.retries;
+  if (it->second.faults.unrecovered) ++stats_.faults_unrecovered;
 }
 
 // --- DeviceEndpoint ----------------------------------------------------------

@@ -74,6 +74,19 @@ struct GatewayStats {
   std::uint64_t deadline_evicted = 0;
   std::uint64_t idle_evicted = 0;
   std::uint64_t restored = 0;  ///< sessions resumed from a snapshot
+  // Device-reported fault telemetry, summed over sessions (see
+  // report_fault_telemetry).
+  std::uint64_t faults_detected = 0;
+  std::uint64_t fault_retries = 0;
+  std::uint64_t faults_unrecovered = 0;
+};
+
+/// One session's device-reported fault counters (carried through
+/// snapshots, so failover does not launder a faulty device's history).
+struct GatewayFaultTelemetry {
+  std::uint64_t detected = 0;
+  std::uint64_t retries = 0;
+  bool unrecovered = false;
 };
 
 class GatewayServer {
@@ -112,6 +125,16 @@ class GatewayServer {
   core::Cycle settled_at(std::uint64_t id) const;
   std::size_t live_sessions() const;
   const DeliveryStats* delivery_stats(std::uint64_t id) const;
+
+  /// Record the device's fault-recovery counters for this session (the
+  /// front-end relays what the device's processor reported — see
+  /// core::PointMultOutcome). Unknown ids are dropped, matching uplink
+  /// semantics. The counters ride the session snapshot, so a failover
+  /// target inherits the device's fault history.
+  void report_fault_telemetry(std::uint64_t id, std::uint64_t detected,
+                              std::uint64_t retries, bool unrecovered);
+  /// This session's accumulated fault telemetry (zeros for unknown ids).
+  GatewayFaultTelemetry fault_telemetry(std::uint64_t id) const;
   const GatewayStats& stats() const { return stats_; }
   std::vector<std::uint64_t> session_ids() const;
 
@@ -138,6 +161,7 @@ class GatewayServer {
     Judge judge;
     GatewaySessionStatus status = GatewaySessionStatus::kActive;
     bool accepted = false;
+    GatewayFaultTelemetry faults;
     core::Cycle settled_at = 0;
     core::Cycle last_activity = 0;
     core::EventId deadline_timer = core::kInvalidEvent;

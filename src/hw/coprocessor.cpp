@@ -25,6 +25,13 @@ constexpr int kMuxFanout = 164;
 /// addresses changing in the sequencer) — small, data-independent.
 constexpr int kIssueToggles = 24;
 
+/// Single-bit field-element mask for bit b (0..162).
+Gf163 bit_mask(unsigned b) {
+  std::uint64_t l[3] = {0, 0, 0};
+  l[b / 64] = 1ULL << (b % 64);
+  return Gf163{l[0], l[1], l[2]};
+}
+
 }  // namespace
 
 const char* reg_name(Reg r) {
@@ -35,6 +42,17 @@ const char* reg_name(Reg r) {
     case Reg::kZ2: return "Z2";
     case Reg::kT: return "T";
     case Reg::kXP: return "XP";
+  }
+  return "?";
+}
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kSkipInstruction: return "skip-instruction";
+    case FaultKind::kSelectGlitch: return "select-glitch";
+    case FaultKind::kBitFlip: return "bit-flip";
+    case FaultKind::kStuckAt: return "stuck-at";
   }
   return "?";
 }
@@ -104,6 +122,39 @@ void Coprocessor::set_reg(Reg r, const Gf163& v) {
   regs_[static_cast<std::size_t>(r)] = v;
 }
 
+void Coprocessor::arm_fault(const FaultSpec& fault) {
+  if (fault.bit >= Gf163::kBits)
+    throw std::invalid_argument("Coprocessor::arm_fault: bit out of range");
+  fault_ = fault;
+  fault_fired_ = false;
+  reset_fault_counters();
+}
+
+void Coprocessor::disarm_fault() {
+  fault_ = FaultSpec{};
+  fault_fired_ = false;
+  reset_fault_counters();
+}
+
+void Coprocessor::reset_fault_counters() {
+  fault_instr_seen_ = 0;
+  fault_cycles_seen_ = 0;
+  fault_units_seen_ = 0;
+}
+
+Gf163 Coprocessor::apply_stuck(Reg r, Gf163 v) {
+  if (fault_.kind != FaultKind::kStuckAt || r != fault_.reg) return v;
+  if (v.bit(fault_.bit) != fault_.stuck_value) {
+    v += bit_mask(fault_.bit);
+    fault_fired_ = true;
+  }
+  return v;
+}
+
+Gf163 Coprocessor::operand(Reg r) {
+  return apply_stuck(r, regs_[static_cast<std::size_t>(r)]);
+}
+
 void Coprocessor::emit(CycleRecord& rec, ExecResult& out, CycleSink* sink) {
   out.cycles += 1;
   rec.key_bit = current_key_bit_;
@@ -123,10 +174,26 @@ void Coprocessor::emit(CycleRecord& rec, ExecResult& out, CycleSink* sink) {
       clock_ge;
   out.ge_toggles += ge;
   if (sink) sink->on_cycle(rec, ge);
+  // Single-event upset: after the chosen executed cycle, one register bit
+  // flips in place — the write port never sees it, so no toggle telemetry
+  // betrays the fault (the attacker's ideal glitch).
+  if (fault_.kind == FaultKind::kBitFlip && !fault_fired_ &&
+      ++fault_cycles_seen_ == fault_.cycle) {
+    regs_[static_cast<std::size_t>(fault_.reg)] += bit_mask(fault_.bit);
+    fault_fired_ = true;
+  }
 }
 
 void Coprocessor::run_instruction(const Instruction& ins, ExecResult& out,
                                   CycleSink* sink) {
+  // Sequencer clock glitch: the slot-th instruction is fetched but never
+  // issued — zero cycles, no writeback. The run's executed cycle count
+  // drops below the compiled constant.
+  if (fault_.kind == FaultKind::kSkipInstruction && !fault_fired_ &&
+      fault_instr_seen_++ == fault_.slot) {
+    fault_fired_ = true;
+    return;
+  }
   const bool isolated = config_.secure.isolate_datapath_inputs;
 
   auto fetch_cycle = [&](const Gf163& operand, Gf163& bus) {
@@ -147,9 +214,10 @@ void Coprocessor::run_instruction(const Instruction& ins, ExecResult& out,
                              std::uint16_t extra_logic = 0) {
     CycleRecord rec;
     rec.op = ins.op;
+    const Gf163 stored = apply_stuck(rd, value);
     Gf163& dst = regs_[static_cast<std::size_t>(rd)];
     rec.reg_write_toggles =
-        static_cast<std::uint16_t>(hamming_distance(dst, value));
+        static_cast<std::uint16_t>(hamming_distance(dst, stored));
     rec.logic_toggles = extra_logic;
     if (!isolated)
       rec.logic_toggles = static_cast<std::uint16_t>(
@@ -157,7 +225,7 @@ void Coprocessor::run_instruction(const Instruction& ins, ExecResult& out,
     if (!config_.secure.uniform_clock_gating)
       rec.clocked_reg_mask =
           static_cast<std::uint8_t>(1u << static_cast<unsigned>(rd));
-    dst = value;
+    dst = stored;
     emit(rec, out, sink);
   };
 
@@ -171,8 +239,8 @@ void Coprocessor::run_instruction(const Instruction& ins, ExecResult& out,
   switch (ins.op) {
     case Op::kMul:
     case Op::kSqr: {
-      const Gf163 a = reg(ins.ra);
-      const Gf163 b = ins.op == Op::kSqr ? a : reg(ins.rb);
+      const Gf163 a = operand(ins.ra);
+      const Gf163 b = ins.op == Op::kSqr ? a : operand(ins.rb);
       issue_cycle();
       fetch_cycle(a, bus_a_);
       fetch_cycle(b, bus_b_);
@@ -197,8 +265,8 @@ void Coprocessor::run_instruction(const Instruction& ins, ExecResult& out,
       break;
     }
     case Op::kAdd: {
-      const Gf163 a = reg(ins.ra);
-      const Gf163 b = reg(ins.rb);
+      const Gf163 a = operand(ins.ra);
+      const Gf163 b = operand(ins.rb);
       issue_cycle();
       fetch_cycle(a, bus_a_);
       const Gf163 r = a + b;
@@ -208,7 +276,7 @@ void Coprocessor::run_instruction(const Instruction& ins, ExecResult& out,
     }
     case Op::kMov: {
       issue_cycle();
-      writeback_cycle(ins.rd, reg(ins.ra));
+      writeback_cycle(ins.rd, operand(ins.ra));
       break;
     }
     case Op::kLdi: {
@@ -239,13 +307,14 @@ void Coprocessor::run_instruction(const Instruction& ins, ExecResult& out,
 }
 
 void Coprocessor::run_program(const CompiledProgram& program, ExecResult& out,
-                              CycleSink* sink) {
-  for (const Instruction& ins : program.code)
-    run_instruction(ins, out, sink);
+                              CycleSink* sink, std::size_t first_instruction) {
+  for (std::size_t i = first_instruction; i < program.code.size(); ++i)
+    run_instruction(program.code[i], out, sink);
 }
 
 ExecResult Coprocessor::execute(const std::vector<Instruction>& program,
                                 CycleSink* sink) {
+  reset_fault_counters();
   ExecResult out;
   for (const Instruction& ins : program) run_instruction(ins, out, sink);
   return out;
@@ -454,9 +523,26 @@ PointMultResult Coprocessor::point_mult(const std::vector<int>& key_bits,
           "Coprocessor::point_mult: dummy op beyond the schedule");
     jitter[d.before_iteration].push_back(d.select & 1);
   }
+  // Safe-error select glitch: each SELSET-bearing unit — jitter dummies
+  // and real ladder steps alike, in execution order — consumes one slot.
+  // The glitched unit's SELSET is suppressed, so it runs under the STALE
+  // routing select (skipping the compiled fragment's leading SELSET and
+  // replaying the stale-select variant of the unit).
+  auto glitched_unit = [&]() {
+    if (fault_.kind != FaultKind::kSelectGlitch || fault_fired_) return false;
+    return fault_units_seen_++ == fault_.slot;
+  };
   auto run_jitter = [&](std::size_t boundary, ExecResult& total) {
-    for (const int sel : jitter[boundary])
-      run_program(sched_.dummy[sel], total, sink);
+    for (const int sel : jitter[boundary]) {
+      if (glitched_unit()) {
+        fault_fired_ = true;
+        // The scratch ADD runs either way; only the select update is
+        // lost, so a dummy-unit glitch is always computationally absorbed.
+        run_program(sched_.dummy[sel], total, sink, 1);
+      } else {
+        run_program(sched_.dummy[sel], total, sink);
+      }
+    }
   };
 
   PointMultResult r;
@@ -466,6 +552,7 @@ PointMultResult Coprocessor::point_mult(const std::vector<int>& key_bits,
   select_ = 0;
   current_key_bit_ = -1;
   current_iteration_ = 0xffff;
+  reset_fault_counters();
 
   set_reg(Reg::kXP, x);
   ExecResult total;
@@ -484,7 +571,16 @@ PointMultResult Coprocessor::point_mult(const std::vector<int>& key_bits,
     run_jitter(i - first_idx, total);
     current_key_bit_ = static_cast<std::int8_t>(key_bits[i]);
     current_iteration_ = static_cast<std::uint16_t>(i - first_idx);
-    run_program(sched_.step[key_bits[i] ? 1 : 0], total, sink);
+    if (glitched_unit()) {
+      fault_fired_ = true;
+      // SELSET suppressed: the muxes keep the stale select, so the whole
+      // step computes under the PREVIOUS routing, whatever key_bits[i]
+      // says. Absorbed iff key_bits[i] already equals the stale select —
+      // one key-bit transition leaks per shot.
+      run_program(sched_.step[select_ & 1], total, sink, 1);
+    } else {
+      run_program(sched_.step[key_bits[i] ? 1 : 0], total, sink);
+    }
     current_key_bit_ = -1;
     current_iteration_ = 0xffff;
   }

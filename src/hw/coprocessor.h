@@ -201,6 +201,49 @@ struct PointMultOptions {
   std::vector<DummyOp> dummy_ops;
 };
 
+// --- fault model -------------------------------------------------------------
+
+/// What a glitch adversary does to ONE execution (a clock/voltage glitch
+/// on the sequencer, a laser shot on a register cell). Exactly one fault
+/// is armed at a time; fault_fired() reports whether it actually changed
+/// the execution.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  /// The slot-th executed instruction is fetched but never issued: zero
+  /// cycles, no writeback (sequencer clock glitch). The executed cycle
+  /// count drops below the compiled constant — exactly the signal the
+  /// coherence-check countermeasure watches.
+  kSkipInstruction,
+  /// The slot-th SELSET-bearing schedule unit (real ladder steps and
+  /// jitter units, counted in execution order) has its SELSET suppressed:
+  /// the routing muxes keep the STALE select, so the unit computes under
+  /// the previous unit's register roles. The safe-error primitive — the
+  /// glitch is computationally absorbed iff the routing would not have
+  /// changed, and whether the released result is still correct leaks one
+  /// key-bit transition per shot.
+  kSelectGlitch,
+  /// One bit of one register flips after the chosen executed cycle
+  /// (single-event upset).
+  kBitFlip,
+  /// One register cell is stuck at a level for the whole run: forced on
+  /// every read and every writeback. Stuck bits on XP move the base point
+  /// off the curve — the invalid-point injection primitive.
+  kStuckAt,
+};
+
+const char* fault_kind_name(FaultKind k);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  /// kSkipInstruction / kSelectGlitch: 0-based target unit index.
+  std::size_t slot = 0;
+  /// kBitFlip: fires after this many cycles have executed (1-based count).
+  std::size_t cycle = 0;
+  Reg reg = Reg::kX1;       ///< kBitFlip / kStuckAt target register
+  std::uint8_t bit = 0;     ///< target bit, 0..162
+  bool stuck_value = true;  ///< kStuckAt: the level the cell is stuck at
+};
+
 /// The co-processor model.
 class Coprocessor {
  public:
@@ -274,12 +317,27 @@ class Coprocessor {
   const gf2m::Gf163& reg(Reg r) const;
   void set_reg(Reg r, const gf2m::Gf163& v);
 
+  /// Arm one fault for subsequent execution. The armed fault persists
+  /// (stuck-at keeps pressing its bit run after run) until disarm_fault()
+  /// or a re-arm; the match counters reset at every point_mult()/
+  /// execute() entry so `slot` and `cycle` are always relative to the run.
+  void arm_fault(const FaultSpec& fault);
+  void disarm_fault();
+  const FaultSpec& armed_fault() const { return fault_; }
+  /// Did the armed fault actually perturb an execution since arming?
+  bool fault_fired() const { return fault_fired_; }
+
  private:
   void run_program(const CompiledProgram& program, ExecResult& out,
-                   CycleSink* sink);
+                   CycleSink* sink, std::size_t first_instruction = 0);
   void run_instruction(const Instruction& ins, ExecResult& out,
                        CycleSink* sink);
   void emit(CycleRecord& rec, ExecResult& out, CycleSink* sink);
+  /// Register read with the stuck-at fault (if armed) pressed in.
+  gf2m::Gf163 operand(Reg r);
+  /// Force the stuck-at bit into a value about to be written to `r`.
+  gf2m::Gf163 apply_stuck(Reg r, gf2m::Gf163 v);
+  void reset_fault_counters();
 
   CoprocessorConfig config_;
   DigitSerialMultiplier malu_;
@@ -305,6 +363,12 @@ class Coprocessor {
   int select_ = 0;             ///< ladder routing select state
   std::int8_t current_key_bit_ = -1;
   std::uint16_t current_iteration_ = 0xffff;
+  // Armed fault + its match counters (reset per run).
+  FaultSpec fault_{};
+  bool fault_fired_ = false;
+  std::size_t fault_instr_seen_ = 0;   ///< executed instructions this run
+  std::size_t fault_cycles_seen_ = 0;  ///< executed cycles this run
+  std::size_t fault_units_seen_ = 0;   ///< SELSET-bearing units this run
 };
 
 /// Microcode builders (exposed for tests and the ISA audit).

@@ -12,17 +12,38 @@
 // Health tests follow NIST SP 800-90B §4.4: the Repetition Count Test and
 // the Adaptive Proportion Test, both parameterized by the claimed
 // min-entropy per bit.
+//
+// The fault-adversary extension (the hw/ fault campaign's RNG chapter):
+// the model can be driven into the two classic TRNG failure modes — a
+// stuck-at output (glitched or shorted oscillator) and entropy starvation
+// (noise amplitude collapse; the output becomes almost perfectly serially
+// correlated). Both are exactly what the repetition-count test exists to
+// catch, and HealthGatedTrng / GatedTrngSource enforce the consequence:
+// a DRBG is never keyed, and the hardened ladder never draws blinds, from
+// a source whose health test has tripped.
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
+#include "rng/hmac_drbg.h"
+#include "rng/random_source.h"
 #include "rng/xoshiro.h"
 
 namespace medsec::rng {
+
+/// Physical failure modes a fielded entropy source can enter.
+enum class TrngFault : std::uint8_t {
+  kNone = 0,
+  kStuckAt = 1,   ///< output pinned at `stuck_value` (shorted oscillator)
+  kStarved = 2,   ///< noise collapse: near-total serial correlation
+};
 
 /// A biased, serially-correlated one-bit-at-a-time entropy source model.
 class TrngModel {
@@ -31,15 +52,31 @@ class TrngModel {
     double bias = 0.5;         ///< P(bit = 1) ignoring correlation.
     double correlation = 0.0;  ///< in [0,1): extra P(repeat previous bit).
     std::uint64_t seed = 1;
+    TrngFault fault = TrngFault::kNone;
+    int stuck_value = 1;       ///< the pinned bit under kStuckAt
+    /// Effective correlation floor under kStarved: long identical runs,
+    /// exactly the signature the repetition-count test cuts off.
+    double starved_correlation = 0.999;
   };
 
   explicit TrngModel(const Params& p) : params_(p), prng_(p.seed) {}
 
+  /// Inject / clear a fault mid-stream (the campaign's glitch hook).
+  void set_fault(TrngFault fault) { params_.fault = fault; }
+  TrngFault fault() const { return params_.fault; }
+
   int next_bit() {
+    if (params_.fault == TrngFault::kStuckAt) {
+      prev_ = params_.stuck_value;
+      have_prev_ = true;
+      return params_.stuck_value;
+    }
     double p1 = params_.bias;
     if (have_prev_) {
       // Mix toward repeating the previous bit.
-      const double repeat = params_.correlation;
+      double repeat = params_.correlation;
+      if (params_.fault == TrngFault::kStarved)
+        repeat = std::max(repeat, params_.starved_correlation);
       p1 = repeat * static_cast<double>(prev_) + (1.0 - repeat) * params_.bias;
     }
     const int bit = prng_.next_unit() < p1 ? 1 : 0;
@@ -204,6 +241,104 @@ class VonNeumannDebiaser {
 
  private:
   std::optional<int> pending_;
+};
+
+/// A TRNG with the SP 800-90B repetition-count test wired in-line: every
+/// harvested bit feeds the test, and the moment it trips, harvesting
+/// stops reporting success — permanently (the test latches; a stuck or
+/// starved source needs service, not a retry).
+class HealthGatedTrng {
+ public:
+  explicit HealthGatedTrng(const TrngModel::Params& p,
+                           double claimed_min_entropy_per_bit = 0.9)
+      : trng_(p), rct_(claimed_min_entropy_per_bit) {}
+
+  /// Fill `out` with health-tested entropy. Returns false as soon as the
+  /// repetition-count test fails; the buffer contents are then unusable
+  /// as seed material and the caller must refuse to proceed.
+  bool harvest(std::span<std::uint8_t> out) {
+    for (auto& byte : out) {
+      std::uint8_t b = 0;
+      for (int i = 0; i < 8; ++i) {
+        const int bit = trng_.next_bit();
+        if (!rct_.feed(bit)) return false;
+        b = static_cast<std::uint8_t>((b << 1) | bit);
+      }
+      byte = b;
+    }
+    return true;
+  }
+
+  bool healthy() const { return !rct_.failed(); }
+  TrngModel& source() { return trng_; }
+  const RepetitionCountTest& health() const { return rct_; }
+
+ private:
+  TrngModel trng_;
+  RepetitionCountTest rct_;
+};
+
+/// Key an HMAC-DRBG from health-tested TRNG output. Returns nullopt when
+/// the health test tripped during harvest: the DRBG refuses to
+/// instantiate from an entropy source known to be faulty, and without a
+/// DRBG the device has no blind/scalar source — it refuses to operate
+/// rather than degrade silently.
+inline std::optional<HmacDrbg> seed_drbg_from_trng(
+    HealthGatedTrng& trng, std::size_t seed_bytes = 48) {
+  std::vector<std::uint8_t> seed(seed_bytes);
+  if (!trng.harvest(seed)) return std::nullopt;
+  return HmacDrbg(seed);
+}
+
+/// RandomSource facade over the health-gated pipeline: TRNG → repetition
+/// count test → HMAC-DRBG, reseeding every `reseed_interval` draws. Once
+/// the health test fails — at construction or at any reseed — every draw
+/// throws std::runtime_error. This is the source the hardened ladder's
+/// blind draws ride on: a plan_hardened_coproc_mult over a failed source
+/// aborts before any key-dependent computation, instead of running the
+/// "randomized" ladder with degenerate blinds.
+class GatedTrngSource final : public RandomSource {
+ public:
+  explicit GatedTrngSource(const TrngModel::Params& p,
+                           double claimed_min_entropy_per_bit = 0.9,
+                           std::uint64_t reseed_interval = 1024)
+      : trng_(p, claimed_min_entropy_per_bit),
+        reseed_interval_(reseed_interval) {
+    std::array<std::uint8_t, 48> seed{};
+    if (trng_.harvest(seed)) drbg_.emplace(seed);
+  }
+
+  bool healthy() const { return drbg_.has_value() && trng_.healthy(); }
+
+  std::uint64_t next_u64() override {
+    check();
+    return drbg_->next_u64();
+  }
+  void fill(std::span<std::uint8_t> out) override {
+    check();
+    drbg_->fill(out);
+  }
+
+ private:
+  void check() {
+    if (drbg_ && ++draws_ > reseed_interval_) {
+      draws_ = 0;
+      std::array<std::uint8_t, 32> entropy{};
+      if (trng_.harvest(entropy))
+        drbg_->reseed(entropy);
+      else
+        drbg_.reset();  // latched: no output past a failed reseed
+    }
+    if (!drbg_)
+      throw std::runtime_error(
+          "GatedTrngSource: entropy source failed its repetition-count "
+          "health test; output refused");
+  }
+
+  HealthGatedTrng trng_;
+  std::uint64_t reseed_interval_;
+  std::uint64_t draws_ = 0;
+  std::optional<HmacDrbg> drbg_;
 };
 
 }  // namespace medsec::rng

@@ -56,6 +56,9 @@ std::string CountermeasureConfig::name() const {
   if (scalar_blinding) append("blind");
   if (base_point_blinding) append("base");
   if (shuffle_schedule) append("shuffle");
+  if (validate_points) append("validate");
+  if (coherence_check) append("cohere");
+  if (infective_computation) append("infect");
   return s;
 }
 
@@ -77,6 +80,26 @@ CountermeasureConfig CountermeasureConfig::full() {
   c.scalar_blinding = true;
   c.base_point_blinding = true;
   c.shuffle_schedule = true;
+  return c;
+}
+
+CountermeasureConfig CountermeasureConfig::validated() {
+  CountermeasureConfig c;
+  c.validate_points = true;
+  c.coherence_check = true;
+  return c;
+}
+
+CountermeasureConfig CountermeasureConfig::infective() {
+  CountermeasureConfig c;
+  c.validate_points = true;
+  c.coherence_check = true;
+  c.infective_computation = true;
+  // Infective garbage must be unpredictable to the adversary too: pair
+  // the response with RPC + blinding so the randomized output draws on
+  // the same masked execution the detectors protect.
+  c.randomize_projective = true;
+  c.scalar_blinding = true;
   return c;
 }
 

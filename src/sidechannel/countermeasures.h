@@ -60,18 +60,45 @@ struct CountermeasureConfig {
   bool shuffle_schedule = false;      ///< random dummy-iteration placement
   unsigned dummy_iterations = 16;     ///< decoy slots per execution
 
+  // Fault-attack countermeasures (the detection/response column family).
+  // Detection alone changes *when* a result is withheld; infective
+  // computation changes *what* leaves the device when detection trips.
+  /// On-the-fly curve-membership validation: the (masked) base point is
+  /// checked at ladder entry and the recovered result at exit. Catches
+  /// invalid-point/twist injection; blind to absorbed safe errors.
+  bool validate_points = false;
+  /// Coherence check on the ladder run: the (X1,Z1,X2,Z2) invariant must
+  /// recover an on-curve point AND the executed cycle count must equal
+  /// the compiled point_mult_cycles constant. The cycle half is what
+  /// catches computationally-absorbed glitches (a skipped SELSET is one
+  /// missing cycle even when the math comes out right).
+  bool coherence_check = false;
+  /// Infective computation: when a detector trips, the device releases a
+  /// key-independent random result instead of branching on detection —
+  /// the release/suppress oracle the safe-error attack reads disappears.
+  /// Requires at least one detector (validate_points or coherence_check).
+  bool infective_computation = false;
+
   bool any() const {
     return randomize_projective || scalar_blinding || base_point_blinding ||
-           shuffle_schedule;
+           shuffle_schedule || validate_points || coherence_check ||
+           infective_computation;
   }
 
-  /// Stable matrix-row label, e.g. "none", "rpc", "rpc+blind+shuffle".
+  /// Any fault detector armed?
+  bool detects_faults() const { return validate_points || coherence_check; }
+
+  /// Stable matrix-row label, e.g. "none", "rpc", "validate+cohere+infect".
   std::string name() const;
 
   static CountermeasureConfig none() { return {}; }
   static CountermeasureConfig rpc_only();
   static CountermeasureConfig scalar_blinded();
   static CountermeasureConfig full();
+  /// Detection-only fault hardening: entry/exit validation + coherence.
+  static CountermeasureConfig validated();
+  /// The fault-hardened flagship: both detectors + infective response.
+  static CountermeasureConfig infective();
 };
 
 /// k' = (k mod n) + r·n over the group order n: acts like k on every

@@ -10,6 +10,7 @@
 #include "gf2m/backend.h"
 #include "rng/xoshiro.h"
 #include "sidechannel/dpa.h"
+#include "sidechannel/fault_attacks.h"
 #include "sidechannel/spa.h"
 #include "sidechannel/trace_sim.h"
 #include "sidechannel/tvla.h"
@@ -166,6 +167,8 @@ const char* eval_attack_name(EvalAttack a) {
     case EvalAttack::kDom: return "dom";
     case EvalAttack::kTvla: return "tvla";
     case EvalAttack::kSpa: return "spa";
+    case EvalAttack::kFaultSafeError: return "fault-safe-error";
+    case EvalAttack::kFaultInvalidPoint: return "fault-invalid-point";
   }
   return "?";
 }
@@ -182,18 +185,79 @@ EvalConfig EvalConfig::standard() {
   shuffle.shuffle_schedule = true;
   cfg.countermeasures.push_back(shuffle);
   cfg.countermeasures.push_back(CountermeasureConfig::full());
+  // Fault-countermeasure rows: validation alone (still falls to the
+  // safe-error oracle), both detectors, detectors + infective response.
+  CountermeasureConfig validate;
+  validate.validate_points = true;
+  cfg.countermeasures.push_back(validate);
+  cfg.countermeasures.push_back(CountermeasureConfig::validated());
+  cfg.countermeasures.push_back(CountermeasureConfig::infective());
   cfg.attacks = {EvalAttack::kCpaKnownInput, EvalAttack::kCpaWhiteBox,
-                 EvalAttack::kDom, EvalAttack::kTvla, EvalAttack::kSpa};
+                 EvalAttack::kDom,           EvalAttack::kTvla,
+                 EvalAttack::kSpa,           EvalAttack::kFaultSafeError,
+                 EvalAttack::kFaultInvalidPoint};
   cfg.traces = 400;
   cfg.bits_to_attack = 12;
   cfg.seed = 2024;
   return cfg;
 }
 
+void EvalConfig::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("EvalConfig::validate: " + what);
+  };
+  if (countermeasures.empty()) fail("no countermeasure rows");
+  if (attacks.empty()) fail("no attacks");
+  for (const EvalAttack a : attacks) {
+    switch (a) {
+      case EvalAttack::kCpaKnownInput:
+      case EvalAttack::kCpaWhiteBox:
+      case EvalAttack::kDom:
+      case EvalAttack::kTvla:
+      case EvalAttack::kSpa:
+      case EvalAttack::kFaultSafeError:
+      case EvalAttack::kFaultInvalidPoint:
+        break;
+      default:
+        fail("unknown attack id " +
+             std::to_string(static_cast<int>(a)) +
+             " (known: cpa, cpa-whitebox, dom, tvla, spa, "
+             "fault-safe-error, fault-invalid-point)");
+    }
+  }
+  for (const std::string& name : lane_backends) {
+    if (name != "scalar" && name != "bitsliced" && name != "clmul")
+      fail("unknown lane backend '" + name +
+           "' (known: scalar, bitsliced, clmul)");
+  }
+  for (const CountermeasureConfig& cm : countermeasures) {
+    if (cm.infective_computation && !cm.detects_faults())
+      fail("row '" + cm.name() +
+           "': infective computation requires a detector "
+           "(validate_points or coherence_check)");
+    if (cm.scalar_blinding &&
+        (cm.scalar_blind_bits == 0 || cm.scalar_blind_bits > 64))
+      fail("row '" + cm.name() + "': scalar_blind_bits " +
+           std::to_string(cm.scalar_blind_bits) + " outside 1..64");
+    if (cm.shuffle_schedule && cm.dummy_iterations == 0)
+      fail("row '" + cm.name() +
+           "': shuffle_schedule with zero dummy_iterations");
+  }
+  if (traces == 0) fail("traces must be positive");
+  if (bits_to_attack == 0) fail("bits_to_attack must be positive");
+  if (tvla_traces_per_group < 2 &&
+      std::find(attacks.begin(), attacks.end(), EvalAttack::kTvla) !=
+          attacks.end())
+    fail("tvla_traces_per_group must be at least 2");
+  if (spa_captures == 0 &&
+      std::find(attacks.begin(), attacks.end(), EvalAttack::kSpa) !=
+          attacks.end())
+    fail("spa_captures must be positive");
+}
+
 EvalMatrix run_eval_matrix(const Curve& curve, const Scalar& k,
                            const EvalConfig& config) {
-  if (config.countermeasures.empty() || config.attacks.empty())
-    throw std::invalid_argument("run_eval_matrix: empty grid");
+  config.validate();
 
   // Resolve the lane-backend sweep: named backends that are actually
   // available, or the single active one.
@@ -211,8 +275,10 @@ EvalMatrix run_eval_matrix(const Curve& curve, const Scalar& k,
       if (name == "scalar") b = gf2m::LaneBackend::kLaneScalar;
       else if (name == "bitsliced") b = gf2m::LaneBackend::kLaneBitsliced;
       else if (name == "clmul") b = gf2m::LaneBackend::kLaneClmulWide;
-      else throw std::invalid_argument("run_eval_matrix: unknown lane backend "
-                                       + name);
+      else
+        throw std::invalid_argument("run_eval_matrix: unknown lane backend '" +
+                                    name +
+                                    "' (known: scalar, bitsliced, clmul)");
       if (gf2m::lane_backend_available(b)) lanes.push_back({b, name});
     }
     if (lanes.empty())
@@ -251,6 +317,23 @@ EvalMatrix run_eval_matrix(const Curve& curve, const Scalar& k,
           cell.defense_holds = !rep.leaks();
         } else if (attack == EvalAttack::kSpa) {
           run_spa_cell(curve, k, cm, config, cell);
+        } else if (attack == EvalAttack::kFaultSafeError ||
+                   attack == EvalAttack::kFaultInvalidPoint) {
+          // Fault cells are per-shot, not per-trace: bits_to_attack
+          // glitched executions against the guarded victim. The verdict
+          // is key recovery alone — a handful of coin guesses landing
+          // right is chance, not a broken defense.
+          const FaultAttackResult r =
+              attack == EvalAttack::kFaultSafeError
+                  ? safe_error_attack(curve, cm, k, config.bits_to_attack,
+                                      config.seed)
+                  : invalid_point_attack(curve, cm, k, config.bits_to_attack,
+                                         config.seed);
+          cell.traces = r.shots;
+          cell.accuracy = r.accuracy;
+          cell.key_recovered = r.key_recovered;
+          cell.informative_shots = r.informative_shots;
+          cell.defense_holds = !r.key_recovered;
         } else {
           cell.traces = config.traces;
           const DpaResult r = run_recovery(curve, cache, cm, attack,
@@ -284,7 +367,7 @@ EvalMatrix run_eval_matrix(const Curve& curve, const Scalar& k,
 std::string EvalMatrix::to_json() const {
   std::string s = "{\"schema\":\"medsec-eval-matrix-v1\",\"cells\":[";
   bool first = true;
-  char buf[160];
+  char buf[224];
   for (const EvalCell& c : cells) {
     if (!first) s.push_back(',');
     first = false;
@@ -298,11 +381,12 @@ std::string EvalMatrix::to_json() const {
                   "\",\"traces\":%zu,\"accuracy\":%.6f,"
                   "\"key_recovered\":%s,\"traces_to_break\":%zu,"
                   "\"tvla_max_t\":%.6f,\"tvla_leaks\":%s,"
+                  "\"informative_shots\":%zu,"
                   "\"seconds\":%.3f,\"defense_holds\":%s}",
                   c.traces, c.accuracy, c.key_recovered ? "true" : "false",
                   c.traces_to_break, c.tvla_max_t,
-                  c.tvla_leaks ? "true" : "false", c.seconds,
-                  c.defense_holds ? "true" : "false");
+                  c.tvla_leaks ? "true" : "false", c.informative_shots,
+                  c.seconds, c.defense_holds ? "true" : "false");
     s += buf;
   }
   s += "]}";

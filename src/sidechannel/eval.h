@@ -38,6 +38,16 @@ enum class EvalAttack {
   /// (positions smear), blinding decorrelates the read bits from k, rpc
   /// and base blinding do not touch the select-line schedule.
   kSpa,
+  /// Safe-error fault attack (fault_attacks.h): one select glitch per
+  /// ladder slot, read the correct-vs-garbage release oracle. Evaluates
+  /// the fault-countermeasure columns — the coherence check catches even
+  /// computationally-absorbed glitches, infective computation destroys
+  /// the oracle itself.
+  kFaultSafeError,
+  /// Invalid-point fault injection (fault_attacks.h): stuck-at on the
+  /// base register forces an off-curve ladder; point validation and the
+  /// ladder-invariant canary must catch it before release.
+  kFaultInvalidPoint,
 };
 
 const char* eval_attack_name(EvalAttack a);
@@ -65,8 +75,18 @@ struct EvalConfig {
   std::size_t threads = 0;           ///< 0 = every hardware thread
 
   /// The bench's standard grid: none / rpc / blind / base / shuffle /
-  /// full against all five attacks.
+  /// full plus the fault-hardened rows (validate-only, validated,
+  /// infective) against all seven attacks.
   static EvalConfig standard();
+
+  /// Fail loudly on an unknown or incoherent grid before any campaign
+  /// runs: empty axes, out-of-range budgets, lane backends outside the
+  /// compiled-in set ("scalar", "bitsliced", "clmul" — the PR 7
+  /// MEDSEC_GF2M_BACKEND contract), and countermeasure rows that cannot
+  /// mean anything (infective computation with no detector, zero-width
+  /// or over-wide scalar blinds, shuffling with zero dummies). Throws
+  /// std::invalid_argument naming the offending field and the valid set.
+  void validate() const;
 };
 
 /// One verdict cell of the matrix.
@@ -82,6 +102,9 @@ struct EvalCell {
   // TVLA:
   double tvla_max_t = 0.0;
   bool tvla_leaks = false;         ///< any |t| > 4.5
+  // Fault attacks: shots whose release actually leaked (0 = the oracle
+  // was dead and the attacker guessed coins — the defended shape).
+  std::size_t informative_shots = 0;
   double seconds = 0.0;            ///< wall time of this cell
   /// The verdict: true when the defense held against this attack
   /// (key not recovered / no point over threshold).

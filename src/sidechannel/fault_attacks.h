@@ -1,0 +1,100 @@
+// fault_attacks.h — computational-fault adversaries against the guarded
+// co-processor victim, and the guarded victim itself.
+//
+// The timing/power matrix (eval.h) assumes the device always computes
+// correctly; these engines drop that assumption. A glitch adversary arms
+// one hw::FaultSpec per execution and reads what the device *releases*:
+//
+//   * safe-error (select glitch): suppress one SELSET and watch whether
+//     the released result is still the correct k·P. On the fully regular
+//     MPL the glitched step is computationally absorbed iff the attacked
+//     key bit equals the stale routing select — so correct-vs-garbage
+//     releases spell out the key's bit transitions, one per shot. Scalar
+//     blinding and shuffling randomize which bit a slot names; the
+//     coherence check detects even absorbed glitches (a skipped SELSET is
+//     one missing cycle against the compiled point_mult_cycles constant),
+//     and infective computation destroys the correct/garbage oracle
+//     itself.
+//   * invalid-point injection (stuck-at on XP): force one bit of the base
+//     register so the ladder runs on an off-curve x̃. Every released
+//     faulty output the attacker can reproduce on their own device
+//     confirms key residues in the small subgroups x̃ drags in (scored
+//     here as the standard ~2-bits-per-confirmed-probe leak model, the
+//     same ground-truth-scoring convention the DPA engines use). Scalar
+//     blinding randomizes those residues per run; point validation and
+//     the coherence canary catch the off-curve state before anything
+//     usable leaves the device.
+//
+// Both engines are seeded and counter-derived: same seed, same faults,
+// same verdict, any thread count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ecc/curve.h"
+#include "hw/coprocessor.h"
+#include "rng/random_source.h"
+#include "sidechannel/countermeasures.h"
+
+namespace medsec::sidechannel {
+
+/// What the adversary observes from one (possibly faulted) execution of
+/// the guarded victim.
+struct VictimRelease {
+  bool released = false;  ///< false: the device suppressed the result
+  bool infected = false;  ///< released, but key-independent garbage
+  bool detected = false;  ///< some detector tripped
+  ecc::Fe x;              ///< the observed x-coordinate (when released)
+  std::size_t cycles = 0; ///< executed co-processor cycles
+};
+
+/// One guarded execution of k·P on `coproc` under `cm` — the eval-matrix
+/// fault victim. Applies the fault-countermeasure columns:
+///   validate_points   — curve membership of the (masked) base at entry
+///                       and of the recovered result at exit;
+///   coherence_check   — executed cycles must equal the compiled
+///                       point_mult_cycles constant, and the (X1,Z1,X2,Z2)
+///                       ladder invariant must recover an on-curve point;
+///   infective_computation — a tripped detector releases a random
+///                       key-independent x instead of suppressing.
+/// A victim with NO detector models the §5 controller without the fault
+/// gate: it releases whatever the affine conversion produced, garbage
+/// included. Faults are armed by the caller on `coproc` beforehand.
+VictimRelease guarded_coproc_mult(const ecc::Curve& curve,
+                                  const CountermeasureConfig& cm,
+                                  hw::Coprocessor& coproc,
+                                  const ecc::Scalar& k, const ecc::Point& p,
+                                  rng::RandomSource& rng,
+                                  std::optional<BaseBlindingPair>& pair,
+                                  ecc::Scalar& pair_key);
+
+struct FaultAttackResult {
+  double accuracy = 0.0;    ///< recovered-bit accuracy vs ground truth
+  bool key_recovered = false;  ///< every attacked bit correct
+  std::size_t shots = 0;       ///< faulted executions performed
+  /// Shots whose release actually leaked (matched the attacker's
+  /// prediction); 0 = the oracle is dead and the attacker guessed.
+  std::size_t informative_shots = 0;
+};
+
+/// Safe-error attack: one select glitch per ladder slot, slots
+/// 0..bits_to_attack-1, released output compared against the device's own
+/// fault-free k·P.
+FaultAttackResult safe_error_attack(const ecc::Curve& curve,
+                                    const CountermeasureConfig& cm,
+                                    const ecc::Scalar& k,
+                                    std::size_t bits_to_attack,
+                                    std::uint64_t seed);
+
+/// Invalid-point injection: stuck-at faults on XP force an off-curve x̃;
+/// each released output the attacker reproduces on their own device
+/// credits two key bits (CRT over the small subgroups, scored against
+/// ground truth).
+FaultAttackResult invalid_point_attack(const ecc::Curve& curve,
+                                       const CountermeasureConfig& cm,
+                                       const ecc::Scalar& k,
+                                       std::size_t bits_to_attack,
+                                       std::uint64_t seed);
+
+}  // namespace medsec::sidechannel

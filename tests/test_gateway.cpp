@@ -674,8 +674,12 @@ TEST(Snapshot, RestoreRejectsMalformedSnapshots) {
        {std::size_t{0}, std::size_t{3}, snap.size() / 2,
         snap.size() - 1}) {
     auto rng2 = std::make_unique<Xoshiro256>(0);
+    // Build the machine BEFORE the call: evaluation order of the
+    // arguments is unspecified, so `*rng2` inside the call could read
+    // the unique_ptr after the move-parameter already gutted it.
+    auto machine2 = fx.server(0, *rng2);
     EXPECT_THROW(
-        gw2.restore_session(9, fx.server(0, *rng2),
+        gw2.restore_session(9, std::move(machine2),
                             [](std::vector<std::uint8_t>) {},
                             std::span(snap.data(), len), {},
                             std::move(rng2)),
@@ -686,7 +690,8 @@ TEST(Snapshot, RestoreRejectsMalformedSnapshots) {
   auto mangled = snap;
   mangled[0] ^= 0xFF;
   auto rng3 = std::make_unique<Xoshiro256>(0);
-  EXPECT_THROW(gw2.restore_session(9, fx.server(0, *rng3),
+  auto machine3 = fx.server(0, *rng3);
+  EXPECT_THROW(gw2.restore_session(9, std::move(machine3),
                                    [](std::vector<std::uint8_t>) {},
                                    mangled, {}, std::move(rng3)),
                proto::SnapshotError);
@@ -695,6 +700,71 @@ TEST(Snapshot, RestoreRejectsMalformedSnapshots) {
                                    [](std::vector<std::uint8_t>) {}, snap,
                                    {}, nullptr),
                proto::SnapshotError);
+}
+
+TEST(Snapshot, RejectCorpusEveryTruncationAndHeaderFlip) {
+  const ProtoFixtures fx;
+  SessionHarness h(0x74, {});
+  auto srv_rng = std::make_unique<Xoshiro256>(6);
+  auto srv = fx.server(0, *srv_rng);
+  ASSERT_TRUE(h.gw.open_session(1, std::move(srv), h.downlink(), {},
+                                std::move(srv_rng)));
+  const auto snap = h.gw.snapshot_session(1);
+
+  core::EventQueue q2;
+  engine::GatewayServer gw2(q2, 0x75);
+  std::uint64_t next_id = 100;
+  // Attempt a restore; returns true when it threw the TYPED error. A
+  // clean restore is the only other acceptable outcome (a mutated counter
+  // byte is indistinguishable from valid data); any other exception type
+  // escapes and fails the test, and memory bugs are the ASan/UBSan
+  // tier's kill. Either way there must be no half-restored session.
+  const auto attempt = [&](std::span<const std::uint8_t> bytes) -> bool {
+    const std::uint64_t id = next_id++;
+    auto rng = std::make_unique<Xoshiro256>(0);
+    // Machine first, then the call: *rng and the unique_ptr move must
+    // not race inside one argument list (unspecified evaluation order).
+    auto machine = fx.server(0, *rng);
+    try {
+      gw2.restore_session(id, std::move(machine),
+                          [](std::vector<std::uint8_t>) {}, bytes, {},
+                          std::move(rng));
+    } catch (const proto::SnapshotError&) {
+      EXPECT_FALSE(gw2.has_session(id));
+      return true;
+    }
+    EXPECT_TRUE(gw2.has_session(id));
+    return false;
+  };
+
+  // Truncation at EVERY byte offset — every field boundary included —
+  // must throw: the byte stream up to the cut is unchanged, so some read
+  // must eventually run off the end before the exhausted() check passes.
+  for (std::size_t len = 0; len < snap.size(); ++len)
+    EXPECT_TRUE(attempt(std::span(snap.data(), len)))
+        << "truncation to " << len << " bytes restored";
+
+  // Flip every byte of the fixed-layout header: magic(4) status(1)
+  // accepted(1) faults.detected(8) faults.retries(8) unrecovered(1)
+  // settled_at(8) rng-presence(1).
+  constexpr std::size_t kHeaderBytes = 4 + 1 + 1 + 8 + 8 + 1 + 8 + 1;
+  ASSERT_GE(snap.size(), kHeaderBytes);
+  std::size_t typed_rejections = 0;
+  for (std::size_t i = 0; i < kHeaderBytes; ++i) {
+    auto mangled = snap;
+    mangled[i] ^= 0xFF;
+    if (attempt(mangled)) ++typed_rejections;
+  }
+  // The structurally-validated bytes — magic(4), status(1), the three
+  // booleans — can never survive a flip.
+  EXPECT_GE(typed_rejections, 8u);
+  // And a single-bit nudge of each magic byte must be caught, not just
+  // the full complement.
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto mangled = snap;
+    mangled[i] ^= 0x01;
+    EXPECT_TRUE(attempt(mangled)) << "magic byte " << i;
+  }
 }
 
 // --- the chaos campaign ------------------------------------------------------
