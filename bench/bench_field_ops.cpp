@@ -15,6 +15,7 @@
 
 #include "bench_util.h"
 #include "bigint/modring.h"
+#include "ctaudit/audit.h"
 #include "ecc/curve.h"
 #include "ecc/fixed_base.h"
 #include "ecc/koblitz.h"
@@ -338,6 +339,18 @@ int list_backends() {
   return 0;
 }
 
+/// `--list-ct-targets`: the constant-time audit grid's registered
+/// targets (see ./ct_audit), listed next to the backends they exercise.
+int list_ct_targets() {
+  std::printf("constant-time audit targets (./ct_audit):\n");
+  for (const medsec::ctaudit::CtTarget& t : medsec::ctaudit::ct_audit_targets())
+    std::printf("  %-18s backend=%-10s lanes=%-13s %-8s %s\n",
+                t.name.c_str(), t.backend.c_str(), t.lanes.c_str(),
+                t.modeled ? "modeled" : "kernel",
+                t.available ? "[available]" : "[unavailable]");
+  return 0;
+}
+
 int backend_available(const char* name) {
   Backend sb;
   if (gf2m::backend_from_name(name, sb))
@@ -355,6 +368,8 @@ int backend_available(const char* name) {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--list-backends") == 0) return list_backends();
+    if (std::strcmp(argv[i], "--list-ct-targets") == 0)
+      return list_ct_targets();
     if (std::strcmp(argv[i], "--backend-available") == 0 && i + 1 < argc)
       return backend_available(argv[i + 1]);
   }

@@ -74,6 +74,39 @@ FAULT_VERDICT_GATES = [
      {"defense_holds": True, "informative_shots": 0}),
 ]
 
+# Exact verdict gates on the constant-time audit grid
+# (BENCH_ct_audit.json, schema medsec-ct-audit-v1, written by ./ct_audit).
+# Like the fault matrix, the grid is counter-seeded and measured with the
+# deterministic op-count source, so the gate is exact: every shipped
+# backend x lane combo and both modeled ladders must PASS the dudect
+# test, both leaky negative controls must FAIL it (a harness that stops
+# seeing the planted leaks is broken, not clean), the taint interpreter
+# must agree, and the whole grid must be bit-identical across the
+# in-process rerun. ISA-gated combos may be skipped, never failed; the
+# four combos with no ISA requirement must actually have run.
+CT_AUDIT_SCHEMA = "medsec-ct-audit-v1"
+# (backend, lanes) combos that every CPU can run: a skip here is a bug.
+CT_ALWAYS_AVAILABLE = {
+    ("portable", "scalar"), ("portable", "bitsliced"),
+    ("karatsuba", "scalar"), ("karatsuba", "bitsliced"),
+}
+# The 3 x 3 core grid the issue requires, plus the mega-lane extras.
+CT_REQUIRED_COMBOS = {
+    (b, l)
+    for b in ("portable", "karatsuba", "clmul")
+    for l in ("scalar", "bitsliced", "clmulwide")
+} | {("clmul", "vpclmul512"), ("clmul", "vpclmul256"),
+     ("portable", "bitsliced256")}
+CT_REQUIRED_TARGETS = ("ladder-unblinded", "ladder-blinded")
+CT_NEGATIVE_CONTROLS = ("toy-branch", "toy-table")
+CT_TAINT_EXPECT = {
+    "ladder-classic": None,            # None = must be clean
+    "ladder-blinded": None,
+    "fe-arithmetic": None,
+    "toy-branch": "secret-branch",     # must contain this violation kind
+    "toy-table": "secret-table-index",
+}
+
 RATIO_GATES = [
     ("BENCH_coproc.json", "BM_CaptureCycleTracePr4Baseline",
      "BM_CaptureCycleTraceFused", 3.0),
@@ -111,6 +144,82 @@ def load_benchmarks(path):
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
         out[b["name"]] = float(b["real_time"]) * scale
     return out, skipped
+
+
+def check_ct_audit(path):
+    """Exact verdict checks on the constant-time audit grid."""
+    failures = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (json.JSONDecodeError, OSError) as e:
+        return [f"BENCH_ct_audit.json: unreadable ({e})"]
+
+    if doc.get("schema") != CT_AUDIT_SCHEMA:
+        return [f"BENCH_ct_audit.json: schema {doc.get('schema')!r} "
+                f"(want {CT_AUDIT_SCHEMA!r})"]
+    if doc.get("source") != "opcount":
+        # Wall-clock grids are advisory-only and must not be gated.
+        return [f"BENCH_ct_audit.json: source {doc.get('source')!r} is not "
+                "the deterministic op-count source; CI must run ./ct_audit "
+                "with the default --source opcount"]
+    if not doc.get("deterministic_rerun_identical", False):
+        failures.append("ct audit: verdict grid not bit-identical across "
+                        "same-seed reruns")
+
+    rows = {}
+    for r in doc.get("dudect", []):
+        rows[(r["target"], r["backend"], r["lanes"])] = r
+
+    combos_seen = set()
+    for (target, backend, lanes), r in sorted(rows.items()):
+        label = f"{target}/{backend}/{lanes}"
+        if target == "lane-ladder-step":
+            combos_seen.add((backend, lanes))
+        if r.get("skipped"):
+            if (backend, lanes) in CT_ALWAYS_AVAILABLE:
+                failures.append(f"ct audit: {label} skipped but requires "
+                                "no ISA (must run everywhere)")
+            else:
+                print(f"skip ct:{label}: ISA unavailable on this CPU")
+            continue
+        want_pass = r.get("expected", "pass") == "pass"
+        ok = r.get("pass") == want_pass
+        verdict = "ok" if ok else "FAIL"
+        print(f"{verdict:4s} ct:{label}: max|t|={r.get('max_abs_t', 0):.2f} "
+              f"pass={r.get('pass')} (expected "
+              f"{'pass' if want_pass else 'fail'})")
+        if not ok:
+            reason = ("leaks" if want_pass
+                      else "was not detected by the harness")
+            failures.append(f"ct audit: {label} {reason} "
+                            f"(max|t|={r.get('max_abs_t', 0):.2f})")
+
+    missing = CT_REQUIRED_COMBOS - combos_seen
+    if missing:
+        failures.append("ct audit: backend x lane combos missing from grid: "
+                        + ", ".join(f"{b}/{l}" for b, l in sorted(missing)))
+    for target in CT_REQUIRED_TARGETS + CT_NEGATIVE_CONTROLS:
+        if not any(t == target for (t, _, _) in rows):
+            failures.append(f"ct audit: required target missing: {target}")
+
+    taint = {r["target"]: r for r in doc.get("taint", [])}
+    for target, want_kind in CT_TAINT_EXPECT.items():
+        r = taint.get(target)
+        if r is None:
+            failures.append(f"ct audit: taint row missing: {target}")
+            continue
+        if want_kind is None:
+            ok = r.get("clean") is True
+            detail = "clean" if ok else "VIOLATIONS " + str(r.get("violations"))
+        else:
+            kinds = {v.get("kind") for v in r.get("violations", [])}
+            ok = want_kind in kinds
+            detail = f"kinds={sorted(kinds)} (want {want_kind})"
+        print(f"{'ok' if ok else 'FAIL':4s} ct-taint:{target}: {detail}")
+        if not ok:
+            failures.append(f"ct audit: taint {target}: {detail}")
+    return failures
 
 
 def main():
@@ -227,6 +336,13 @@ def main():
                 if bad:
                     failures.append(
                         f"eval matrix {attack} x {cm}: " + "; ".join(bad))
+
+    ct_path = os.path.join(args.fresh, "BENCH_ct_audit.json")
+    if not os.path.exists(ct_path):
+        failures.append("BENCH_ct_audit.json: fresh run missing "
+                        "(constant-time audit gate)")
+    else:
+        failures.extend(check_ct_audit(ct_path))
 
     if failures:
         print("\nPERF REGRESSION GATE FAILED:")

@@ -1,0 +1,146 @@
+// ct_audit — the constant-time audit grid as a program.
+//
+// Runs every backend × lane combination, the modeled co-processor
+// ladders (classic and blinded) and the leaky negative controls through
+// the dudect-style timing tester AND the secret-taint interpreter, then
+// writes the verdict grid to BENCH_ct_audit.json for the CI perf gate.
+//
+//   $ ./ct_audit                           # deterministic op-count audit
+//   $ ./ct_audit --samples 200000 --model-samples 2000   # nightly depth
+//   $ ./ct_audit --source rdtsc --no-rerun # advisory wall-clock run
+//   $ ./ct_audit --list-targets
+//
+// Exit status: nonzero iff a deterministic-source run fails the audit
+// acceptance contract (leak in a shipped target, a blind harness, a
+// missing row, or a non-reproducible verdict). Wall-clock sources are
+// advisory — noisy hosts throw false positives — and always exit 0.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "ctaudit/audit.h"
+
+int main(int argc, char** argv) {
+  using namespace medsec;
+
+  ctaudit::GridConfig config;
+  std::string json_path = "BENCH_ct_audit.json";
+  bool list_targets = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ct_audit: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      json_path = need_value("--json");
+    } else if (arg == "--samples") {
+      config.samples = std::strtoull(need_value("--samples"), nullptr, 10);
+    } else if (arg == "--model-samples") {
+      config.model_samples =
+          std::strtoull(need_value("--model-samples"), nullptr, 10);
+    } else if (arg == "--calibration") {
+      config.calibration =
+          std::strtoull(need_value("--calibration"), nullptr, 10);
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(need_value("--seed"), nullptr, 0);
+    } else if (arg == "--threshold") {
+      config.threshold = std::strtod(need_value("--threshold"), nullptr);
+    } else if (arg == "--source") {
+      const char* name = need_value("--source");
+      if (!ctaudit::time_source_from_name(name, config.source)) {
+        std::fprintf(stderr,
+                     "ct_audit: unknown source '%s' "
+                     "(opcount | steady_clock | rdtsc)\n",
+                     name);
+        return 2;
+      }
+    } else if (arg == "--target") {
+      config.target_filter = need_value("--target");
+    } else if (arg == "--no-rerun") {
+      config.rerun_check = false;
+    } else if (arg == "--list-targets") {
+      list_targets = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: ct_audit [--json PATH] [--samples N] [--model-samples N]\n"
+          "                [--calibration N] [--seed S] [--threshold T]\n"
+          "                [--source opcount|steady_clock|rdtsc]\n"
+          "                [--target SUBSTR] [--no-rerun] [--list-targets]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "ct_audit: unknown flag '%s' (try --help)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  if (list_targets) {
+    std::printf("%-18s %-10s %-13s %-8s %s\n", "target", "backend", "lanes",
+                "kind", "available");
+    for (const ctaudit::CtTarget& t : ctaudit::ct_audit_targets())
+      std::printf("%-18s %-10s %-13s %-8s %s\n", t.name.c_str(),
+                  t.backend.c_str(), t.lanes.c_str(),
+                  t.modeled ? "modeled" : "kernel",
+                  t.available ? "yes" : "no (ISA)");
+    return 0;
+  }
+
+  const bool deterministic =
+      ctaudit::make_time_source(config.source)->deterministic();
+  std::printf("ct_audit: source=%s seed=0x%llx samples=%zu model=%zu%s\n",
+              ctaudit::time_source_name(config.source),
+              static_cast<unsigned long long>(config.seed), config.samples,
+              config.model_samples,
+              deterministic ? "" : "  [wall clock: advisory only]");
+
+  const ctaudit::CtAuditGrid grid = ctaudit::run_ct_audit_grid(config);
+
+  for (const ctaudit::DudectGridRow& row : grid.dudect) {
+    const ctaudit::CtTestReport& r = row.report;
+    const char* verdict = r.skipped ? "SKIP (ISA)"
+                          : r.pass  ? "pass"
+                                    : "LEAK";
+    std::printf("  dudect %-18s %-10s %-13s max|t|=%7.2f  %s%s\n",
+                r.target.c_str(), r.backend.c_str(), r.lanes.c_str(),
+                r.max_abs_t, verdict,
+                row.expected_pass ? "" : "  (negative control)");
+  }
+  for (const ctaudit::TaintGridRow& row : grid.taint) {
+    const ctaudit::TaintAuditReport& r = row.report;
+    std::printf("  taint  %-18s ops=%-8llu %s%s\n", r.target.c_str(),
+                static_cast<unsigned long long>(r.ops),
+                r.clean() ? "clean" : "VIOLATIONS",
+                row.expected_clean ? "" : "  (negative control)");
+    for (const ctaudit::TaintViolation& v : r.violations)
+      std::printf("           %s at %s x%llu\n",
+                  ctaudit::taint_violation_name(v.kind), v.site.c_str(),
+                  static_cast<unsigned long long>(v.count));
+  }
+  if (grid.rerun_checked)
+    std::printf("  rerun: %s (digest %.16s…)\n",
+                grid.rerun_identical ? "bit-identical" : "DIVERGED",
+                grid.digest_hex.c_str());
+
+  if (!ctaudit::write_ct_audit_json(grid, config, json_path)) {
+    std::fprintf(stderr, "ct_audit: cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (grid.acceptance_ok()) {
+    std::printf("ct_audit: ACCEPTED\n");
+    return 0;
+  }
+  std::printf("ct_audit: %zu acceptance failure(s)%s\n",
+              grid.acceptance_failures.size(),
+              deterministic ? "" : "  [advisory: wall clock, exit 0]");
+  for (const std::string& f : grid.acceptance_failures)
+    std::printf("  - %s\n", f.c_str());
+  return deterministic ? 1 : 0;
+}

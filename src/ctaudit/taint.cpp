@@ -1,0 +1,36 @@
+#include "ctaudit/taint.h"
+
+namespace medsec::ctaudit {
+
+namespace {
+thread_local TaintContext* g_current = nullptr;
+}  // namespace
+
+TaintContext::TaintContext(std::string target_name)
+    : target_(std::move(target_name)), prev_(g_current) {
+  g_current = this;
+}
+
+TaintContext::~TaintContext() { g_current = prev_; }
+
+TaintContext* TaintContext::current() { return g_current; }
+
+void TaintContext::record(TaintViolationKind kind, const char* site) {
+  for (TaintViolation& v : violations_) {
+    if (v.kind == kind && v.site == site) {
+      ++v.count;
+      return;
+    }
+  }
+  violations_.push_back(TaintViolation{kind, site, 1});
+}
+
+TaintAuditReport TaintContext::report() const {
+  TaintAuditReport r;
+  r.target = target_;
+  r.ops = ops_;
+  r.violations = violations_;
+  return r;
+}
+
+}  // namespace medsec::ctaudit

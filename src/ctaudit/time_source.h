@@ -1,0 +1,161 @@
+// time_source.h — pluggable measurement clocks for the dudect engine.
+//
+// The constant-time tester (dudect.h) is generic over *what a
+// measurement is*: modeled targets report exact co-processor cycles,
+// host targets can be timed with the TSC or the portable steady clock,
+// and instrumented targets tick an operation counter. Only deterministic
+// sources are eligible for the exact CI verdict gate — a wall-clock
+// measurement of the same seed is never bit-identical across runs, so
+// those sources produce advisory reports (see the ct_audit CLI).
+//
+//   kOpCount     — deterministic instruction/op-count stub: the target
+//                  itself reports executed work units via tick(); stop()
+//                  returns their sum. Modeled co-processor targets tick
+//                  their exact executed cycle count here, instrumented
+//                  host drivers tick per dispatched kernel.
+//   kSteadyClock — std::chrono::steady_clock nanoseconds. Portable wall
+//                  time; noisy, advisory only.
+//   kRdtsc       — x86 TSC with lfence serialization (falls back to the
+//                  steady clock off x86). The classic dudect clock;
+//                  noisy, advisory only.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "gf2m/arch.h"
+
+#if MEDSEC_ARCH_X86_64
+#include <x86intrin.h>
+#endif
+
+namespace medsec::ctaudit {
+
+enum class TimeSourceKind {
+  kOpCount,
+  kSteadyClock,
+  kRdtsc,
+};
+
+class TimeSource {
+ public:
+  virtual ~TimeSource() = default;
+  virtual TimeSourceKind kind() const = 0;
+  /// Deterministic sources return bit-identical measurements for the
+  /// same seeded inputs; only those feed the exact CI verdict gate.
+  virtual bool deterministic() const = 0;
+  /// Op-count accumulation: instrumented targets report executed work
+  /// units here. No-op on wall-clock sources (the clock is the
+  /// measurement there).
+  virtual void tick(std::uint64_t /*units*/) {}
+  /// Begin one measurement window.
+  virtual void start() = 0;
+  /// End the window; returns the measurement in source units (ops,
+  /// nanoseconds, or TSC cycles).
+  virtual std::uint64_t stop() = 0;
+};
+
+class OpCountSource final : public TimeSource {
+ public:
+  TimeSourceKind kind() const override { return TimeSourceKind::kOpCount; }
+  bool deterministic() const override { return true; }
+  void tick(std::uint64_t units) override { count_ += units; }
+  void start() override { count_ = 0; }
+  std::uint64_t stop() override { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+class SteadyClockSource final : public TimeSource {
+ public:
+  TimeSourceKind kind() const override { return TimeSourceKind::kSteadyClock; }
+  bool deterministic() const override { return false; }
+  void start() override { t0_ = std::chrono::steady_clock::now(); }
+  std::uint64_t stop() override {
+    const auto dt = std::chrono::steady_clock::now() - t0_;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+class RdtscSource final : public TimeSource {
+ public:
+  TimeSourceKind kind() const override { return TimeSourceKind::kRdtsc; }
+  bool deterministic() const override { return false; }
+#if MEDSEC_ARCH_X86_64
+  void start() override {
+    _mm_lfence();
+    t0_ = __rdtsc();
+    _mm_lfence();
+  }
+  std::uint64_t stop() override {
+    _mm_lfence();
+    const std::uint64_t t1 = __rdtsc();
+    _mm_lfence();
+    return t1 - t0_;
+  }
+
+ private:
+  std::uint64_t t0_ = 0;
+#else
+  // No TSC off x86: degrade to the steady clock rather than refuse, so
+  // `--source rdtsc` stays portable in scripts.
+  void start() override { fallback_.start(); }
+  std::uint64_t stop() override { return fallback_.stop(); }
+
+ private:
+  SteadyClockSource fallback_;
+#endif
+};
+
+inline const char* time_source_name(TimeSourceKind k) {
+  switch (k) {
+    case TimeSourceKind::kOpCount:
+      return "opcount";
+    case TimeSourceKind::kSteadyClock:
+      return "steady_clock";
+    case TimeSourceKind::kRdtsc:
+      return "rdtsc";
+  }
+  return "?";
+}
+
+/// Parse a source name (as accepted by `ct_audit --source`). Returns
+/// false on unknown names — callers fail loudly, the backend-registry
+/// discipline.
+inline bool time_source_from_name(std::string_view name,
+                                  TimeSourceKind& out) {
+  if (name == "opcount" || name == "ops") {
+    out = TimeSourceKind::kOpCount;
+    return true;
+  }
+  if (name == "steady_clock" || name == "steady") {
+    out = TimeSourceKind::kSteadyClock;
+    return true;
+  }
+  if (name == "rdtsc" || name == "tsc") {
+    out = TimeSourceKind::kRdtsc;
+    return true;
+  }
+  return false;
+}
+
+inline std::unique_ptr<TimeSource> make_time_source(TimeSourceKind k) {
+  switch (k) {
+    case TimeSourceKind::kSteadyClock:
+      return std::make_unique<SteadyClockSource>();
+    case TimeSourceKind::kRdtsc:
+      return std::make_unique<RdtscSource>();
+    case TimeSourceKind::kOpCount:
+      break;
+  }
+  return std::make_unique<OpCountSource>();
+}
+
+}  // namespace medsec::ctaudit

@@ -4,19 +4,18 @@
 
 namespace medsec::ecc {
 
+// The arithmetic below lives in ladder_core.h, templated over the field
+// type so the constant-time audit build (ctaudit::TaintFe) runs the same
+// formulas; these wrappers pin the production Fe instantiation behind the
+// historical signatures.
+
 void ladder_add(const Fe& xd, const Fe& x1, const Fe& z1, const Fe& x2,
                 const Fe& z2, Fe& x3, Fe& z3) {
-  const Fe t = Fe::mul(x1, z2);
-  const Fe u = Fe::mul(x2, z1);
-  z3 = Fe::sqr(t + u);
-  x3 = Fe::mul_add_mul(xd, z3, t, u);  // xd·z3 + t·u, one reduction
+  ladder_add_t(xd, x1, z1, x2, z2, x3, z3);
 }
 
 void ladder_double(const Fe& b, const Fe& x, const Fe& z, Fe& x3, Fe& z3) {
-  const Fe x2 = Fe::sqr(x);
-  const Fe z2 = Fe::sqr(z);
-  z3 = Fe::mul(x2, z2);
-  x3 = Fe::sqr_add_mul(x2, b, Fe::sqr(z2));  // x2^2 + b·z2^2, one reduction
+  ladder_double_t(b, x, z, x3, z3);
 }
 
 Fe random_nonzero_fe(rng::RandomSource& rng) {
@@ -118,12 +117,12 @@ Scalar constant_length_scalar(const Curve& curve, const Scalar& k0) {
 
 LadderState ladder_initial_state(const Fe& b, const Fe& x) {
   // lo = P = (x : 1), hi = 2P = (x^4 + b : x^2).
-  return LadderState{x, Fe::one(), Fe::sqr(Fe::sqr(x)) + b, Fe::sqr(x)};
+  return ladder_initial_state_t(b, x);
 }
 
 LadderState ladder_zero_state(const Fe& x) {
   // lo = O = (1 : 0), hi = P = (x : 1).
-  return LadderState{Fe::one(), Fe::zero(), x, Fe::one()};
+  return ladder_zero_state_t(x);
 }
 
 void randomize_ladder_state(LadderState& s, const Fe& l1, const Fe& l2) {
@@ -135,21 +134,7 @@ void randomize_ladder_state(LadderState& s, const Fe& l1, const Fe& l2) {
 
 void ladder_iteration(const Fe& b, const Fe& x_base, LadderState& s,
                       std::uint64_t bit) {
-  // Constant-time role swap: after the swap, (x1, z1) is the accumulator
-  // to double and (x2, z2) receives the differential add.
-  Fe::cswap(bit, s.x1, s.x2);
-  Fe::cswap(bit, s.z1, s.z2);
-
-  Fe xa, za, xd, zd;
-  ladder_add(x_base, s.x1, s.z1, s.x2, s.z2, xa, za);
-  ladder_double(b, s.x1, s.z1, xd, zd);
-  s.x1 = xd;
-  s.z1 = zd;
-  s.x2 = xa;
-  s.z2 = za;
-
-  Fe::cswap(bit, s.x1, s.x2);
-  Fe::cswap(bit, s.z1, s.z2);
+  ladder_iteration_t(b, x_base, s, bit);
 }
 
 namespace {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ecc/curve.h"
+#include "ecc/ladder_core.h"
 #include "rng/random_source.h"
 
 namespace medsec::ecc {
@@ -66,9 +67,10 @@ void ladder_add(const Fe& xd, const Fe& x1, const Fe& z1, const Fe& x2,
 void ladder_double(const Fe& b, const Fe& x, const Fe& z, Fe& x3, Fe& z3);
 
 /// The ladder's working state: (x1 : z1) = k_high·P, (x2 : z2) = (k_high+1)·P.
-struct LadderState {
-  Fe x1, z1, x2, z2;
-};
+/// The production instantiation of the templated core in ladder_core.h —
+/// the constant-time audit harness instantiates the same core with its
+/// taint-tracking field element.
+using LadderState = LadderStateT<Fe>;
 
 /// Unrandomized initial state for base-point x (projective 1-coordinates).
 LadderState ladder_initial_state(const Fe& b, const Fe& x);

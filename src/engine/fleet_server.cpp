@@ -24,6 +24,7 @@ FleetConfig resolve_config(FleetConfig config) {
   if (!config.deterministic) {
     // Challenges and RLC coefficients must be unpredictable to devices:
     // fold in process entropy (see FleetConfig::deterministic).
+    // seed-audit: allow(live mode deliberately folds in process entropy)
     std::random_device rd;
     config.seed ^= (static_cast<std::uint64_t>(rd()) << 32) | rd();
   }

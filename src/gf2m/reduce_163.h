@@ -38,9 +38,12 @@ inline void reduce326(const std::uint64_t p_in[6], std::uint64_t out[3]) {
   // Fold words 5..3 (bits >= 192). Bit 64*i + j reduces to exponent
   // 64*(i-3) + (j + 29), contributing at offsets kPentanomialExps from
   // there; the shifts straddle the two destination words.
+  // No data-dependent zero-word skip here: the fold runs the same
+  // instruction sequence for every input (the ct_audit discipline — a
+  // skipped word is a timing tell), and a few unconditional shift/XORs
+  // of a zero word cost nothing next to the mispredict they replace.
   for (std::size_t i = 5; i >= 3; --i) {
     const std::uint64_t t = p[i];
-    if (t == 0) continue;
     std::uint64_t lo = 0, hi = 0;
     for (const unsigned e : kPentanomialExps) {
       lo ^= t << (kWordFoldShift + e);

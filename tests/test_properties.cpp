@@ -7,10 +7,15 @@
 // must be deterministic under fixed seeds.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <vector>
+
 #include "core/secure_processor.h"
 #include "ecc/curve.h"
 #include "ecc/ladder.h"
 #include "ecc/scalar_mult.h"
+#include "gf2m/arch.h"
+#include "gf2m/reduce_163.h"
 #include "protocol/wire.h"
 #include "rng/xoshiro.h"
 #include "sidechannel/trace_sim.h"
@@ -173,6 +178,175 @@ TEST_P(SeedSweep, B163LadderAgreesWithReference) {
   const Scalar k = rng.uniform_nonzero(c.order());
   EXPECT_EQ(medsec::ecc::montgomery_ladder(c, k, c.base_point()),
             c.scalar_mult_reference(k, c.base_point()));
+}
+
+// --- reduce_163 fold equivalence --------------------------------------------
+//
+// THE one fold definition (gf2m/reduce_163.h) has four transcriptions:
+// the scalar word fold, the bit-plane fold, and the YMM/ZMM word-vector
+// folds. These properties pin all of them to a naive bit-at-a-time
+// reference generated from kPentanomialExps alone, on the reduction's
+// worst boundary patterns and a 10k seeded random sweep.
+
+namespace gf = medsec::gf2m;
+
+/// Bit-at-a-time reference: clear each coefficient >= 163 from the top
+/// down, XORing its pentanomial image in. Slow and obviously correct.
+std::array<std::uint64_t, 3> naive_reduce384(
+    const std::array<std::uint64_t, 6>& p_in) {
+  std::array<std::uint64_t, 6> w = p_in;
+  for (std::size_t i = 384; i-- > gf::kFieldBits;) {
+    if (((w[i / 64] >> (i % 64)) & 1) == 0) continue;
+    w[i / 64] ^= 1ull << (i % 64);
+    for (const unsigned e : gf::kPentanomialExps) {
+      const std::size_t j = i - gf::kFieldBits + e;
+      w[j / 64] ^= 1ull << (j % 64);
+    }
+  }
+  return {w[0], w[1], w[2] & gf::kTopLimbMask};
+}
+
+/// The reduction's boundary patterns: all-ones (every fold path active at
+/// once), lone top bit (the longest cascade: 383 -> 220 -> 57+e), limb
+/// boundaries, alternating words.
+std::vector<std::array<std::uint64_t, 6>> fold_boundary_inputs() {
+  constexpr std::uint64_t kAlt = 0xAAAAAAAAAAAAAAAAull;
+  return {
+      {~0ull, ~0ull, ~0ull, ~0ull, ~0ull, ~0ull},
+      {0, 0, 0, 0, 0, 1ull << 63},
+      {0, 0, 0, 1ull, 0, 0},          // bit 192: first word-folded bit
+      {0, 0, 1ull << 35, 0, 0, 0},    // bit 163: first residual-folded bit
+      {0, 0, 1ull << 34, 0, 0, 0},    // bit 162: must NOT fold
+      {kAlt, ~kAlt, kAlt, ~kAlt, kAlt, ~kAlt},
+      {~0ull, 0, ~0ull, 0, ~0ull, 0},
+  };
+}
+
+TEST(ReduceFold, ScalarMatchesNaiveReferenceOnBoundaries) {
+  for (const auto& p : fold_boundary_inputs()) {
+    const auto want = naive_reduce384(p);
+    std::uint64_t got[3];
+    gf::reduce326(p.data(), got);
+    EXPECT_EQ(got[0], want[0]);
+    EXPECT_EQ(got[1], want[1]);
+    EXPECT_EQ(got[2], want[2]);
+  }
+}
+
+/// Run one 326-bit (<= 325-coefficient) input through the bit-plane fold
+/// with the value in a single lane, transposing by hand: plane j's word
+/// holds coefficient j of lanes 0..63.
+std::array<std::uint64_t, 3> via_plane_fold(
+    const std::array<std::uint64_t, 6>& p, unsigned lane) {
+  std::vector<std::uint64_t> planes(325, 0);
+  for (std::size_t j = 0; j < 325; ++j)
+    if ((p[j / 64] >> (j % 64)) & 1) planes[j] |= 1ull << lane;
+  gf::reduce_planes<std::uint64_t>(planes.data(), 325);
+  std::array<std::uint64_t, 3> out{};
+  for (std::size_t j = 0; j < gf::kFieldBits; ++j)
+    if ((planes[j] >> lane) & 1) out[j / 64] |= 1ull << (j % 64);
+  return out;
+}
+
+TEST(ReduceFold, PlaneFoldMatchesScalarOnBoundaries) {
+  for (const auto& p_full : fold_boundary_inputs()) {
+    // Plane domain carries 325 coefficients (a genuine clmul product of
+    // two degree-162 polynomials); truncate the 384-bit pattern to match.
+    std::array<std::uint64_t, 6> p = p_full;
+    p[5] &= (1ull << 5) - 1;  // keep bits 320..324
+    const auto want = naive_reduce384(p);
+    const auto got = via_plane_fold(p, /*lane=*/7);
+    EXPECT_EQ(got[0], want[0]);
+    EXPECT_EQ(got[1], want[1]);
+    EXPECT_EQ(got[2], want[2]);
+  }
+}
+
+#if MEDSEC_ARCH_X86_64
+__attribute__((target("avx2"))) std::array<std::uint64_t, 3> via_x4_fold(
+    const std::array<std::uint64_t, 6>& p, int lane) {
+  __m256i vp[6], vout[3];
+  for (std::size_t w = 0; w < 6; ++w) {
+    alignas(32) std::uint64_t lanes[4] = {};
+    lanes[lane] = p[w];
+    vp[w] = _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes));
+  }
+  gf::reduce326_x4(vp, vout);
+  std::array<std::uint64_t, 3> out;
+  for (std::size_t w = 0; w < 3; ++w) {
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vout[w]);
+    out[w] = lanes[lane];
+  }
+  return out;
+}
+
+__attribute__((target("avx512f"))) std::array<std::uint64_t, 3> via_x8_fold(
+    const std::array<std::uint64_t, 6>& p, int lane) {
+  __m512i vp[6], vout[3];
+  for (std::size_t w = 0; w < 6; ++w) {
+    alignas(64) std::uint64_t lanes[8] = {};
+    lanes[lane] = p[w];
+    vp[w] = _mm512_load_si512(lanes);
+  }
+  gf::reduce326_x8(vp, vout);
+  std::array<std::uint64_t, 3> out;
+  for (std::size_t w = 0; w < 3; ++w) {
+    alignas(64) std::uint64_t lanes[8];
+    _mm512_store_si512(lanes, vout[w]);
+    out[w] = lanes[lane];
+  }
+  return out;
+}
+
+TEST(ReduceFold, VectorFoldsMatchScalarOnBoundaries) {
+  if (!gf::cpu::has_avx2()) GTEST_SKIP() << "no AVX2 on this CPU";
+  for (const auto& p : fold_boundary_inputs()) {
+    const auto want = naive_reduce384(p);
+    for (const int lane : {0, 3}) {
+      const auto got4 = via_x4_fold(p, lane);
+      EXPECT_EQ(got4, want);
+    }
+    if (gf::cpu::has_avx512()) {
+      for (const int lane : {0, 7}) {
+        const auto got8 = via_x8_fold(p, lane);
+        EXPECT_EQ(got8, want);
+      }
+    }
+  }
+}
+#endif  // MEDSEC_ARCH_X86_64
+
+TEST(ReduceFold, AllVariantsAgreeOn10kSeededInputs) {
+  Xoshiro256 rng(0xF01Dull);
+  for (int iter = 0; iter < 10000; ++iter) {
+    std::array<std::uint64_t, 6> p;
+    for (auto& w : p) w = rng.next_u64();
+    // The plane fold carries 325 coefficients; test every variant on the
+    // same in-range product so one naive reference serves all.
+    p[5] &= (1ull << 5) - 1;
+
+    const auto want = naive_reduce384(p);
+    std::uint64_t scalar[3];
+    gf::reduce326(p.data(), scalar);
+    ASSERT_EQ(scalar[0], want[0]) << "iter " << iter;
+    ASSERT_EQ(scalar[1], want[1]) << "iter " << iter;
+    ASSERT_EQ(scalar[2], want[2]) << "iter " << iter;
+
+    // The plane transpose is the slow part; sample it every 16th input
+    // (625 full plane folds) while the word folds run all 10k.
+    if (iter % 16 == 0) {
+      const auto planes = via_plane_fold(p, iter % 64);
+      ASSERT_EQ(planes, want) << "iter " << iter;
+    }
+#if MEDSEC_ARCH_X86_64
+    if (gf::cpu::has_avx2()) {
+      ASSERT_EQ(via_x4_fold(p, iter % 4), want) << "iter " << iter;
+      if (gf::cpu::has_avx512())
+        ASSERT_EQ(via_x8_fold(p, iter % 8), want) << "iter " << iter;
+    }
+#endif
+  }
 }
 
 }  // namespace
