@@ -66,6 +66,9 @@ BatchVerifyOutcome schnorr_verify_batch(
 
 /// One Schnorr transcript awaiting verification, still in wire form.
 struct PendingTranscript {
+  /// Owning session id — lets drain accounting name the sessions whose
+  /// verdicts are still in flight (0 = anonymous).
+  std::uint64_t session = 0;
   ecc::Point X;                               ///< registered device key
   std::vector<std::uint8_t> commitment_wire;  ///< compressed R_c
   ecc::Scalar challenge;
@@ -100,7 +103,12 @@ class SchnorrBatchVerifier {
   /// Verify everything still pending (e.g. at drain time).
   void flush();
 
+  /// Transcripts without a verdict yet: queued PLUS mid-verification on
+  /// some thread. A session is only "drained" once this excludes it.
   std::size_t pending() const;
+  /// Session ids of every verdict-pending transcript (queued or mid-
+  /// verification), unsorted; the drain straggler report's verifier half.
+  std::vector<std::uint64_t> pending_sessions() const;
   BatchVerifierStats stats() const;
 
  private:
@@ -108,8 +116,11 @@ class SchnorrBatchVerifier {
 
   const ecc::Curve* curve_;
   std::size_t batch_size_;
-  mutable std::mutex mu_;          ///< guards queue_ and stats_
+  mutable std::mutex mu_;          ///< guards queue_, in_verify_, stats_
   std::vector<PendingTranscript> queue_;
+  /// Session ids of batches moved out of queue_ and currently inside
+  /// verify_batch — still verdict-pending, no longer "queued".
+  std::vector<std::uint64_t> in_verify_;
   BatchVerifierStats stats_;
   std::mutex rng_mu_;              ///< guards rng_
   rng::Xoshiro256 rng_;

@@ -1,0 +1,104 @@
+// campaign_fixtures.h — the chaos campaign's deterministic world-building
+// kit, shared between the PR 6 single-queue campaign (gateway.cpp) and the
+// sharded engine's hash-partitioned campaign (shard.cpp).
+//
+// The determinism contract both campaigns rely on: every per-session
+// object (device machine, server machine, link fault schedule, delivery
+// jitter) is seeded by a pure function of (campaign seed, global session
+// id). That makes a session's outcome independent of which shard hosts it
+// and which sessions it shares an EventQueue with — the property the
+// shard-count-invariance suite pins. Anything here that changes seed
+// derivation, the protocol mix, or the outcome digest breaks bit-identity
+// with recorded PR 6 digests; change with intent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ecc/curve.h"
+#include "engine/gateway.h"
+#include "protocol/ecies.h"
+#include "protocol/mutual_auth.h"
+#include "protocol/peeters_hermans.h"
+#include "protocol/schnorr.h"
+#include "rng/xoshiro.h"
+
+namespace medsec::engine::campaign {
+
+/// The shared per-entity seed derivation (splitmix64 over a golden-ratio
+/// mix). Used with fixed role offsets: gid*4 = device rng, gid*4+1 =
+/// server rng, gid*4+2 = link schedule; 0x6A7E = gateway, 0xF177 =
+/// fixtures.
+inline std::uint64_t mix_seed(std::uint64_t base, std::uint64_t n) {
+  std::uint64_t s = base ^ (0x9E3779B97F4A7C15ULL * (n + 1));
+  return rng::splitmix64(s);
+}
+
+/// FNV-1a over little-endian u64s — the campaign outcome digest.
+inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Everything shared, read-only, across shards: curve, fleet credentials,
+/// cipher factory. Built once per campaign from the seed.
+struct Fixtures {
+  const ecc::Curve& curve;
+  protocol::SchnorrKeyPair schnorr_key;
+  protocol::PhReader ph_reader;
+  protocol::PhTag ph_tag;
+  protocol::SharedKeys keys;
+  protocol::CipherFactory make_cipher;
+  protocol::EciesKeyPair ecies_key;
+  std::vector<std::uint8_t> telemetry;
+};
+
+Fixtures make_fixtures(std::uint64_t seed);
+
+using MachineFactory =
+    std::function<std::unique_ptr<protocol::SessionMachine>(
+        rng::RandomSource&)>;
+
+/// The protocol mix: session gid runs protocol gid % 4
+/// (Schnorr / Peeters–Hermans / mutual auth / ECIES).
+MachineFactory device_factory(const Fixtures& fx, std::uint64_t gid);
+
+/// Server-side responder for gid's protocol. `deferred_schnorr` builds
+/// the gid%4==0 SchnorrVerifier in Mode::kDeferred — same wire traffic
+/// and rng consumption, but the verdict comes from a batch verifier
+/// instead of an inline check (the sharded engine's path).
+MachineFactory server_factory(const Fixtures& fx, std::uint64_t gid,
+                              bool deferred_schnorr = false);
+
+/// Verdict extraction for gid's protocol (inline machines only; deferred
+/// Schnorr verdicts come from the batch queue).
+GatewayServer::Judge judge_for(std::uint64_t gid);
+
+/// One session's campaign outcome — the digest unit.
+struct SessionOutcome {
+  std::uint64_t id = 0;
+  bool completed = false;
+  bool accepted = false;
+  bool failed = false;
+  core::Cycle cycle = 0;
+  std::uint64_t retransmits = 0;
+};
+
+/// Fold one outcome into the running campaign digest (FNV-1a, session
+/// order). Both campaigns must fold identically or bit-identity dies.
+inline std::uint64_t digest_outcome(std::uint64_t digest,
+                                    const SessionOutcome& o) {
+  digest = fnv1a(digest, o.id);
+  digest = fnv1a(digest, (o.completed ? 1u : 0u) | (o.accepted ? 2u : 0u) |
+                             (o.failed ? 4u : 0u));
+  digest = fnv1a(digest, o.cycle);
+  digest = fnv1a(digest, o.retransmits);
+  return digest;
+}
+
+}  // namespace medsec::engine::campaign

@@ -68,7 +68,14 @@ void ReliableEndpoint::transmit(std::uint32_t seq) {
     ++stats_.data_sent;
   else
     ++stats_.retransmits;
-  if (frame_sink_) frame_sink_(it->second.bytes);
+  if (frame_sink_) {
+    // The stored frame must survive for retransmission, so the sink gets
+    // a copy — made into a pooled buffer, so steady-state (re)transmits
+    // allocate nothing.
+    std::vector<std::uint8_t> wire = FramePool::acquire();
+    wire.assign(it->second.bytes.begin(), it->second.bytes.end());
+    frame_sink_(std::move(wire));
+  }
   arm_timer(seq);
 }
 
@@ -153,6 +160,9 @@ void ReliableEndpoint::handle_data(Frame f) {
 void ReliableEndpoint::on_bytes(std::vector<std::uint8_t> raw) {
   if (failed_) return;
   auto f = decode_frame(raw);
+  // decode_frame copies what it needs; the wire buffer is spent either
+  // way and goes back to the pool.
+  FramePool::release(std::move(raw));
   if (!f) {
     ++stats_.decode_failures;  // corruption already downgraded to loss
     return;

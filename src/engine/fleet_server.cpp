@@ -303,6 +303,7 @@ void FleetServer::process(std::uint64_t id, const Message& m) {
     } else if (result.state == SessionState::kDone) {
       if (s->deferred_schnorr) {
         auto& v = static_cast<protocol::SchnorrVerifier&>(*s->machine);
+        pending.session = id;
         pending.X = v.public_key();
         pending.commitment_wire = v.commitment_wire();
         pending.challenge = v.challenge();
@@ -359,12 +360,16 @@ DrainReport FleetServer::drain_for(std::chrono::milliseconds budget) {
 
   DrainReport report;
   // Same quiescence protocol as drain(), but every wait is clipped to
-  // what is left of the budget.
+  // what is left of the budget — including the flush itself: a batch
+  // verification is one multi-scalar multiplication over up to
+  // batch_size transcripts, and running it after the deadline would blow
+  // the budget the caller asked us to respect. At expiry, un-verified
+  // transcripts are reported, not silently verified.
   for (;;) {
     if (!pool_.wait_idle_for(remaining())) break;
     if (verifier_.pending() > 0) {
-      verifier_.flush();
       if (Clock::now() >= deadline) break;
+      verifier_.flush();
       continue;
     }
     if (!pool_.wait_idle_for(remaining())) break;
@@ -374,6 +379,16 @@ DrainReport FleetServer::drain_for(std::chrono::milliseconds budget) {
     }
   }
   if (!report.completed) {
+    // Sessions whose protocol finished but whose transcript still sits in
+    // a verifier batch: not drained — their verdict hasn't landed. They
+    // are stragglers too (their record.completed is still false), but the
+    // operator needs to tell them apart: these want a flush, not an
+    // eviction.
+    report.verdict_pending = verifier_.pending_sessions();
+    std::sort(report.verdict_pending.begin(), report.verdict_pending.end());
+    report.verdict_pending.erase(std::unique(report.verdict_pending.begin(),
+                                             report.verdict_pending.end()),
+                                 report.verdict_pending.end());
     // The straggler report: every session still live at expiry, in id
     // order. Lock order registry -> session matches evict_completed.
     const std::lock_guard<std::mutex> lock(registry_mu_);
@@ -381,7 +396,15 @@ DrainReport FleetServer::drain_for(std::chrono::milliseconds budget) {
       const std::lock_guard<std::mutex> slock(s->mu);
       if (!s->record.completed) report.stragglers.push_back(id);
     }
+    // A verdict-pending session is by definition not drained, even in
+    // the narrow window where its callback is about to run: the report
+    // must never claim a session whose verdict is still in flight.
+    for (const std::uint64_t id : report.verdict_pending)
+      report.stragglers.push_back(id);
     std::sort(report.stragglers.begin(), report.stragglers.end());
+    report.stragglers.erase(
+        std::unique(report.stragglers.begin(), report.stragglers.end()),
+        report.stragglers.end());
   }
   return report;
 }

@@ -118,6 +118,12 @@ struct FleetStats {
 struct DrainReport {
   bool completed = false;
   std::vector<std::uint64_t> stragglers;
+  /// Subset of stragglers whose protocol exchange finished but whose
+  /// transcript was still queued (or mid-verify) in the batch verifier at
+  /// expiry — they need a flush, not an eviction. Before this existed a
+  /// batch-pending session could look "drained" to an operator who only
+  /// compared stragglers against the sessions still exchanging messages.
+  std::vector<std::uint64_t> verdict_pending;
 };
 
 class FleetServer {

@@ -6,6 +6,7 @@
 
 #include "ciphers/aes128.h"
 #include "core/thread_pool.h"
+#include "engine/campaign_fixtures.h"
 #include "protocol/ecies.h"
 #include "protocol/mutual_auth.h"
 #include "protocol/peeters_hermans.h"
@@ -26,10 +27,7 @@ using protocol::StepResult;
 
 constexpr std::uint32_t kSessionSnapshotMagic = 0x47534E31;  // "GSN1"
 
-std::uint64_t mix_seed(std::uint64_t base, std::uint64_t n) {
-  std::uint64_t s = base ^ (0x9E3779B97F4A7C15ULL * (n + 1));
-  return rng::splitmix64(s);
-}
+using campaign::mix_seed;
 
 }  // namespace
 
@@ -371,20 +369,9 @@ void DeviceEndpoint::pump(StepResult r) {
 
 // --- chaos campaign ----------------------------------------------------------
 
-namespace {
-
-/// Everything shared, read-only, across shards: curve, fleet credentials,
-/// cipher factory. Built once per campaign from the seed.
-struct Fixtures {
-  const ecc::Curve& curve;
-  protocol::SchnorrKeyPair schnorr_key;
-  protocol::PhReader ph_reader;
-  protocol::PhTag ph_tag;
-  protocol::SharedKeys keys;
-  protocol::CipherFactory make_cipher;
-  protocol::EciesKeyPair ecies_key;
-  std::vector<std::uint8_t> telemetry;
-};
+// World-building kit shared with the sharded campaign (shard.cpp); see
+// campaign_fixtures.h for the determinism contract.
+namespace campaign {
 
 Fixtures make_fixtures(std::uint64_t seed) {
   const ecc::Curve& curve = ecc::Curve::k163();
@@ -409,10 +396,6 @@ Fixtures make_fixtures(std::uint64_t seed) {
   rng.fill(fx.telemetry);
   return fx;
 }
-
-using MachineFactory =
-    std::function<std::unique_ptr<protocol::SessionMachine>(
-        rng::RandomSource&)>;
 
 /// The protocol mix: session gid runs protocol gid % 4.
 MachineFactory device_factory(const Fixtures& fx, std::uint64_t gid) {
@@ -443,12 +426,17 @@ MachineFactory device_factory(const Fixtures& fx, std::uint64_t gid) {
   }
 }
 
-MachineFactory server_factory(const Fixtures& fx, std::uint64_t gid) {
+MachineFactory server_factory(const Fixtures& fx, std::uint64_t gid,
+                              bool deferred_schnorr) {
   switch (gid % 4) {
     case 0:
-      return [&fx](rng::RandomSource& r) {
+      return [&fx, deferred_schnorr](rng::RandomSource& r) {
         return std::unique_ptr<protocol::SessionMachine>(
-            new protocol::SchnorrVerifier(fx.curve, fx.schnorr_key.X, r));
+            new protocol::SchnorrVerifier(
+                fx.curve, fx.schnorr_key.X, r,
+                deferred_schnorr
+                    ? protocol::SchnorrVerifier::Mode::kDeferred
+                    : protocol::SchnorrVerifier::Mode::kInline));
       };
     case 1:
       return [&fx](rng::RandomSource& r) {
@@ -493,14 +481,16 @@ GatewayServer::Judge judge_for(std::uint64_t gid) {
   }
 }
 
-struct SessionOutcome {
-  std::uint64_t id = 0;
-  bool completed = false;
-  bool accepted = false;
-  bool failed = false;
-  core::Cycle cycle = 0;
-  std::uint64_t retransmits = 0;
-};
+}  // namespace campaign
+
+namespace {
+
+using campaign::Fixtures;
+using campaign::MachineFactory;
+using campaign::SessionOutcome;
+using campaign::device_factory;
+using campaign::judge_for;
+using campaign::server_factory;
 
 struct ShardResult {
   std::vector<SessionOutcome> outcomes;
@@ -644,20 +634,12 @@ ShardResult run_shard(const ChaosCampaignConfig& cfg, const Fixtures& fx,
   return out;
 }
 
-std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xFF;
-    h *= 0x100000001B3ULL;
-  }
-  return h;
-}
-
 }  // namespace
 
 ChaosCampaignResult run_chaos_campaign(const ChaosCampaignConfig& config) {
   ChaosCampaignConfig cfg = config;
   if (cfg.sessions_per_shard == 0) cfg.sessions_per_shard = 64;
-  const Fixtures fx = make_fixtures(cfg.seed);
+  const Fixtures fx = campaign::make_fixtures(cfg.seed);
   const std::size_t shards =
       (cfg.sessions + cfg.sessions_per_shard - 1) / cfg.sessions_per_shard;
 
@@ -711,12 +693,7 @@ ChaosCampaignResult run_chaos_campaign(const ChaosCampaignConfig& config) {
       if (o.accepted) ++out.accepted;
       if (o.failed) ++out.failed;
       if (!o.completed && !o.failed) ++out.stuck;
-      digest = fnv1a(digest, o.id);
-      digest = fnv1a(digest, (o.completed ? 1u : 0u) |
-                                 (o.accepted ? 2u : 0u) |
-                                 (o.failed ? 4u : 0u));
-      digest = fnv1a(digest, o.cycle);
-      digest = fnv1a(digest, o.retransmits);
+      digest = campaign::digest_outcome(digest, o);
     }
   }
   out.corrupt_accepted = out.corrupt_accepted > out.decode_failures

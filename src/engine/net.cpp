@@ -1,0 +1,214 @@
+#include "engine/net.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/epoll.h>
+#else
+#include <poll.h>
+#endif
+
+namespace medsec::engine {
+
+namespace {
+
+constexpr std::uint8_t kMagic0 = 0x4D;
+constexpr std::uint8_t kMagic1 = 0x46;
+/// Largest possible encoded frame: header(16) + label_len(1) + label +
+/// payload_len(2) + payload + crc(4).
+constexpr std::size_t kMaxDatagram =
+    16 + 1 + kMaxFrameLabel + 2 + kMaxFramePayload + 4;
+/// Readiness-loop wakeup period — the stop flag is polled at this rate.
+constexpr int kWaitMs = 20;
+
+sockaddr_in to_sockaddr(const Peer& peer) {
+  sockaddr_in a{};
+  a.sin_family = AF_INET;
+  a.sin_addr.s_addr = htonl(peer.ip);
+  a.sin_port = htons(peer.port);
+  return a;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> peek_frame_session(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 16 || bytes[0] != kMagic0 || bytes[1] != kMagic1)
+    return std::nullopt;
+  std::uint64_t id = 0;
+  for (int i = 0; i < 8; ++i)
+    id |= static_cast<std::uint64_t>(bytes[4 + static_cast<std::size_t>(i)])
+          << (8 * i);
+  return id;
+}
+
+// --- UdpSocket ---------------------------------------------------------------
+
+UdpSocket::UdpSocket(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::runtime_error("UdpSocket: socket() failed");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  // A 100k-session load test bursts far past the default socket buffer;
+  // ask for room (the kernel clamps to its own ceiling, best-effort).
+  const int buf = 4 * 1024 * 1024;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("UdpSocket: bind() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool UdpSocket::send_to(const Peer& peer,
+                        std::span<const std::uint8_t> bytes) {
+  const sockaddr_in a = to_sockaddr(peer);
+  const ssize_t n =
+      ::sendto(fd_, bytes.data(), bytes.size(), 0,
+               reinterpret_cast<const sockaddr*>(&a), sizeof(a));
+  return n == static_cast<ssize_t>(bytes.size());
+}
+
+bool UdpSocket::recv_from(std::vector<std::uint8_t>& out, Peer& peer) {
+  out.resize(kMaxDatagram);
+  sockaddr_in a{};
+  socklen_t len = sizeof(a);
+  const ssize_t n = ::recvfrom(fd_, out.data(), out.size(), 0,
+                               reinterpret_cast<sockaddr*>(&a), &len);
+  if (n < 0) {
+    out.clear();
+    return false;  // EAGAIN or a transient error: nothing ready
+  }
+  out.resize(static_cast<std::size_t>(n));
+  peer.ip = ntohl(a.sin_addr.s_addr);
+  peer.port = ntohs(a.sin_port);
+  return true;
+}
+
+// --- UdpFrontEnd -------------------------------------------------------------
+
+UdpFrontEnd::UdpFrontEnd(ShardFleet& fleet, std::uint16_t port)
+    : fleet_(&fleet), socket_(port) {}
+
+UdpFrontEnd::~UdpFrontEnd() { stop(); }
+
+void UdpFrontEnd::start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void UdpFrontEnd::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+}
+
+void UdpFrontEnd::send_downlink(std::uint64_t /*session*/, const Peer& peer,
+                                std::vector<std::uint8_t> bytes) {
+  if (socket_.send_to(peer, bytes))
+    datagrams_out_.fetch_add(1, std::memory_order_relaxed);
+  else
+    send_failures_.fetch_add(1, std::memory_order_relaxed);
+  // The encode path drew from the pool; recycle on this (shard) thread.
+  FramePool::release(std::move(bytes));
+}
+
+void UdpFrontEnd::shed_reject(std::uint64_t session, const Peer& peer) {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  Frame reject;
+  reject.type = FrameType::kReject;
+  reject.session = session;
+  std::vector<std::uint8_t> bytes = encode_frame(reject);
+  socket_.send_to(peer, bytes);
+  FramePool::release(std::move(bytes));
+}
+
+void UdpFrontEnd::drain_socket() {
+  // Drain to EAGAIN: epoll is level-triggered here but one pass per
+  // wakeup costs a syscall per datagram anyway — loop until dry.
+  for (;;) {
+    std::vector<std::uint8_t> bytes = FramePool::acquire();
+    Peer peer;
+    if (!socket_.recv_from(bytes, peer)) {
+      FramePool::release(std::move(bytes));
+      return;
+    }
+    datagrams_in_.fetch_add(1, std::memory_order_relaxed);
+    const std::optional<std::uint64_t> session = peek_frame_session(bytes);
+    if (!session) {
+      // Not even a frame header: drop silently. (A frame with a valid
+      // header but mangled body reaches the shard, whose CRC rejects it
+      // — that path must stay identical to the deterministic stack's.)
+      not_a_frame_.fetch_add(1, std::memory_order_relaxed);
+      FramePool::release(std::move(bytes));
+      continue;
+    }
+    IngressItem item;
+    item.session = *session;
+    item.peer = peer;
+    item.bytes = std::move(bytes);
+    if (!fleet_->offer(/*lane=*/0, std::move(item))) {
+      // Mailbox full: explicit backpressure. offer() does not consume on
+      // failure, but the reply needs only the id and return address.
+      shed_reject(*session, peer);
+      FramePool::release(std::move(item.bytes));
+    }
+  }
+}
+
+void UdpFrontEnd::loop() {
+#ifdef __linux__
+  const int ep = ::epoll_create1(0);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = socket_.fd();
+  ::epoll_ctl(ep, EPOLL_CTL_ADD, socket_.fd(), &ev);
+  while (!stop_.load(std::memory_order_acquire)) {
+    epoll_event out{};
+    const int n = ::epoll_wait(ep, &out, 1, kWaitMs);
+    if (n > 0) drain_socket();
+  }
+  ::close(ep);
+#else
+  pollfd pfd{socket_.fd(), POLLIN, 0};
+  while (!stop_.load(std::memory_order_acquire)) {
+    pfd.revents = 0;
+    const int n = ::poll(&pfd, 1, kWaitMs);
+    if (n > 0 && (pfd.revents & POLLIN)) drain_socket();
+  }
+#endif
+  // Final sweep: datagrams that raced the stop flag still get routed.
+  drain_socket();
+}
+
+UdpFrontEndStats UdpFrontEnd::stats() const {
+  UdpFrontEndStats s;
+  s.datagrams_in = datagrams_in_.load(std::memory_order_relaxed);
+  s.datagrams_out = datagrams_out_.load(std::memory_order_relaxed);
+  s.not_a_frame = not_a_frame_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.send_failures = send_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace medsec::engine

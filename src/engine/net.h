@@ -1,0 +1,119 @@
+// net.h — the real-socket front end for the sharded gateway.
+//
+// Everything below shard.h is deterministic and in-process; this file is
+// the one place real I/O happens. A UdpFrontEnd owns one UDP socket and
+// one readiness-loop thread (epoll on Linux, poll(2) elsewhere) that:
+//
+//   1. drains every ready datagram without blocking,
+//   2. peeks the session id straight out of the PR 6 frame header
+//      (peek_frame_session — no full decode, no CRC walk, on the hot path),
+//   3. routes the raw bytes into shard_of(session)'s mailbox lane, and
+//   4. on a full lane, sheds: one kReject frame straight back to the
+//      sender from the readiness thread. Backpressure is a verdict the
+//      device can see, never a silently growing queue.
+//
+// Downlink is the Transport interface: shard threads call send_downlink,
+// which is a bare sendto — UDP sends are datagram-atomic and thread-safe,
+// so N shards share the socket without a lock.
+//
+// The frame codec, CRC discipline, ARQ and session logic are all the
+// in-process stack's; the front end moves bytes and owns no protocol
+// state. A corrupted datagram is detected by the same CRC path the
+// deterministic chaos campaign exercises.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/shard.h"
+#include "engine/transport.h"
+
+namespace medsec::engine {
+
+/// Header peek: session id of an encoded frame, or nullopt when the bytes
+/// cannot be a frame (short / bad magic). Reads the id field only — the
+/// router must not pay for a CRC walk per datagram; integrity is checked
+/// once, by the owning shard's decode.
+std::optional<std::uint64_t> peek_frame_session(
+    std::span<const std::uint8_t> bytes);
+
+/// RAII nonblocking UDP/IPv4 socket. Thin: bind, sendto, recvfrom, close.
+/// Throws std::runtime_error when the kernel refuses (socket/bind).
+class UdpSocket {
+ public:
+  /// Bind to 127.0.0.1:`port` (0 = kernel-assigned ephemeral port).
+  explicit UdpSocket(std::uint16_t port = 0);
+  ~UdpSocket();
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  int fd() const { return fd_; }
+  std::uint16_t local_port() const { return port_; }
+
+  /// One datagram out. Returns false on a transient refusal (full socket
+  /// buffer — UDP's version of shedding); throws nothing on the hot path.
+  bool send_to(const Peer& peer, std::span<const std::uint8_t> bytes);
+
+  /// One datagram in (nonblocking). Empty optional = nothing ready.
+  /// The payload lands in `out` (resized), the sender in `peer`.
+  bool recv_from(std::vector<std::uint8_t>& out, Peer& peer);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+struct UdpFrontEndStats {
+  std::uint64_t datagrams_in = 0;
+  std::uint64_t datagrams_out = 0;
+  std::uint64_t not_a_frame = 0;   ///< failed the header peek; dropped
+  std::uint64_t shed = 0;          ///< mailbox full -> kReject sent back
+  std::uint64_t send_failures = 0; ///< sendto refused (full buffer)
+};
+
+/// The socket front end: one readiness loop feeding a ShardFleet's
+/// mailboxes, and the fleet's downlink Transport. The fleet must be
+/// constructed with `producers` >= 1 (the readiness thread uses lane 0).
+class UdpFrontEnd final : public Transport {
+ public:
+  /// Binds immediately (port 0 = ephemeral; read local_port()).
+  UdpFrontEnd(ShardFleet& fleet, std::uint16_t port = 0);
+  ~UdpFrontEnd() override;
+
+  std::uint16_t local_port() const { return socket_.local_port(); }
+
+  /// Start the readiness loop thread. Idempotent.
+  void start();
+  /// Stop and join the loop. Idempotent; the destructor calls it.
+  void stop();
+
+  // Transport: shard threads' downlink path. Lock-free — sendto on a
+  // shared UDP socket is datagram-atomic.
+  void send_downlink(std::uint64_t session, const Peer& peer,
+                     std::vector<std::uint8_t> bytes) override;
+
+  UdpFrontEndStats stats() const;
+
+ private:
+  void loop();
+  void drain_socket();
+  void shed_reject(std::uint64_t session, const Peer& peer);
+
+  ShardFleet* fleet_;
+  UdpSocket socket_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+
+  std::atomic<std::uint64_t> datagrams_in_{0};
+  std::atomic<std::uint64_t> datagrams_out_{0};
+  std::atomic<std::uint64_t> not_a_frame_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> send_failures_{0};
+};
+
+}  // namespace medsec::engine

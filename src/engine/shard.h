@@ -1,0 +1,294 @@
+// shard.h — the sharded async gateway engine: N independent event loops,
+// each owning one core::EventQueue, one GatewayServer (its partition of
+// the session registry, hashed by session id) and one SchnorrBatchVerifier
+// that drains deferred transcripts into ONE Straus/Shamir multi-scalar
+// multiplication per tick.
+//
+// Data flow (socket mode):
+//
+//   UDP datagrams ──> net.h front end (epoll readiness loop)
+//                         │  peek session id from the frame header,
+//                         │  shard = shard_of(id)
+//                         ▼
+//              lock-free SPSC mailbox lane        (core/mpsc_ring.h,
+//                         │                        one lane per producer —
+//                         ▼                        full lane => kReject)
+//     shard thread: drain mailbox -> GatewayServer::on_uplink
+//                   run virtual-clock timers (ARQ retransmits, deadlines)
+//                   flush batch verifier (<= 1 MSM per tick)
+//                         │
+//                         ▼
+//              Transport::send_downlink (sendto / LossyLink)
+//
+// Threading contract: everything inside a ShardEngine (queue, gateway,
+// session records) is owned by its shard thread — the single-threaded
+// discipline of core::EventQueue. The only cross-thread edges are the
+// mailbox rings (wait-free), the verifier (internally locked, but only
+// ever touched by its own shard here), and the relaxed stats counters.
+//
+// Deterministic mode: run_sharded_campaign() re-runs the PR 6 chaos
+// campaign with sessions hash-partitioned across N shard worlds and
+// Schnorr verdicts deferred to the per-shard batch verifiers. Because
+// every per-session seed is a pure function of (campaign seed, global
+// session id) — see campaign_fixtures.h — its outcome digest is
+// bit-identical to engine::run_chaos_campaign at ANY shard count; the
+// shard suite pins that.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/event_queue.h"
+#include "core/mpsc_ring.h"
+#include "engine/batch_verifier.h"
+#include "engine/gateway.h"
+
+namespace medsec::engine {
+
+/// A datagram return address. Socket front ends fill ip/port (IPv4, host
+/// byte order); in-process transports may use it as an opaque cookie.
+struct Peer {
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+  bool valid() const { return port != 0; }
+  bool operator==(const Peer& o) const {
+    return ip == o.ip && port == o.port;
+  }
+};
+
+/// One ingress datagram, routed into a shard mailbox.
+struct IngressItem {
+  std::uint64_t session = 0;
+  Peer peer;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Where a shard writes a session's downlink bytes. Implementations: the
+/// UDP front end (net.h, sendto is datagram-atomic and thread-safe) and
+/// the deterministic in-process LossyLink adapter used by tests.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual void send_downlink(std::uint64_t session, const Peer& peer,
+                             std::vector<std::uint8_t> bytes) = 0;
+};
+
+/// Session -> shard partition: splitmix64 finalizer over the id. Pure
+/// function of the id, so the front end and every test agree without
+/// coordination.
+inline std::size_t shard_of(std::uint64_t session, std::size_t shards) {
+  std::uint64_t z = session + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return shards <= 1 ? 0 : static_cast<std::size_t>(z % shards);
+}
+
+/// What a shard needs to serve one new session (auto-opened on its first
+/// datagram in socket mode).
+struct SessionSetup {
+  std::unique_ptr<protocol::SessionMachine> machine;
+  GatewayServer::Judge judge;  ///< inline verdict (ignored when deferred)
+  /// Machine is a Mode::kDeferred SchnorrVerifier: route the verdict
+  /// through the shard's batch verifier instead of the inline judge.
+  bool deferred_schnorr = false;
+  std::unique_ptr<rng::Xoshiro256> rng;
+};
+
+/// Builds the server half for a session id. Must be thread-safe across
+/// shards (each shard calls it from its own thread) and deterministic in
+/// the id for reproducible runs.
+using SessionFactory = std::function<SessionSetup(std::uint64_t session)>;
+
+struct ShardFleetConfig {
+  std::size_t shards = 1;
+  /// Mailbox ring capacity per producer lane per shard (rounded up to a
+  /// power of two). A full lane sheds with kReject — bounded memory and
+  /// explicit backpressure, never a blocked readiness loop.
+  std::size_t mailbox_capacity = 4096;
+  /// Per-shard batch verifier flush threshold; the shard tick also
+  /// flushes whatever is queued, so this is a ceiling, not a latency.
+  std::size_t verify_batch = 64;
+  /// Base seed for per-session derivations (delivery jitter, RLC
+  /// coefficients are mixed per shard/session from it).
+  std::uint64_t seed = 0x5EC0FFEE;
+  GatewayConfig gateway;
+  /// Socket mode: virtual cycles per real microsecond (drives ARQ
+  /// retransmit timers off the wall clock).
+  double cycles_per_us = 1.0;
+  /// Max mailbox items drained per tick before timers run again.
+  std::size_t drain_chunk = 256;
+};
+
+/// Relaxed-atomic counters a shard thread publishes while running.
+struct ShardStats {
+  std::uint64_t ingress = 0;         ///< datagrams drained from the mailbox
+  std::uint64_t mailbox_shed = 0;    ///< try_push failures (backpressure)
+  std::uint64_t opened = 0;
+  std::uint64_t completed = 0;       ///< verdict landed (deferred included)
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t verifier_flushes = 0;  ///< ticks that ran an MSM
+  std::uint64_t ticks = 0;
+};
+
+/// One shard: event queue + gateway partition + batch verifier + mailbox.
+/// Producer API (offer) is wait-free and callable from its designated
+/// producer threads; everything else belongs to the shard thread.
+class ShardEngine {
+ public:
+  ShardEngine(std::size_t index, const ShardFleetConfig& config,
+              const ecc::Curve& curve, SessionFactory factory,
+              std::size_t producers);
+
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  std::size_t index() const { return index_; }
+
+  /// Producer path (front-end thread `lane`): route one datagram into
+  /// this shard's mailbox. False = lane full; the caller sheds (replies
+  /// kReject) — this never blocks.
+  bool offer(std::size_t lane, IngressItem&& item);
+
+  // --- shard-thread API ------------------------------------------------------
+
+  void set_transport(Transport* t) { transport_ = t; }
+
+  /// Drain up to `limit` mailbox items into the gateway (auto-opening
+  /// unknown sessions via the factory). Returns items processed.
+  std::size_t drain_mailbox(std::size_t limit);
+
+  /// Run timers due by virtual cycle `t` (ARQ retransmits, deadlines).
+  void advance_to(core::Cycle t) { queue_.run_until(t); }
+
+  /// Verify everything queued — at most one MSM per call/tick.
+  void flush_verifier();
+
+  /// One socket-mode tick: drain -> timers -> flush. Returns the number
+  /// of mailbox items drained (0 lets the loop thread sleep briefly).
+  std::size_t tick(core::Cycle virtual_now);
+
+  bool quiescent() const {
+    return mailbox_.size_approx() == 0 && queue_.empty() &&
+           verifier_.pending() == 0;
+  }
+
+  core::EventQueue& queue() { return queue_; }
+  GatewayServer& gateway() { return *gateway_; }
+  SchnorrBatchVerifier& verifier() { return verifier_; }
+
+  /// Verdict bookkeeping for deferred sessions (shard-thread owned; read
+  /// from other threads only after the shard stops).
+  struct Record {
+    bool completed = false;  ///< verdict landed
+    bool accepted = false;
+    core::Cycle settled = 0;
+  };
+  const std::unordered_map<std::uint64_t, Record>& records() const {
+    return records_;
+  }
+
+  ShardStats stats() const;
+
+ private:
+  void open_from_ingress(const IngressItem& item);
+  void record_verdict(std::uint64_t id, bool accepted);
+
+  std::size_t index_;
+  ShardFleetConfig config_;
+  const ecc::Curve* curve_;
+  SessionFactory factory_;
+  core::EventQueue queue_;
+  std::unique_ptr<GatewayServer> gateway_;
+  SchnorrBatchVerifier verifier_;
+  core::MpscRing<IngressItem> mailbox_;
+  Transport* transport_ = nullptr;
+  std::unordered_map<std::uint64_t, Peer> peers_;
+  std::unordered_map<std::uint64_t, Record> records_;
+
+  // Relaxed atomics: single writer (shard thread) except mailbox_shed_
+  // (producers); readers tolerate tearing-free point-in-time values.
+  std::atomic<std::uint64_t> ingress_{0};
+  std::atomic<std::uint64_t> mailbox_shed_{0};
+  std::atomic<std::uint64_t> opened_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> verifier_flushes_{0};
+  std::atomic<std::uint64_t> ticks_{0};
+};
+
+/// The shard collective: owns N ShardEngines and (in socket mode) one
+/// real-time event-loop thread per shard.
+class ShardFleet {
+ public:
+  /// `producers` = number of distinct threads that will call offer()
+  /// (each gets its own wait-free mailbox lane in every shard).
+  ShardFleet(const ecc::Curve& curve, const ShardFleetConfig& config,
+             SessionFactory factory, std::size_t producers);
+  ~ShardFleet();
+
+  std::size_t shards() const { return engines_.size(); }
+  ShardEngine& shard(std::size_t i) { return *engines_[i]; }
+  std::size_t shard_index(std::uint64_t session) const {
+    return shard_of(session, engines_.size());
+  }
+
+  /// Producer path: route to the owning shard's mailbox. False = shed.
+  bool offer(std::size_t lane, IngressItem&& item);
+
+  /// Socket mode: start one real-time loop thread per shard (ticks at
+  /// config.cycles_per_us against the wall clock, sleeping briefly when
+  /// idle). `transport` receives every downlink; must outlive stop().
+  void start(Transport& transport);
+  /// Signal the loops to finish draining and join them. Loops exit once
+  /// told to stop AND their shard is quiescent (or `force` is set).
+  void stop(bool force = false);
+  bool running() const { return !threads_.empty(); }
+
+  /// Sum of per-shard stats.
+  ShardStats totals() const;
+
+ private:
+  ShardFleetConfig config_;
+  std::vector<std::unique_ptr<ShardEngine>> engines_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> force_stop_{false};
+};
+
+// --- deterministic sharded campaign ------------------------------------------
+
+struct ShardedCampaignConfig {
+  /// The PR 6 campaign knobs — seeds, fault profiles, deadlines. Its
+  /// sessions_per_shard/threads fields are ignored here; partitioning is
+  /// by shard_of(gid, shards) instead of contiguous ranges.
+  ChaosCampaignConfig chaos;
+  std::size_t shards = 4;
+  /// Per-shard deferred-Schnorr batch size.
+  std::size_t verify_batch = 64;
+  /// Run shard worlds on one thread each (true) or serially (false) —
+  /// bit-identical either way.
+  bool parallel = true;
+};
+
+struct ShardedCampaignResult {
+  ChaosCampaignResult chaos;     ///< same digest semantics as PR 6
+  BatchVerifierStats verifier;   ///< summed across shards
+  std::size_t shards = 0;
+};
+
+/// The PR 6 chaos campaign over the sharded engine: sessions hash-
+/// partitioned across `shards` deterministic worlds, gid%4==0 Schnorr
+/// verdicts deferred through per-shard batch verifiers. Digest is
+/// bit-identical to run_chaos_campaign(config.chaos) at any shard count.
+ShardedCampaignResult run_sharded_campaign(
+    const ShardedCampaignConfig& config);
+
+}  // namespace medsec::engine

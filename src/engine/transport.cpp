@@ -46,6 +46,42 @@ const char* intern_label(std::string_view label) {
   return pool->emplace(label).first->c_str();
 }
 
+// --- frame buffer pool -------------------------------------------------------
+
+namespace {
+
+// Per-thread recycling keeps the pool lock-free; the caps bound what one
+// thread can pin (64 buffers x ~4.4 KB max frame ≈ 280 KB worst case).
+constexpr std::size_t kPoolMaxBuffers = 64;
+constexpr std::size_t kPoolMaxCapacity =
+    kMaxFramePayload + kMaxFrameLabel + 64;
+
+std::vector<std::vector<std::uint8_t>>& pool_freelist() {
+  thread_local std::vector<std::vector<std::uint8_t>> freelist;
+  return freelist;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> FramePool::acquire() {
+  auto& fl = pool_freelist();
+  if (fl.empty()) return {};
+  std::vector<std::uint8_t> buf = std::move(fl.back());
+  fl.pop_back();
+  buf.clear();
+  return buf;
+}
+
+void FramePool::release(std::vector<std::uint8_t>&& buf) {
+  auto& fl = pool_freelist();
+  if (fl.size() >= kPoolMaxBuffers || buf.capacity() == 0 ||
+      buf.capacity() > kPoolMaxCapacity)
+    return;  // drop: the vector frees normally
+  fl.push_back(std::move(buf));
+}
+
+std::size_t FramePool::pooled() { return pool_freelist().size(); }
+
 // --- frame codec -------------------------------------------------------------
 
 namespace {
@@ -84,8 +120,14 @@ std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t at) {
 }  // namespace
 
 std::vector<std::uint8_t> encode_frame(const Frame& f) {
+  std::vector<std::uint8_t> out = FramePool::acquire();
+  encode_frame_into(f, out);
+  return out;
+}
+
+void encode_frame_into(const Frame& f, std::vector<std::uint8_t>& out) {
   const std::string_view label = f.label ? f.label : "";
-  std::vector<std::uint8_t> out;
+  out.clear();
   out.reserve(kHeaderBytes + 1 + label.size() + 2 + f.payload.size() +
               kCrcBytes);
   out.push_back(kMagic0);
@@ -103,7 +145,6 @@ std::vector<std::uint8_t> encode_frame(const Frame& f) {
   out.push_back(static_cast<std::uint8_t>(f.payload.size() >> 8));
   out.insert(out.end(), f.payload.begin(), f.payload.end());
   put_u32(out, crc32(out));
-  return out;
 }
 
 std::optional<Frame> decode_frame(std::span<const std::uint8_t> bytes) {
@@ -217,8 +258,10 @@ void LossyLink::send(Direction dir, std::vector<std::uint8_t> bytes) {
   if (p.duplicate > 0 && to_unit(fault_word(dir, n, 6)) < p.duplicate) {
     core::Cycle dup_delay = p.delay_min + fault_word(dir, n, 7) % band;
     ++stats_[dir].duplicated;
-    schedule_delivery(dir, bytes, dup_delay,
-                      corrupted);  // copy: original sent below
+    // Copy into a pooled buffer: the original is sent below.
+    std::vector<std::uint8_t> dup = FramePool::acquire();
+    dup.assign(bytes.begin(), bytes.end());
+    schedule_delivery(dir, std::move(dup), dup_delay, corrupted);
   }
   schedule_delivery(dir, std::move(bytes), delay, corrupted);
 }

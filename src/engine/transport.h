@@ -61,7 +61,28 @@ struct Frame {
 inline constexpr std::size_t kMaxFramePayload = 4096;
 inline constexpr std::size_t kMaxFrameLabel = 255;
 
+/// Thread-local free-list of frame byte buffers. Encoded frames are made
+/// and destroyed once per datagram on the hot path; recycling the vectors
+/// keeps their heap capacity alive so steady-state traffic allocates
+/// nothing. acquire() returns an empty vector (capacity preserved from a
+/// prior release); release() hands a spent buffer back. The pool is
+/// per-thread — shards and front-end threads each recycle their own
+/// buffers with no locking — and capped, so a burst can't pin memory.
+/// Releasing is optional everywhere: an un-released buffer just frees
+/// normally.
+class FramePool {
+ public:
+  static std::vector<std::uint8_t> acquire();
+  static void release(std::vector<std::uint8_t>&& buf);
+  /// Buffers currently pooled on this thread (introspection for tests).
+  static std::size_t pooled();
+};
+
 std::vector<std::uint8_t> encode_frame(const Frame& f);
+
+/// Encode into an existing buffer (cleared first), reusing its capacity —
+/// the zero-allocation path for pooled buffers.
+void encode_frame_into(const Frame& f, std::vector<std::uint8_t>& out);
 
 /// Strict decode: verifies magic, type, length consistency (the encoded
 /// lengths must account for every byte) and the trailing CRC. Returns
